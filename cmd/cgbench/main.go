@@ -1,0 +1,92 @@
+// Command cgbench regenerates the paper's tables and figures on synthetic
+// stand-in workloads.
+//
+// Usage:
+//
+//	cgbench -list
+//	cgbench -exp table4
+//	cgbench -exp all
+//	COMMONGRAPH_SCALE=4 cgbench -exp fig8 -snapshots 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"commongraph/internal/bench"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		list      = flag.Bool("list", false, "list available experiments")
+		snapshots = flag.Int("snapshots", 0, "override window length (default: paper's 50)")
+		seed      = flag.Uint64("seed", 0, "override workload seed")
+		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-26s regenerates %s\n", e.Name, e.Paper)
+		}
+		if *exp == "" {
+			os.Exit(0)
+		}
+		return
+	}
+
+	p := bench.Default()
+	if *snapshots > 1 {
+		p.Snapshots = *snapshots
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		e, _ := bench.ByName(name)
+		tab, err := e.Run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
+			os.Exit(1)
+		}
+		tab.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := tab.WriteCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		fmt.Printf("(%s completed in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if _, ok := bench.ByName(*exp); !ok && *exp != "all" {
+		fmt.Fprintf(os.Stderr, "cgbench: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			run(e.Name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,115 @@
+// Command cgquery evaluates a query over a snapshot window of a dataset
+// produced by cggen, with any of the evaluation strategies.
+//
+// Usage:
+//
+//	cgquery -data /tmp/lj -algo SSSP -source 0 -strategy work-sharing
+//	cgquery -data /tmp/lj -algo BFS -from 2 -to 8 -strategy kickstarter -vertex 17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"commongraph"
+	"commongraph/internal/dataset"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "", "dataset directory from cggen (required)")
+		algoName = flag.String("algo", "SSSP", "algorithm: BFS, SSSP, SSWP, SSNP, Viterbi")
+		source   = flag.Uint("source", 0, "query source vertex")
+		from     = flag.Int("from", 0, "first snapshot of the window")
+		to       = flag.Int("to", -1, "last snapshot of the window (-1 = latest)")
+		strategy = flag.String("strategy", "direct-hop", "kickstarter | direct-hop | direct-hop-parallel | work-sharing")
+		vertex   = flag.Int("vertex", -1, "also print this vertex's value at each snapshot")
+		plan     = flag.Bool("plan", false, "print the schedule comparison instead of evaluating")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "cgquery: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	store, err := dataset.Load(*data)
+	if err != nil {
+		fail(err)
+	}
+	g := commongraph.FromStore(store)
+	if *to < 0 {
+		*to = g.NumSnapshots() - 1
+	}
+
+	if *plan {
+		p, err := g.Plan(*from, *to)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("window [%d,%d]: %d snapshots, common graph %d edges\n",
+			*from, *to, p.Snapshots, p.CommonEdges)
+		fmt.Printf("direct-hop additions:   %d\n", p.DirectHopAdditions)
+		fmt.Printf("work-sharing additions: %d\n", p.WorkSharingAdditions)
+		fmt.Println("schedule tree:")
+		fmt.Print(p.Tree)
+		return
+	}
+
+	a, ok := commongraph.AlgorithmByName(*algoName)
+	if !ok {
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+	var strat commongraph.Strategy
+	switch strings.ToLower(*strategy) {
+	case "kickstarter", "ks":
+		strat = commongraph.KickStarter
+	case "direct-hop", "dh":
+		strat = commongraph.DirectHop
+	case "direct-hop-parallel", "dhp":
+		strat = commongraph.DirectHopParallel
+	case "work-sharing", "ws":
+		strat = commongraph.WorkSharing
+	default:
+		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+
+	opts := commongraph.Options{KeepValues: *vertex >= 0}
+	res, err := g.Evaluate(commongraph.Query{
+		Algorithm: a,
+		Source:    commongraph.VertexID(*source),
+	}, *from, *to, strat, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s over snapshots [%d,%d] with %s: total %v\n", a.Name(), *from, *to, strat, res.Timings.Total)
+	fmt.Printf("  initial compute %v, incremental add %v, incremental delete %v, mutation/overlay %v\n",
+		res.Timings.InitialCompute, res.Timings.IncrementalAdd,
+		res.Timings.IncrementalDelete, res.Timings.Mutation)
+	fmt.Printf("  additions processed %d, deletions processed %d\n",
+		res.AdditionsProcessed, res.DeletionsProcessed)
+	if res.MaxHopTime > 0 {
+		fmt.Printf("  longest independent hop: %v\n", res.MaxHopTime)
+	}
+	for _, s := range res.Snapshots {
+		line := fmt.Sprintf("  snapshot %-3d reached %-8d checksum %016x", s.Index, s.Reached, s.Checksum)
+		if *vertex >= 0 && *vertex < len(s.Values) {
+			v := s.Values[*vertex]
+			if a.Name() == "Viterbi" {
+				line += fmt.Sprintf("  value(%d) = %.6f", *vertex, commongraph.ViterbiProbability(v))
+			} else if v == commongraph.Infinity {
+				line += fmt.Sprintf("  value(%d) = unreachable", *vertex)
+			} else {
+				line += fmt.Sprintf("  value(%d) = %d", *vertex, v)
+			}
+		}
+		fmt.Println(line)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "cgquery: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Package commongraph evaluates graph queries over evolving graphs — the
+// CommonGraph system of Afarin et al., "CommonGraph: Graph Analytics on
+// Evolving Data" (ASPLOS 2023).
+//
+// An evolving-graph query asks for a property (shortest paths, reachability,
+// widest paths, …) at every snapshot of a graph across a time window.
+// CommonGraph answers it by:
+//
+//  1. computing the query once on the common graph — the edges present in
+//     every snapshot of the window — and reaching each snapshot with
+//     additions only, converting expensive incremental deletions into cheap
+//     incremental additions (Direct-Hop);
+//  2. sharing addition batches among snapshot subsequences via the
+//     Triangular Grid and a Steiner-tree evaluation schedule (Work-Sharing);
+//  3. representing snapshots as an immutable base CSR plus small overlay
+//     batches, eliminating graph mutation entirely.
+//
+// The package also contains a full reconstruction of the KickStarter
+// streaming baseline (trimming-based incremental deletion over a mutable
+// graph), used both as the comparison baseline and as the engine substrate.
+//
+// # Quick start
+//
+//	g := commongraph.New(4, []commongraph.Edge{{Src: 0, Dst: 1, W: 2}})
+//	g.ApplyUpdates(additions, deletions) // snapshot 1
+//	g.ApplyUpdates(more, gone)           // snapshot 2
+//	res, err := g.Evaluate(
+//		commongraph.Query{Algorithm: commongraph.SSSP, Source: 0},
+//		0, 2, commongraph.WorkSharing, commongraph.Options{KeepValues: true})
+//	for _, s := range res.Snapshots {
+//		fmt.Println(s.Index, s.Values)
+//	}
+//
+// Five monotonic algorithms ship with the package (the paper's Table 3):
+// BFS, SSSP, SSWP, SSNP, and Viterbi. Any monotonic vertex program
+// implementing the internal Algorithm interface can be evaluated.
+package commongraph

@@ -1,0 +1,291 @@
+package commongraph
+
+import (
+	"fmt"
+	"time"
+
+	"commongraph/internal/core"
+	"commongraph/internal/engine"
+	"commongraph/internal/kickstarter"
+)
+
+// Strategy selects how a window of snapshots is evaluated.
+type Strategy int
+
+const (
+	// KickStarter is the streaming baseline: evaluate the first snapshot
+	// from scratch, then stream each transition's additions and deletions
+	// in sequence, mutating the graph in place and trimming on deletions.
+	KickStarter Strategy = iota
+	// Independent evaluates every snapshot from scratch on its own
+	// materialized graph — §1's "straightforward approach", kept as the
+	// naive baseline and a correctness oracle at scale.
+	Independent
+	// DirectHop solves the common graph once and reaches each snapshot
+	// independently with one addition batch (§3.1). No deletions, no
+	// mutation.
+	DirectHop
+	// DirectHopParallel is DirectHop with all hops run concurrently
+	// (the paper's Table 5 configuration).
+	DirectHopParallel
+	// WorkSharing evaluates along the Steiner-tree schedule over the
+	// Triangular Grid, sharing addition batches among snapshot
+	// subsequences (§3.2, Algorithm 1).
+	WorkSharing
+	// WorkSharingParallel executes the schedule's root subtrees
+	// concurrently — the parallelization of work sharing the paper notes
+	// as future work in §5.
+	WorkSharingParallel
+)
+
+// String names the strategy as the paper does.
+func (s Strategy) String() string {
+	switch s {
+	case KickStarter:
+		return "KickStarter"
+	case Independent:
+		return "Independent"
+	case DirectHop:
+		return "Direct-Hop"
+	case DirectHopParallel:
+		return "Direct-Hop(parallel)"
+	case WorkSharing:
+		return "Work-Sharing"
+	case WorkSharingParallel:
+		return "Work-Sharing(parallel)"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// SchedulerMode mirrors the engine's §4.3 scheduler policy.
+type SchedulerMode = engine.Mode
+
+// Scheduler modes: Auto switches between Sync and Async on batch size.
+const (
+	Auto  = engine.Auto
+	Sync  = engine.Sync
+	Async = engine.Async
+)
+
+// Options tunes an evaluation.
+type Options struct {
+	// Workers bounds engine parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Scheduler selects the engine scheduling policy (default Auto).
+	Scheduler SchedulerMode
+	// KeepValues retains full per-snapshot value arrays in the result.
+	KeepValues bool
+	// Parallelism bounds concurrent hops for DirectHopParallel
+	// (0 = one goroutine per snapshot).
+	Parallelism int
+	// OptimalSchedule makes the Work-Sharing strategies solve the
+	// Triangular Grid Steiner problem exactly (interval DP) instead of
+	// with the paper's greedy Algorithm 1; the resulting schedules stream
+	// substantially fewer additions on wide windows at a higher one-off
+	// scheduling cost.
+	OptimalSchedule bool
+}
+
+func (o Options) engine() engine.Options {
+	return engine.Options{Workers: o.Workers, Mode: o.Scheduler}
+}
+
+// Query is a standing query: an algorithm and its source vertex.
+type Query struct {
+	Algorithm Algorithm
+	Source    VertexID
+}
+
+// SnapshotResult is the query outcome at one snapshot.
+type SnapshotResult struct {
+	// Index is the absolute snapshot index in the evolving graph.
+	Index int
+	// Reached counts vertices with a non-identity value.
+	Reached int
+	// Checksum fingerprints the full value array.
+	Checksum uint64
+	// Values holds per-vertex results when Options.KeepValues is set.
+	Values []Value
+}
+
+// Timings attributes evaluation wall time to phases.
+type Timings struct {
+	// InitialCompute is the from-scratch solve (first snapshot for
+	// KickStarter; common graph otherwise).
+	InitialCompute time.Duration
+	// IncrementalAdd is time spent applying addition batches.
+	IncrementalAdd time.Duration
+	// IncrementalDelete is trimming time (KickStarter only).
+	IncrementalDelete time.Duration
+	// Mutation is in-place graph update time (KickStarter) or overlay
+	// construction time (CommonGraph strategies).
+	Mutation time.Duration
+	// Total is the end-to-end evaluation time.
+	Total time.Duration
+}
+
+// Result is the outcome of Evaluate.
+type Result struct {
+	Strategy  Strategy
+	Snapshots []SnapshotResult
+	Timings   Timings
+	// AdditionsProcessed counts addition-batch edges streamed (the
+	// schedule cost); DeletionsProcessed counts deletion-batch edges
+	// (zero for the CommonGraph strategies).
+	AdditionsProcessed int64
+	DeletionsProcessed int64
+	// MaxHopTime is the longest single hop (DirectHopParallel only) —
+	// the run time given one core per snapshot.
+	MaxHopTime time.Duration
+}
+
+// Evaluate runs the query on every snapshot in [from, to] using the given
+// strategy and returns per-snapshot results in snapshot order.
+func (g *EvolvingGraph) Evaluate(q Query, from, to int, strategy Strategy, opt Options) (*Result, error) {
+	if q.Algorithm == nil {
+		return nil, fmt.Errorf("commongraph: query has no algorithm")
+	}
+	if int(q.Source) >= g.NumVertices() {
+		return nil, fmt.Errorf("commongraph: source %d out of range %d", q.Source, g.NumVertices())
+	}
+	w := core.Window{Store: g.store, From: from, To: to}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var (
+		res *Result
+		err error
+	)
+	switch strategy {
+	case KickStarter:
+		res, err = g.evaluateKickStarter(q, w, opt)
+	case Independent:
+		var inner *core.Result
+		inner, err = core.Independent(w, core.Config{
+			Algo:       q.Algorithm,
+			Source:     q.Source,
+			Engine:     opt.engine(),
+			KeepValues: opt.KeepValues,
+		})
+		if err == nil {
+			res = convertResult(inner, from, Independent)
+		}
+	case DirectHop, DirectHopParallel, WorkSharing, WorkSharingParallel:
+		res, err = g.evaluateCommonGraph(q, w, strategy, opt)
+	default:
+		return nil, fmt.Errorf("commongraph: unknown strategy %d", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = strategy
+	res.Timings.Total = time.Since(start)
+	return res, nil
+}
+
+func (g *EvolvingGraph) evaluateKickStarter(q Query, w core.Window, opt Options) (*Result, error) {
+	first, err := g.store.GetVersion(w.From)
+	if err != nil {
+		return nil, err
+	}
+	sys := kickstarter.New(g.NumVertices(), first, q.Algorithm, q.Source, opt.engine())
+	res := &Result{}
+	record := func(index int) {
+		st := sys.State()
+		sr := SnapshotResult{Index: index, Reached: st.Reached(), Checksum: core.Checksum(st)}
+		if opt.KeepValues {
+			sr.Values = st.Values()
+		}
+		res.Snapshots = append(res.Snapshots, sr)
+	}
+	record(w.From)
+	for t := w.From; t < w.To; t++ {
+		add := g.store.Additions(t).Edges()
+		del := g.store.Deletions(t).Edges()
+		if err := sys.ApplyTransition(add, del); err != nil {
+			return nil, err
+		}
+		res.AdditionsProcessed += int64(len(add))
+		res.DeletionsProcessed += int64(len(del))
+		record(t + 1)
+	}
+	res.Timings = Timings{
+		InitialCompute:    sys.Cost.InitialCompute,
+		IncrementalAdd:    sys.Cost.IncrementalAdd,
+		IncrementalDelete: sys.Cost.IncrementalDelete,
+		Mutation:          sys.Cost.MutateAdd + sys.Cost.MutateDelete,
+	}
+	return res, nil
+}
+
+func (g *EvolvingGraph) evaluateCommonGraph(q Query, w core.Window, strategy Strategy, opt Options) (*Result, error) {
+	rep, err := core.BuildRep(w)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Algo:            q.Algorithm,
+		Source:          q.Source,
+		Engine:          opt.engine(),
+		KeepValues:      opt.KeepValues,
+		Parallelism:     opt.Parallelism,
+		OptimalSchedule: opt.OptimalSchedule,
+	}
+	var inner *core.Result
+	switch strategy {
+	case DirectHop:
+		inner, err = core.DirectHop(rep, cfg)
+	case DirectHopParallel:
+		inner, err = core.DirectHopParallel(rep, cfg)
+	case WorkSharing:
+		inner, _, err = core.EvaluateWorkSharing(rep, cfg)
+	case WorkSharingParallel:
+		inner, _, err = core.EvaluateWorkSharingParallel(rep, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(inner, w.From, strategy), nil
+}
+
+// Plan describes the evaluation schedules available for a window without
+// executing them: the Direct-Hop cost, the Steiner-tree Work-Sharing cost,
+// and a printable schedule tree — the §3 cost model.
+type Plan struct {
+	// Snapshots is the window width.
+	Snapshots int
+	// CommonEdges is |E_c|.
+	CommonEdges int
+	// DirectHopAdditions is the total Direct-Hop batch size (no sharing).
+	DirectHopAdditions int64
+	// WorkSharingAdditions is the Steiner schedule's cost (maximal sharing).
+	WorkSharingAdditions int64
+	// Tree renders the compressed Work-Sharing schedule.
+	Tree string
+}
+
+// Plan computes the schedule comparison for [from, to].
+func (g *EvolvingGraph) Plan(from, to int) (*Plan, error) {
+	w := core.Window{Store: g.store, From: from, To: to}
+	rep, err := core.BuildRep(w)
+	if err != nil {
+		return nil, err
+	}
+	tg, err := core.BuildTG(w)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := core.NewSchedule(tg, core.SteinerGreedy(tg))
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Snapshots:            w.Width(),
+		CommonEdges:          len(rep.Common),
+		DirectHopAdditions:   rep.TotalDeltaEdges(),
+		WorkSharingAdditions: sched.Cost,
+		Tree:                 sched.String(),
+	}, nil
+}

@@ -1,0 +1,141 @@
+// Schedules: the paper's worked example (§3, Figures 4–7), end to end.
+// Three snapshots G_i, G_i+1, G_i+2 are related by the exact batches the
+// paper lists; the program prints the common graph, the six Triangular
+// Grid labels of §3.2, the Direct-Hop cost, both candidate trees' costs,
+// and the compressed minimum-cost schedule Algorithm 1 finds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"commongraph"
+	"commongraph/internal/core"
+)
+
+// ed maps the paper's edge label e_k to a concrete edge.
+func ed(k int) commongraph.Edge {
+	return commongraph.Edge{Src: commongraph.VertexID(k), Dst: commongraph.VertexID(100 + k), W: 1}
+}
+
+func eds(ks ...int) []commongraph.Edge {
+	out := make([]commongraph.Edge, 0, len(ks))
+	for _, k := range ks {
+		out = append(out, ed(k))
+	}
+	return out
+}
+
+func names(el []commongraph.Edge) string {
+	s := "{"
+	for i, e := range el {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("e%d", e.Src)
+	}
+	return s + "}"
+}
+
+func main() {
+	// G_i: the edges the window will delete, plus common filler e1, e2.
+	g := commongraph.New(200, eds(1, 2, 4, 7, 9, 10, 11, 16, 23, 26, 29))
+
+	// Δi+ = {e3, e12, e15}; Δi− = {e9, e11, e16, e23, e29}
+	if _, err := g.ApplyUpdates(eds(3, 12, 15), eds(9, 11, 16, 23, 29)); err != nil {
+		log.Fatal(err)
+	}
+	// Δi+1+ = {e9, e11, e14, e24, e29}; Δi+1− = {e3, e4, e7, e10, e26}
+	if _, err := g.ApplyUpdates(eds(9, 11, 14, 24, 29), eds(3, 4, 7, 10, 26)); err != nil {
+		log.Fatal(err)
+	}
+
+	w := core.Window{Store: g.Store(), From: 0, To: 2}
+	rep, err := core.BuildRep(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("common graph G_c = %s\n\n", names(rep.Common))
+	for k := 0; k < 3; k++ {
+		fmt.Printf("Δc%d (G_c -> snapshot %d) = %-2d additions: %s\n",
+			k+1, k, rep.Deltas[k].Len(), names(rep.Deltas[k].Edges()))
+	}
+	fmt.Printf("\ndirect-hop total: %d additions (the paper's Figure 4 listing)\n\n", rep.TotalDeltaEdges())
+
+	tg, err := core.BuildTG(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("the six Triangular Grid labels of §3.2:")
+	gridEdges := []struct {
+		name string
+		e    core.GridEdge
+	}{
+		{"ICG1 -> G_i   ", core.GridEdge{I: 0, J: 1, Left: true}},
+		{"ICG1 -> G_i+1 ", core.GridEdge{I: 0, J: 1, Left: false}},
+		{"ICG2 -> G_i+1 ", core.GridEdge{I: 1, J: 2, Left: true}},
+		{"ICG2 -> G_i+2 ", core.GridEdge{I: 1, J: 2, Left: false}},
+		{"G_c  -> ICG1  ", core.GridEdge{I: 0, J: 2, Left: true}},
+		{"G_c  -> ICG2  ", core.GridEdge{I: 0, J: 2, Left: false}},
+	}
+	var ge []core.GridEdge
+	for _, x := range gridEdges {
+		ge = append(ge, x.e)
+	}
+	labels := tg.Labels(ge)
+	for _, x := range gridEdges {
+		fmt.Printf("  %s = %s\n", x.name, names(labels[x.e]))
+	}
+
+	// The two candidate trees of Figure 6, costed by hand from the labels.
+	cost := func(es ...core.GridEdge) int64 {
+		var c int64
+		for _, e := range es {
+			c += tg.LabelSize(e)
+		}
+		return c
+	}
+	tree1 := cost(
+		core.GridEdge{I: 0, J: 2, Left: true},  // G_c -> ICG1
+		core.GridEdge{I: 0, J: 1, Left: true},  // ICG1 -> G_i
+		core.GridEdge{I: 0, J: 1, Left: false}, // ICG1 -> G_i+1
+		core.GridEdge{I: 0, J: 2, Left: false}, // G_c -> ICG2
+		core.GridEdge{I: 1, J: 2, Left: false}, // ICG2 -> G_i+2
+	)
+	tree2 := cost(
+		core.GridEdge{I: 0, J: 2, Left: false},
+		core.GridEdge{I: 1, J: 2, Left: true},
+		core.GridEdge{I: 1, J: 2, Left: false},
+		core.GridEdge{I: 0, J: 2, Left: true},
+		core.GridEdge{I: 0, J: 1, Left: true},
+	)
+	fmt.Printf("\nTree1 cost = %d additions, Tree2 cost = %d additions (Figure 6)\n", tree1, tree2)
+
+	tree := core.SteinerGreedy(tg)
+	sched, err := core.NewSchedule(tg, tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAlgorithm 1 (greedy Steiner + compression) finds cost %d:\n%s", sched.Cost, sched)
+
+	// Execute the winning schedule and confirm against independent
+	// per-snapshot evaluation.
+	res, err := g.Evaluate(
+		commongraph.Query{Algorithm: commongraph.BFS, Source: 1},
+		0, 2, commongraph.WorkSharing, commongraph.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ks, err := g.Evaluate(
+		commongraph.Query{Algorithm: commongraph.BFS, Source: 1},
+		0, 2, commongraph.KickStarter, commongraph.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k := range res.Snapshots {
+		if res.Snapshots[k].Checksum != ks.Snapshots[k].Checksum {
+			log.Fatalf("schedule produced wrong results at snapshot %d", k)
+		}
+	}
+	fmt.Println("executed the schedule; results match the streaming baseline on every snapshot ✓")
+}

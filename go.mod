@@ -1,0 +1,3 @@
+module commongraph
+
+go 1.22

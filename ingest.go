@@ -1,0 +1,46 @@
+package commongraph
+
+import (
+	"commongraph/internal/graph"
+	"commongraph/internal/ingest"
+)
+
+// Ingestor feeds a raw interleaved update stream into the evolving graph,
+// cutting it into snapshots every batchSize raw updates (§4.1's stream of
+// batches). Within a window, an edge added and then deleted (or deleted
+// and re-added) nets to nothing; a window whose updates fully cancel does
+// not create a snapshot.
+type Ingestor struct {
+	b *ingest.Batcher
+}
+
+// Ingestor returns a stream front-end for the graph. Updates must be
+// consistent with the graph's latest snapshot when each window closes
+// (deleting absent or adding present edges fails the window).
+func (g *EvolvingGraph) Ingestor(batchSize int) (*Ingestor, error) {
+	b, err := ingest.NewBatcher(func(adds, dels graph.EdgeList) error {
+		_, err := g.store.NewVersion(adds, dels)
+		return err
+	}, batchSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Ingestor{b: b}, nil
+}
+
+// Add records an edge insertion.
+func (i *Ingestor) Add(e Edge) error {
+	return i.b.Push(ingest.Update{Op: ingest.Add, Edge: e})
+}
+
+// Delete records an edge removal.
+func (i *Ingestor) Delete(e Edge) error {
+	return i.b.Push(ingest.Update{Op: ingest.Delete, Edge: e})
+}
+
+// Flush closes the current window early, creating a snapshot from
+// whatever updates are pending.
+func (i *Ingestor) Flush() error { return i.b.Flush() }
+
+// Pending reports raw updates awaiting the next window boundary.
+func (i *Ingestor) Pending() int { return i.b.Pending() }

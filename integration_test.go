@@ -1,0 +1,134 @@
+package commongraph
+
+// Cross-cutting integration tests: dataset round-trips feeding evaluation,
+// concurrent use of one EvolvingGraph, and a long-horizon stress run over
+// every strategy.
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"commongraph/internal/dataset"
+)
+
+func TestDatasetRoundTripPreservesResults(t *testing.T) {
+	g, _ := buildEvolving(t, 401, 6, 40, 40)
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := dataset.Save(dir, g.Store(), dataset.Binary); err != nil {
+		t.Fatal(err)
+	}
+	store, err := dataset.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := FromStore(store)
+	if loaded.NumSnapshots() != g.NumSnapshots() || loaded.NumVertices() != g.NumVertices() {
+		t.Fatalf("shape changed across disk: %d/%d vs %d/%d",
+			loaded.NumSnapshots(), loaded.NumVertices(), g.NumSnapshots(), g.NumVertices())
+	}
+	q := Query{Algorithm: SSNP, Source: 0}
+	want, err := g.Evaluate(q, 0, 6, WorkSharing, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Evaluate(q, 0, 6, WorkSharing, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range want.Snapshots {
+		if want.Snapshots[k].Checksum != got.Snapshots[k].Checksum {
+			t.Fatalf("snapshot %d changed across a disk round trip", k)
+		}
+	}
+}
+
+func TestConcurrentEvaluations(t *testing.T) {
+	// The EvolvingGraph documents safety for concurrent Evaluate calls;
+	// hammer one instance from several goroutines with different
+	// strategies and algorithms and check every result against a serial
+	// re-run.
+	g, _ := buildEvolving(t, 409, 5, 30, 30)
+	type job struct {
+		q Query
+		s Strategy
+	}
+	jobs := []job{
+		{Query{Algorithm: BFS, Source: 0}, DirectHop},
+		{Query{Algorithm: SSSP, Source: 3}, WorkSharing},
+		{Query{Algorithm: SSWP, Source: 7}, KickStarter},
+		{Query{Algorithm: SSNP, Source: 1}, DirectHopParallel},
+		{Query{Algorithm: Viterbi, Source: 0}, WorkSharingParallel},
+		{Query{Algorithm: BFS, Source: 9}, Independent},
+	}
+	results := make([]*Result, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			res, err := g.Evaluate(j.q, 0, 5, j.s, Options{})
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i, j)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if results[i] == nil {
+			continue
+		}
+		serial, err := g.Evaluate(j.q, 0, 5, j.s, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range serial.Snapshots {
+			if serial.Snapshots[k].Checksum != results[i].Snapshots[k].Checksum {
+				t.Fatalf("job %d: concurrent result differs at snapshot %d", i, k)
+			}
+		}
+	}
+}
+
+func TestLongHorizonAllStrategies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// 30 transitions with heavy churn; every strategy must agree on every
+	// snapshot, including after delete/re-add cycles the random stream
+	// occasionally produces.
+	g, _ := buildEvolving(t, 419, 30, 60, 60)
+	q := Query{Algorithm: SSSP, Source: 0}
+	strategies := []Strategy{Independent, KickStarter, DirectHop, DirectHopParallel, WorkSharing, WorkSharingParallel}
+	var base *Result
+	for _, s := range strategies {
+		res, err := g.Evaluate(q, 0, 30, s, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if len(res.Snapshots) != 31 {
+			t.Fatalf("%v: %d snapshots", s, len(res.Snapshots))
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		for k := range base.Snapshots {
+			if base.Snapshots[k].Checksum != res.Snapshots[k].Checksum {
+				t.Fatalf("%v disagrees with %v at snapshot %d", s, strategies[0], k)
+			}
+		}
+	}
+	// And the optimal schedule agrees too.
+	opt, err := g.Evaluate(q, 0, 30, WorkSharing, Options{OptimalSchedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range base.Snapshots {
+		if base.Snapshots[k].Checksum != opt.Snapshots[k].Checksum {
+			t.Fatalf("optimal schedule disagrees at snapshot %d", k)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package algo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"commongraph/internal/graph"
+)
+
+func TestAllFive(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		names[a.Name()] = true
+	}
+	for _, want := range []string{"BFS", "SSSP", "SSWP", "SSNP", "Viterbi"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+	if len(names) != 5 {
+		t.Fatalf("want 5 algorithms, got %d", len(names))
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, ok := ByName("SSWP")
+	if !ok || a.Name() != "SSWP" {
+		t.Fatal("ByName(SSWP) failed")
+	}
+	if _, ok := ByName("PageRank"); ok {
+		t.Fatal("phantom algorithm")
+	}
+}
+
+func TestBFSSemantics(t *testing.T) {
+	b := BFS{}
+	if b.Propagate(0, 99) != 1 || b.Propagate(7, 1) != 8 {
+		t.Fatal("BFS propagate wrong")
+	}
+	if !Better(b, 3, 4) || Better(b, 4, 3) || Better(b, 4, 4) {
+		t.Fatal("BFS order wrong")
+	}
+	if b.SourceValue() != 0 || b.Identity() != Infinity {
+		t.Fatal("BFS init wrong")
+	}
+}
+
+func TestSSSPSemantics(t *testing.T) {
+	s := SSSP{}
+	if s.Propagate(10, 5) != 15 {
+		t.Fatal("SSSP propagate wrong")
+	}
+	if s.Direction() != Minimize {
+		t.Fatal("SSSP direction")
+	}
+}
+
+func TestSSWPSemantics(t *testing.T) {
+	s := SSWP{}
+	// Width of a path is the min edge weight; source has infinite width.
+	if s.Propagate(Infinity, 7) != 7 {
+		t.Fatal("width from source should be edge weight")
+	}
+	if s.Propagate(3, 7) != 3 {
+		t.Fatal("width should be min(val, w)")
+	}
+	if s.Propagate(9, 2) != 2 {
+		t.Fatal("width should be min(val, w)")
+	}
+	if !Better(s, 5, 3) || Better(s, 3, 5) {
+		t.Fatal("SSWP order wrong (should maximize)")
+	}
+	if s.Identity() != 0 {
+		t.Fatal("SSWP identity")
+	}
+}
+
+func TestSSNPSemantics(t *testing.T) {
+	s := SSNP{}
+	// Narrowness is the max edge weight; source contributes 0.
+	if s.Propagate(0, 7) != 7 {
+		t.Fatal("narrowness from source should be edge weight")
+	}
+	if s.Propagate(9, 2) != 9 || s.Propagate(2, 9) != 9 {
+		t.Fatal("narrowness should be max(val, w)")
+	}
+	if !Better(s, 3, 5) {
+		t.Fatal("SSNP order wrong (should minimize)")
+	}
+}
+
+func TestViterbiSemantics(t *testing.T) {
+	v := Viterbi{}
+	if v.SourceValue() != FixedOne {
+		t.Fatal("source probability should be 1.0")
+	}
+	// Probability decreases monotonically with weight.
+	if v.Prob(1) <= v.Prob(50) || v.Prob(50) <= v.Prob(100) {
+		t.Fatal("Prob not decreasing in weight")
+	}
+	// p ∈ (0, 1].
+	for w := graph.Weight(0); w <= 300; w += 10 {
+		p := v.Prob(w)
+		if p <= 0 || p > FixedOne {
+			t.Fatalf("Prob(%d)=%d out of range", w, p)
+		}
+	}
+	// Multiplying probabilities can only shrink the value.
+	if got := v.Propagate(FixedOne, 1); got > FixedOne || got <= 0 {
+		t.Fatalf("Propagate(1.0, 1) = %d", got)
+	}
+	// Chain of propagations decays toward zero but stays non-negative.
+	val := FixedOne
+	for i := 0; i < 100; i++ {
+		val = v.Propagate(val, 100)
+	}
+	if val < 0 {
+		t.Fatal("probability went negative")
+	}
+	if !Better(v, FixedOne, val) {
+		t.Fatal("Viterbi should prefer higher probability")
+	}
+}
+
+func TestViterbiPropagateMonotone(t *testing.T) {
+	v := Viterbi{}
+	f := func(raw int32, wRaw uint8) bool {
+		uval := Value(raw)
+		if uval <= 0 || uval > FixedOne {
+			uval = FixedOne/2 + Value(uint32(raw)%uint32(FixedOne/2))
+		}
+		w := graph.Weight(wRaw%100 + 1)
+		out := v.Propagate(uval, w)
+		// Result never exceeds the input value and never goes negative.
+		return out >= 0 && out <= uval
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropagateNeverCalledWithIdentityContract(t *testing.T) {
+	// Documented contract: the engine guards Propagate from identity
+	// inputs. This test pins the identity values the engine checks for.
+	for _, a := range All() {
+		id := a.Identity()
+		switch a.Direction() {
+		case Minimize:
+			if id != Infinity && a.Name() != "SSNP" {
+				t.Fatalf("%s: minimizing identity should be Infinity", a.Name())
+			}
+		case Maximize:
+			if id >= a.SourceValue() {
+				t.Fatalf("%s: identity should be worse than source", a.Name())
+			}
+		}
+	}
+}
+
+func TestBetterStrict(t *testing.T) {
+	for _, a := range All() {
+		if Better(a, 5, 5) {
+			t.Fatalf("%s: Better must be strict", a.Name())
+		}
+	}
+}

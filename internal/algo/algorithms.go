@@ -1,0 +1,136 @@
+package algo
+
+import "commongraph/internal/graph"
+
+// BFS computes hop distance from the source:
+// CASMIN(Val(v), Val(u) + 1). Table 3, row 1.
+type BFS struct{}
+
+// Name implements Algorithm.
+func (BFS) Name() string { return "BFS" }
+
+// Direction implements Algorithm.
+func (BFS) Direction() Direction { return Minimize }
+
+// Identity implements Algorithm.
+func (BFS) Identity() Value { return Infinity }
+
+// SourceValue implements Algorithm.
+func (BFS) SourceValue() Value { return 0 }
+
+// Propagate implements Algorithm.
+func (BFS) Propagate(uval Value, _ graph.Weight) Value {
+	return uval + 1
+}
+
+// SSSP computes shortest weighted path distance:
+// CASMIN(Val(v), Val(u) + wt(u,v)). Table 3, row 4.
+type SSSP struct{}
+
+// Name implements Algorithm.
+func (SSSP) Name() string { return "SSSP" }
+
+// Direction implements Algorithm.
+func (SSSP) Direction() Direction { return Minimize }
+
+// Identity implements Algorithm.
+func (SSSP) Identity() Value { return Infinity }
+
+// SourceValue implements Algorithm.
+func (SSSP) SourceValue() Value { return 0 }
+
+// Propagate implements Algorithm.
+func (SSSP) Propagate(uval Value, w graph.Weight) Value {
+	return uval + Value(w)
+}
+
+// SSWP computes the widest path (maximize the minimum edge weight along
+// the path): CASMAX(Val(v), min(Val(u), wt(u,v))). Table 3, row 2.
+type SSWP struct{}
+
+// Name implements Algorithm.
+func (SSWP) Name() string { return "SSWP" }
+
+// Direction implements Algorithm.
+func (SSWP) Direction() Direction { return Maximize }
+
+// Identity implements Algorithm.
+func (SSWP) Identity() Value { return 0 }
+
+// SourceValue implements Algorithm.
+func (SSWP) SourceValue() Value { return Infinity }
+
+// Propagate implements Algorithm.
+func (SSWP) Propagate(uval Value, w graph.Weight) Value {
+	if Value(w) < uval {
+		return Value(w)
+	}
+	return uval
+}
+
+// SSNP computes the narrowest path (minimize the maximum edge weight
+// along the path): CASMIN(Val(v), max(Val(u), wt(u,v))). Table 3, row 3.
+type SSNP struct{}
+
+// Name implements Algorithm.
+func (SSNP) Name() string { return "SSNP" }
+
+// Direction implements Algorithm.
+func (SSNP) Direction() Direction { return Minimize }
+
+// Identity implements Algorithm.
+func (SSNP) Identity() Value { return Infinity }
+
+// SourceValue implements Algorithm.
+func (SSNP) SourceValue() Value { return 0 }
+
+// Propagate implements Algorithm.
+func (SSNP) Propagate(uval Value, w graph.Weight) Value {
+	if Value(w) > uval {
+		return Value(w)
+	}
+	return uval
+}
+
+// FixedOne is probability 1.0 in the Q2.30 fixed-point representation
+// Viterbi uses for path probabilities.
+const FixedOne Value = 1 << 30
+
+// Viterbi computes the most probable path: each edge has a transition
+// probability in (0, 1] and the path probability is the product;
+// CASMAX(Val(v), Val(u) · p(u,v)). Table 3, row 5.
+//
+// Probabilities are Q2.30 fixed point so values fit the engine's packed
+// 32-bit representation; the edge's integer weight w ∈ [1, 100] maps to
+// p(w) = 1 − w/256 ∈ [0.61, 0.996], a deterministic skew comparable to
+// the paper's probability-weighted graphs.
+type Viterbi struct{}
+
+// Name implements Algorithm.
+func (Viterbi) Name() string { return "Viterbi" }
+
+// Direction implements Algorithm.
+func (Viterbi) Direction() Direction { return Maximize }
+
+// Identity implements Algorithm.
+func (Viterbi) Identity() Value { return 0 }
+
+// SourceValue implements Algorithm.
+func (Viterbi) SourceValue() Value { return FixedOne }
+
+// Prob converts an integer edge weight into a Q2.30 probability.
+func (Viterbi) Prob(w graph.Weight) Value {
+	if w < 0 {
+		w = 0
+	}
+	if w > 255 {
+		w = 255
+	}
+	return FixedOne - Value(w)<<22 // 1 − w/256
+}
+
+// Propagate implements Algorithm.
+func (v Viterbi) Propagate(uval Value, w graph.Weight) Value {
+	p := int64(v.Prob(w))
+	return Value((int64(uval) * p) >> 30)
+}

@@ -1,0 +1,61 @@
+package algo
+
+import "commongraph/internal/graph"
+
+// This file holds monotonic algorithms beyond the paper's Table 3 — the
+// KickStarter/CommonGraph machinery works for any vertex program whose
+// values only improve along a fixed order, and these exercise corners the
+// benchmark five do not (boolean lattices, bounded propagation).
+
+// Reachability marks vertices reachable from the source: values are 1
+// (source) down to... in practice either Identity (unreached) or 0
+// (reached); CASMIN(Val(v), Val(u)). It is BFS collapsed to a two-level
+// lattice, so incremental addition converges in a single wave.
+type Reachability struct{}
+
+// Name implements Algorithm.
+func (Reachability) Name() string { return "Reach" }
+
+// Direction implements Algorithm.
+func (Reachability) Direction() Direction { return Minimize }
+
+// Identity implements Algorithm.
+func (Reachability) Identity() Value { return Infinity }
+
+// SourceValue implements Algorithm.
+func (Reachability) SourceValue() Value { return 0 }
+
+// Propagate implements Algorithm.
+func (Reachability) Propagate(uval Value, _ graph.Weight) Value {
+	return uval // reachability spreads the value unchanged
+}
+
+// HopLimit is BFS that stops propagating past K hops: distances above K
+// collapse to the identity, so the query answers "which vertices are
+// within K hops?" — a monotonic bounded-radius query that keeps the
+// trimming machinery honest about vertices that fall off the horizon.
+type HopLimit struct {
+	// K is the horizon; vertices farther than K hops stay unreached.
+	K Value
+}
+
+// Name implements Algorithm.
+func (h HopLimit) Name() string { return "HopLimit" }
+
+// Direction implements Algorithm.
+func (HopLimit) Direction() Direction { return Minimize }
+
+// Identity implements Algorithm.
+func (HopLimit) Identity() Value { return Infinity }
+
+// SourceValue implements Algorithm.
+func (HopLimit) SourceValue() Value { return 0 }
+
+// Propagate implements Algorithm.
+func (h HopLimit) Propagate(uval Value, _ graph.Weight) Value {
+	next := uval + 1
+	if next > h.K {
+		return Infinity // beyond the horizon: never an improvement
+	}
+	return next
+}

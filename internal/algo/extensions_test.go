@@ -1,0 +1,49 @@
+package algo
+
+import "testing"
+
+func TestReachabilitySemantics(t *testing.T) {
+	r := Reachability{}
+	if r.Name() != "Reach" || r.Direction() != Minimize {
+		t.Fatal("metadata wrong")
+	}
+	if r.Propagate(0, 99) != 0 {
+		t.Fatal("reachability should spread the value unchanged")
+	}
+	if !Better(r, 0, Infinity) {
+		t.Fatal("reached must beat unreached")
+	}
+	if Better(r, 0, 0) {
+		t.Fatal("Better must be strict")
+	}
+}
+
+func TestHopLimitSemantics(t *testing.T) {
+	h := HopLimit{K: 3}
+	if h.Propagate(0, 1) != 1 || h.Propagate(2, 1) != 3 {
+		t.Fatal("within-horizon propagation wrong")
+	}
+	if h.Propagate(3, 1) != Infinity {
+		t.Fatal("beyond-horizon propagation must collapse to identity")
+	}
+	// A value of Infinity is never an improvement, so the horizon is a
+	// hard stop.
+	if Better(h, h.Propagate(3, 1), Infinity) {
+		t.Fatal("horizon overflow treated as improvement")
+	}
+}
+
+func TestHopLimitZero(t *testing.T) {
+	h := HopLimit{K: 0}
+	if h.Propagate(0, 1) != Infinity {
+		t.Fatal("K=0 should reach only the source")
+	}
+}
+
+func TestExtensionsNotInPaperSet(t *testing.T) {
+	for _, a := range All() {
+		if a.Name() == "Reach" || a.Name() == "HopLimit" {
+			t.Fatalf("extension %s leaked into the Table 3 set", a.Name())
+		}
+	}
+}

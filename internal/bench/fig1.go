@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/engine"
+	"commongraph/internal/kickstarter"
+)
+
+// Fig1 reproduces the motivating measurement of Figure 1 on the LJ
+// stand-in: for batch sizes 75K–375K (scaled), the incremental computation
+// cost of a deletion-only batch versus an addition-only batch (top), and
+// the in-place graph mutation cost of each (bottom). The paper's headline:
+// deletion computation ≈ 3× addition, and deletion mutation is several
+// times addition mutation.
+func Fig1(p Params) (*Table, error) {
+	t := &Table{
+		ID:    "Figure 1",
+		Title: "KickStarter cost of deletions vs additions (LJ-sim)",
+		Header: []string{"Algo", "Batch", "IncAdd", "IncDel", "Inc del/add",
+			"MutAdd", "MutDel", "Mut del/add"},
+	}
+	algos := []algo.Algorithm{algo.BFS{}, algo.SSSP{}, algo.SSWP{}, algo.SSNP{}}
+	paperBatches := []int{75_000, 150_000, 225_000, 300_000, 375_000}
+	for _, a := range algos {
+		for _, pb := range paperBatches {
+			b := p.Batch(pb)
+			// Addition-only measurement.
+			addWL, err := BuildWorkload("LJ-sim", p, 1, b, 0)
+			if err != nil {
+				return nil, err
+			}
+			sysAdd := kickstarter.New(addWL.N, addWL.Base, a, p.src(), engine.Options{})
+			if err := sysAdd.ApplyTransition(addWL.Store.Additions(0).Edges(), nil); err != nil {
+				return nil, err
+			}
+			// Deletion-only measurement from the same base graph.
+			delWL, err := BuildWorkload("LJ-sim", p, 1, 0, b)
+			if err != nil {
+				return nil, err
+			}
+			sysDel := kickstarter.New(delWL.N, delWL.Base, a, p.src(), engine.Options{})
+			if err := sysDel.ApplyTransition(nil, delWL.Store.Deletions(0).Edges()); err != nil {
+				return nil, err
+			}
+			incAdd, incDel := sysAdd.Cost.IncrementalAdd, sysDel.Cost.IncrementalDelete
+			mutAdd, mutDel := sysAdd.Cost.MutateAdd, sysDel.Cost.MutateDelete
+			t.AddRow(a.Name(), fmt.Sprintf("%d", b),
+				secs(incAdd), secs(incDel), speedup(incDel, incAdd),
+				secs(mutAdd), secs(mutDel), speedup(mutDel, mutAdd))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper batches 75K-375K scaled by UpdateScale; 'x' columns = deletion cost / addition cost")
+	return t, nil
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"fmt"
+
+	"commongraph/internal/algo"
+)
+
+// fig8Algos are the four algorithms used in the scalability figures.
+var fig8Algos = []algo.Algorithm{algo.BFS{}, algo.SSSP{}, algo.SSWP{}, algo.SSNP{}}
+
+// Fig8 sweeps the number of snapshots (5..50) at fixed batch size on the
+// TTW stand-in, for the three systems. Paper expectation: all grow
+// linearly; work sharing overtakes direct hop beyond ~23-35 snapshots.
+func Fig8(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "Figure 8",
+		Title:  "Execution time vs number of snapshots (TTW-sim)",
+		Header: []string{"Algo", "Snapshots", "KickStarter", "Direct-Hop", "Work-Sharing"},
+	}
+	half := p.Batch(75_000) / 2
+	maxSnaps := p.Snapshots
+	w, err := BuildWorkload("TTW-sim", p, maxSnaps-1, half, half)
+	if err != nil {
+		return nil, err
+	}
+	step := maxSnaps / 10
+	if step < 1 {
+		step = 1
+	}
+	for _, a := range fig8Algos {
+		for snaps := step; snaps <= maxSnaps; snaps += step {
+			st, err := runAll(w, 0, snaps-1, a, p.src(), false)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(a.Name(), fmt.Sprintf("%d", snaps), secs(st.KS), secs(st.DH), secs(st.WS))
+		}
+	}
+	return t, nil
+}
+
+// Fig9 fixes the total number of updates and trades batch size against
+// snapshot count: 75K×50, 93.75K×40, 125K×30, 187.5K×20, 375K×10 (scaled).
+// Paper expectation: direct hop wins at large batches / few snapshots,
+// work sharing wins at small batches / many snapshots.
+func Fig9(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "Figure 9",
+		Title:  "Execution time vs batch size at fixed total updates (TTW-sim)",
+		Header: []string{"Algo", "Batch", "Snapshots", "KickStarter", "Direct-Hop", "Work-Sharing"},
+	}
+	combos := []struct {
+		paperBatch int
+		snaps      int
+	}{
+		{75_000, 50}, {93_750, 40}, {125_000, 30}, {187_500, 20}, {375_000, 10},
+	}
+	// Workload-outer order: each batch-size variant of the biggest graph
+	// is generated once, measured for every algorithm, then evictable.
+	for _, c := range combos {
+		snaps := c.snaps * p.Snapshots / 50
+		if snaps < 2 {
+			snaps = 2
+		}
+		half := p.Batch(c.paperBatch) / 2
+		w, err := BuildWorkload("TTW-sim", p, snaps-1, half, half)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range fig8Algos {
+			st, err := runAll(w, 0, snaps-1, a, p.src(), false)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(a.Name(), fmt.Sprintf("%d", 2*half), fmt.Sprintf("%d", snaps),
+				secs(st.KS), secs(st.DH), secs(st.WS))
+		}
+	}
+	sortRowsByFirstColumn(t)
+	return t, nil
+}
+
+// sortRowsByFirstColumn groups a table's rows by their first cell while
+// keeping the within-group order, so workload-outer measurement loops
+// still print algorithm-grouped tables.
+func sortRowsByFirstColumn(t *Table) {
+	grouped := make([][]string, 0, len(t.Rows))
+	seen := map[string]bool{}
+	for _, r := range t.Rows {
+		if seen[r[0]] {
+			continue
+		}
+		seen[r[0]] = true
+		for _, r2 := range t.Rows {
+			if r2[0] == r[0] {
+				grouped = append(grouped, r2)
+			}
+		}
+	}
+	t.Rows = grouped
+}
+
+// Fig10 varies the additions:deletions ratio at fixed batch size
+// (150K/50K, 100K/100K, 50K/150K scaled) and reports the Direct-Hop
+// speedup over KickStarter for all five algorithms. Paper expectation:
+// speedup grows as the deletion share grows.
+func Fig10(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "Figure 10",
+		Title:  "Direct-Hop speedup vs addition:deletion ratio (TTW-sim)",
+		Header: []string{"Algo", "Adds", "Dels", "KickStarter", "Direct-Hop", "Speedup"},
+	}
+	ratios := [][2]int{{150_000, 50_000}, {100_000, 100_000}, {50_000, 150_000}}
+	for _, r := range ratios {
+		adds, dels := p.Batch(r[0]), p.Batch(r[1])
+		w, err := BuildWorkload("TTW-sim", p, p.Snapshots-1, adds, dels)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range algo.All() {
+			st, err := runAll(w, 0, p.Snapshots-1, a, p.src(), false)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(a.Name(), fmt.Sprintf("%d", adds), fmt.Sprintf("%d", dels),
+				secs(st.KS), secs(st.DH), speedup(st.KS, st.DH))
+		}
+	}
+	sortRowsByFirstColumn(t)
+	return t, nil
+}
+
+// Fig11 breaks the execution time of KickStarter and CommonGraph
+// Work-Sharing into phases on the TTW stand-in. Paper expectation:
+// CommonGraph eliminates both mutation phases and the incremental deletion
+// phase entirely, and its incremental addition time is below KickStarter's
+// combined incremental time.
+func Fig11(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "Figure 11",
+		Title:  "Execution time breakdown, KickStarter (KS) vs CommonGraph Work-Sharing (CG), TTW-sim",
+		Header: []string{"Algo", "System", "IncAdd", "IncDel", "Mutate/Overlay", "Clone", "Total"},
+	}
+	half := p.Batch(75_000) / 2
+	w, err := BuildWorkload("TTW-sim", p, p.Snapshots-1, half, half)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range algo.All() {
+		st, err := runAll(w, 0, p.Snapshots-1, a, p.src(), false)
+		if err != nil {
+			return nil, err
+		}
+		ks := st.KSCost
+		t.AddRow(a.Name(), "KS",
+			secs(ks.IncrementalAdd), secs(ks.IncrementalDelete),
+			secs(ks.MutateAdd+ks.MutateDelete), "-", secs(ks.StreamingTotal()))
+		cg := st.WSCost
+		t.AddRow(a.Name(), "CG",
+			secs(cg.IncrementalAdd), "0s",
+			secs(cg.OverlayBuild), secs(cg.StateClone),
+			secs(cg.IncrementalAdd+cg.OverlayBuild+cg.StateClone))
+	}
+	t.Notes = append(t.Notes,
+		"per-transition phases only (initial solves excluded); CG has no deletion or mutation phases by construction")
+	return t, nil
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"os"
+	"runtime/pprof"
+	"testing"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/core"
+)
+
+func TestProfileWS(t *testing.T) {
+	p := Default()
+	w, err := BuildWorkload("TTW-sim", p, p.Snapshots-1, 375, 375)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := core.BuildRep(core.Window{Store: w.Store, From: 0, To: p.Snapshots - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Create("/tmp/ws.prof")
+	pprof.StartCPUProfile(f)
+	for i := 0; i < 5; i++ {
+		if _, _, err := core.EvaluateWorkSharing(rep, core.Config{Algo: algo.BFS{}, Source: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pprof.StopCPUProfile()
+	f.Close()
+}

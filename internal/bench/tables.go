@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/gen"
+	"commongraph/internal/graph"
+)
+
+// table4Graphs are the Table 2/4 input graphs (stand-ins).
+var table4Graphs = []string{"LJ-sim", "DL-sim", "Wen-sim", "TTW-sim"}
+
+// Table2 prints the stand-in input graphs next to the paper's originals.
+func Table2(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "Table 2",
+		Title:  "Input graphs (scaled stand-ins for the paper's datasets)",
+		Header: []string{"Graph", "|V|", "|E|", "AvgDeg", "MaxOut", "Paper |V|", "Paper |E|"},
+	}
+	for _, name := range table4Graphs {
+		s, _ := gen.ByName(name)
+		w, err := BuildWorkload(name, p, 1, 10, 0)
+		if err != nil {
+			return nil, err
+		}
+		st := graph.ComputeStats(name, w.N, w.Base)
+		t.AddRow(name,
+			fmt.Sprintf("%d", st.Vertices), fmt.Sprintf("%d", st.Edges),
+			fmt.Sprintf("%.2f", st.AvgDegree), fmt.Sprintf("%d", st.MaxOutDeg),
+			s.PaperV, s.PaperE)
+	}
+	return t, nil
+}
+
+// Table4 reproduces the headline comparison: KickStarter's time to
+// evaluate a query across p.Snapshots snapshots, and the speedup of
+// CommonGraph Direct-Hop and Work-Sharing over it, on every (graph,
+// algorithm) pair. Batches carry Batch(75K) updates split evenly between
+// additions and deletions, as in the paper.
+func Table4(p Params) (*Table, error) {
+	t := &Table{
+		ID:    "Table 4",
+		Title: fmt.Sprintf("KickStarter time and CommonGraph speedups, %d snapshots", p.Snapshots),
+		Header: []string{"Graph", "Algo", "KickStarter", "Direct-Hop", "DH speedup",
+			"Work-Sharing", "WS speedup", "DH adds", "WS adds"},
+	}
+	half := p.Batch(75_000) / 2
+	for _, g := range table4Graphs {
+		w, err := BuildWorkload(g, p, p.Snapshots-1, half, half)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range algo.All() {
+			st, err := runAll(w, 0, p.Snapshots-1, a, p.src(), false)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(g, a.Name(),
+				secs(st.KS),
+				secs(st.DH), speedup(st.KS, st.DH),
+				secs(st.WS), speedup(st.KS, st.WS),
+				fmt.Sprintf("%d", st.DHAdditions), fmt.Sprintf("%d", st.WSAdditions))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"all times include the initial from-scratch solve; paper expectation: DH 1.02x-7.91x, WS 1.38x-8.17x")
+	return t, nil
+}
+
+// Table5 reproduces the parallel Direct-Hop estimate: the longest single
+// hop when all hops run concurrently, and its speedup over sequential
+// KickStarter streaming.
+func Table5(p Params) (*Table, error) {
+	t := &Table{
+		ID:     "Table 5",
+		Title:  fmt.Sprintf("Parallel Direct-Hop: longest hop and speedup over KickStarter, %d snapshots", p.Snapshots),
+		Header: []string{"Graph", "Algo", "KickStarter", "Longest hop", "Speedup"},
+	}
+	half := p.Batch(75_000) / 2
+	for _, g := range table4Graphs {
+		w, err := BuildWorkload(g, p, p.Snapshots-1, half, half)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range algo.All() {
+			st, err := runAll(w, 0, p.Snapshots-1, a, p.src(), false)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(g, a.Name(), secs(st.KS), secs(st.MaxHop), speedup(st.KS, st.MaxHop))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"speedup assumes one core per snapshot (paper: 51x-395x); hop times exclude the shared common-graph solve")
+	return t, nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/gen"
+	"commongraph/internal/snapshot"
+)
+
+func benchWindow(b *testing.B, snaps int) Window {
+	b.Helper()
+	n, base := gen.RMAT(gen.DefaultRMAT(14, 250_000, 17))
+	trs, err := gen.Stream(n, base, gen.StreamConfig{Transitions: snaps - 1, Additions: 1000, Deletions: 1000, Seed: 19})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := snapshot.NewStore(n, base)
+	for _, tr := range trs {
+		if _, err := s.NewVersion(tr.Additions, tr.Deletions); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return Window{Store: s, From: 0, To: snaps - 1}
+}
+
+// BenchmarkBuildRep measures common-graph representation construction.
+func BenchmarkBuildRep(b *testing.B) {
+	w := benchWindow(b, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildRep(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildTG measures Triangular Grid construction.
+func BenchmarkBuildTG(b *testing.B) {
+	w := benchWindow(b, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTG(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteinerSolvers contrasts the scheduling solvers on a 50-wide
+// grid (brute force is exponential and excluded here; see the tests).
+func BenchmarkSteinerSolvers(b *testing.B) {
+	w := benchWindow(b, 50)
+	tg, err := BuildTG(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SteinerGreedy(tg)
+		}
+	})
+	b.Run("IntervalDP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SteinerIntervalDP(tg)
+		}
+	})
+	b.Run("DirectHopSchedule", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			DirectHopSchedule(tg)
+		}
+	})
+}
+
+// BenchmarkLabels measures label materialization for a full greedy tree.
+func BenchmarkLabels(b *testing.B) {
+	w := benchWindow(b, 50)
+	tg, err := BuildTG(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := NewSchedule(tg, SteinerGreedy(tg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	edges := sched.GridEdges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg.Labels(edges)
+	}
+}
+
+// BenchmarkStrategies runs the three evaluation strategies end to end on
+// the same window.
+func BenchmarkStrategies(b *testing.B) {
+	w := benchWindow(b, 50)
+	rep, err := BuildRep(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Algo: algo.SSSP{}, Source: 0}
+	b.Run("DirectHop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DirectHop(rep, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DirectHopParallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DirectHopParallel(rep, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("WorkSharing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := EvaluateWorkSharing(rep, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/delta"
+	"commongraph/internal/engine"
+	"commongraph/internal/graph"
+)
+
+// Config selects what to evaluate over a window and how.
+type Config struct {
+	Algo   algo.Algorithm
+	Source graph.VertexID
+	Engine engine.Options
+	// KeepValues retains the full per-snapshot value arrays in the result
+	// (tests and small runs); otherwise only counts and checksums are kept.
+	KeepValues bool
+	// Parallelism bounds concurrent hops in DirectHopParallel; 0 means
+	// one goroutine per snapshot.
+	Parallelism int
+	// OptimalSchedule selects the interval-DP Steiner solver instead of
+	// the paper's greedy (Algorithm 1). On wide windows the DP finds
+	// schedules streaming several times fewer additions, at a solver cost
+	// of O(w^5) — see the ablation-steiner experiment.
+	OptimalSchedule bool
+}
+
+// solveSchedule picks the configured Steiner solver.
+func solveSchedule(tg *TG, cfg Config) *SteinerTree {
+	if cfg.OptimalSchedule {
+		return SteinerIntervalDP(tg)
+	}
+	return SteinerGreedy(tg)
+}
+
+// SnapshotResult is the query outcome at one snapshot of the window.
+type SnapshotResult struct {
+	Index    int // window-relative snapshot index
+	Reached  int
+	Checksum uint64
+	Values   []algo.Value // nil unless Config.KeepValues
+}
+
+// Cost attributes an evaluation's wall time to phases, mirroring the
+// KickStarter breakdown for Figure 11. OverlayBuild is the CommonGraph
+// replacement for graph mutation; there are no deletion phases at all.
+type Cost struct {
+	InitialCompute time.Duration // from-scratch solve on the common graph
+	IncrementalAdd time.Duration
+	OverlayBuild   time.Duration
+	StateClone     time.Duration
+}
+
+// Total sums every phase.
+func (c Cost) Total() time.Duration {
+	return c.InitialCompute + c.IncrementalAdd + c.OverlayBuild + c.StateClone
+}
+
+// Result is the outcome of evaluating a query over a whole window.
+type Result struct {
+	Snapshots []SnapshotResult
+	Cost      Cost
+	Work      engine.Stats
+	// AdditionsProcessed counts batch edges streamed across all hops —
+	// the schedule-cost metric of §3 (22 vs 19 in the worked example).
+	AdditionsProcessed int64
+	// MaxHopTime is the longest single hop in DirectHopParallel — the
+	// paper's Table 5 estimate of the embarrassingly-parallel runtime.
+	MaxHopTime time.Duration
+}
+
+// Checksum folds the state's values FNV-style so snapshot results can be
+// compared across evaluation strategies without retaining full arrays.
+func Checksum(st *engine.State) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i, n := 0, st.NumVertices(); i < n; i++ {
+		h ^= uint64(uint32(st.Value(graph.VertexID(i))))
+		h *= prime
+	}
+	return h
+}
+
+// maxOverlayDepth bounds the Work-Sharing overlay stack: deeper stacks
+// slow every adjacency visit, so the accumulated batches consolidate into
+// one overlay past this depth (amortizing the O(V + |Δ|) rebuild).
+const maxOverlayDepth = 64
+
+// edgeParts converts a slice of EdgeLists to the engine's parts shape.
+func edgeParts(lists []graph.EdgeList) [][]graph.Edge {
+	out := make([][]graph.Edge, len(lists))
+	for i, l := range lists {
+		out[i] = l
+	}
+	return out
+}
+
+func snapshotResult(k int, st *engine.State, keep bool) SnapshotResult {
+	r := SnapshotResult{Index: k, Reached: st.Reached(), Checksum: Checksum(st)}
+	if keep {
+		r.Values = st.Values()
+	}
+	return r
+}
+
+// DirectHop evaluates the query on every snapshot of the window via §3.1:
+// solve the common graph once, then for each snapshot independently stream
+// its Δ_ck addition batch and update incrementally. Sequential; see
+// DirectHopParallel for the parallel variant.
+func DirectHop(rep *Rep, cfg Config) (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	baseState, stats := engine.Run(rep.Base, cfg.Algo, cfg.Source, cfg.Engine)
+	res.Cost.InitialCompute = time.Since(t0)
+	res.Work.Add(stats)
+
+	for k := range rep.Deltas {
+		t1 := time.Now()
+		ov := delta.NewOverlay(rep.N, rep.Deltas[k])
+		og := delta.NewOverlayGraph(rep.Base, ov)
+		t2 := time.Now()
+		res.Cost.OverlayBuild += t2.Sub(t1)
+
+		st := baseState.Clone()
+		t3 := time.Now()
+		res.Cost.StateClone += t3.Sub(t2)
+
+		s := engine.IncrementalAdd(og, st, rep.Deltas[k].Edges(), cfg.Engine)
+		t4 := time.Now()
+		res.Cost.IncrementalAdd += t4.Sub(t3)
+		// Hops are mutually independent, so the longest one estimates the
+		// wall time with a core per snapshot (Table 5); measuring it here,
+		// in the sequential loop, keeps hops from inflating each other on
+		// small machines.
+		if hop := t4.Sub(t1); hop > res.MaxHopTime {
+			res.MaxHopTime = hop
+		}
+		res.Work.Add(s)
+		res.AdditionsProcessed += int64(rep.Deltas[k].Len())
+		res.Snapshots = append(res.Snapshots, snapshotResult(k, st, cfg.KeepValues))
+	}
+	return res, nil
+}
+
+// DirectHopParallel runs every hop of DirectHop concurrently (the paper's
+// Table 5): hops are independent because each starts from the common
+// graph's solution, the dependency streaming imposes having been broken.
+// MaxHopTime in the result is the longest single hop.
+func DirectHopParallel(rep *Rep, cfg Config) (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	baseState, stats := engine.Run(rep.Base, cfg.Algo, cfg.Source, cfg.Engine)
+	res.Cost.InitialCompute = time.Since(t0)
+	res.Work.Add(stats)
+
+	w := len(rep.Deltas)
+	res.Snapshots = make([]SnapshotResult, w)
+	durations := make([]time.Duration, w)
+	par := cfg.Parallelism
+	if par <= 0 || par > w {
+		par = w
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			ov := delta.NewOverlay(rep.N, rep.Deltas[k])
+			og := delta.NewOverlayGraph(rep.Base, ov)
+			st := baseState.Clone()
+			engine.IncrementalAdd(og, st, rep.Deltas[k].Edges(), cfg.Engine)
+			durations[k] = time.Since(start)
+			res.Snapshots[k] = snapshotResult(k, st, cfg.KeepValues)
+		}(k)
+	}
+	wg.Wait()
+	for k := 0; k < w; k++ {
+		res.AdditionsProcessed += int64(rep.Deltas[k].Len())
+		if durations[k] > res.MaxHopTime {
+			res.MaxHopTime = durations[k]
+		}
+	}
+	return res, nil
+}
+
+// WorkSharing evaluates the window along a schedule tree: the common graph
+// is solved once, and the DFS streams each schedule edge's merged batch
+// exactly once, sharing both the batch's streaming and the intermediate
+// common graph states among every snapshot below it (§3.2).
+func WorkSharing(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result, error) {
+	if tg.W != rep.Window.Width() {
+		return nil, fmt.Errorf("core: TG width %d does not match window width %d", tg.W, rep.Window.Width())
+	}
+	res := &Result{}
+	t0 := time.Now()
+	baseState, stats := engine.Run(rep.Base, cfg.Algo, cfg.Source, cfg.Engine)
+	res.Cost.InitialCompute = time.Since(t0)
+	res.Work.Add(stats)
+
+	if sched.Root.IsLeaf() {
+		// Single-snapshot window: the common graph is the snapshot.
+		res.Snapshots = append(res.Snapshots, snapshotResult(0, baseState, cfg.KeepValues))
+		return res, nil
+	}
+
+	// Materialize the labels of every grid edge the plan uses, in one pass
+	// over the TG's runs.
+	tL := time.Now()
+	labels := tg.Labels(sched.GridEdges())
+	res.Cost.OverlayBuild += time.Since(tL)
+
+	// The DFS carries the batches accumulated from the root both as raw
+	// parts and as a short stack of overlays. Each schedule edge adds one
+	// small overlay (O(V + |batch|)); when the stack exceeds
+	// maxOverlayDepth the accumulated parts consolidate into a single
+	// overlay, so adjacency iteration stays flat without rebuilding the
+	// whole accumulated set at every level. The composed set is still
+	// "the set of additional edges the snapshot includes" (§4.1) and the
+	// base is never mutated.
+	var walk func(n *ScheduleNode, st *engine.State, overlays []*delta.Overlay, parts []graph.EdgeList) error
+	walk = func(n *ScheduleNode, st *engine.State, overlays []*delta.Overlay, parts []graph.EdgeList) error {
+		if n.IsLeaf() {
+			res.Snapshots = append(res.Snapshots, snapshotResult(n.I, st, cfg.KeepValues))
+			return nil
+		}
+		for idx, e := range n.Edges {
+			// Gather the labels this edge spans (bypassed nodes contribute
+			// their batches here); they are disjoint by construction.
+			t1 := time.Now()
+			spanLists := make([]graph.EdgeList, 0, len(e.Spans))
+			batchLen := 0
+			for _, span := range e.Spans {
+				spanLists = append(spanLists, labels[span])
+				batchLen += len(labels[span])
+			}
+			childParts := make([]graph.EdgeList, len(parts), len(parts)+len(spanLists))
+			copy(childParts, parts)
+			childParts = append(childParts, spanLists...)
+
+			var childOverlays []*delta.Overlay
+			if e.To.IsLeaf() {
+				// The graph at leaf k is exactly base + Δ_ck, and Δ_ck is
+				// already materialized canonically in the representation —
+				// index it with the fast single-part path instead of
+				// scattering the accumulated parts.
+				childOverlays = []*delta.Overlay{delta.NewOverlay(rep.N, rep.Deltas[e.To.I])}
+			} else {
+				childOverlays = make([]*delta.Overlay, len(overlays), len(overlays)+1)
+				copy(childOverlays, overlays)
+				childOverlays = append(childOverlays, delta.NewOverlayParts(rep.N, spanLists...))
+				if len(childOverlays) > maxOverlayDepth {
+					childOverlays = []*delta.Overlay{delta.NewOverlayParts(rep.N, childParts...)}
+				}
+			}
+			og := delta.NewOverlayGraph(rep.Base, childOverlays...)
+			t2 := time.Now()
+			res.Cost.OverlayBuild += t2.Sub(t1)
+
+			child := st
+			if idx < len(n.Edges)-1 {
+				child = st.Clone() // further siblings still need st
+			}
+			t3 := time.Now()
+			res.Cost.StateClone += t3.Sub(t2)
+
+			s := engine.IncrementalAddParts(og, child, edgeParts(spanLists), cfg.Engine)
+			res.Cost.IncrementalAdd += time.Since(t3)
+			res.Work.Add(s)
+			res.AdditionsProcessed += int64(batchLen)
+			if err := walk(e.To, child, childOverlays, childParts); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(sched.Root, baseState, nil, nil); err != nil {
+		return nil, err
+	}
+	// Snapshots arrive in DFS order; restore window order.
+	ordered := make([]SnapshotResult, len(res.Snapshots))
+	for _, s := range res.Snapshots {
+		ordered[s.Index] = s
+	}
+	res.Snapshots = ordered
+	return res, nil
+}
+
+// EvaluateWorkSharing is the one-call §3.2 pipeline: build the TG, solve
+// the Steiner tree (greedy Algorithm 1, or the interval DP when
+// cfg.OptimalSchedule is set), compress, and execute.
+func EvaluateWorkSharing(rep *Rep, cfg Config) (*Result, *Schedule, error) {
+	tg, err := BuildTG(rep.Window)
+	if err != nil {
+		return nil, nil, err
+	}
+	sched, err := NewSchedule(tg, solveSchedule(tg, cfg))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := WorkSharing(rep, tg, sched, cfg)
+	return res, sched, err
+}

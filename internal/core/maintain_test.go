@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/engine"
+	"commongraph/internal/graph"
+)
+
+// repEqual compares a maintained representation against a from-scratch
+// BuildRep of the same window.
+func repEqual(t *testing.T, got, want *Rep) bool {
+	t.Helper()
+	if got.Window != want.Window {
+		t.Logf("window %+v vs %+v", got.Window, want.Window)
+		return false
+	}
+	if !graph.Equal(got.Common, want.Common) {
+		t.Logf("common differs: %d vs %d edges", len(got.Common), len(want.Common))
+		return false
+	}
+	if len(got.Deltas) != len(want.Deltas) {
+		return false
+	}
+	for k := range got.Deltas {
+		if !graph.Equal(got.Deltas[k].Edges(), want.Deltas[k].Edges()) {
+			t.Logf("delta %d differs", k)
+			return false
+		}
+	}
+	// Base must present exactly the common edges.
+	if got.Base.NumEdges() != len(got.Common) {
+		t.Logf("base has %d edges, common %d", got.Base.NumEdges(), len(got.Common))
+		return false
+	}
+	return true
+}
+
+func TestMaintainedAppendMatchesRebuild(t *testing.T) {
+	s, _ := randomStore(101, 8, 40, 40)
+	m, err := NewMaintainedRep(Window{Store: s, From: 0, To: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for to := 3; to <= 8; to++ {
+		if err := m.Append(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := BuildRep(Window{Store: s, From: 0, To: to})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !repEqual(t, m.Rep(), want) {
+			t.Fatalf("append to %d diverged from rebuild", to)
+		}
+	}
+	if err := m.Append(); err == nil {
+		t.Fatal("append past the store's last version should fail")
+	}
+}
+
+func TestMaintainedAdvanceMatchesRebuild(t *testing.T) {
+	s, _ := randomStore(103, 8, 40, 40)
+	m, err := NewMaintainedRep(Window{Store: s, From: 0, To: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for from := 1; from <= 8; from++ {
+		if err := m.Advance(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := BuildRep(Window{Store: s, From: from, To: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !repEqual(t, m.Rep(), want) {
+			t.Fatalf("advance to %d diverged from rebuild", from)
+		}
+	}
+	// The window is now the single snapshot [8,8].
+	if err := m.Advance(); err == nil {
+		t.Fatal("advancing a single-snapshot window should fail")
+	}
+}
+
+func TestMaintainedSlideProperty(t *testing.T) {
+	// Random mixes of Append/Advance/Slide always equal a rebuild.
+	f := func(seed int64) bool {
+		s, _ := randomStore(uint64(seed), 10, 30, 30)
+		m, err := NewMaintainedRep(Window{Store: s, From: 0, To: 3})
+		if err != nil {
+			return false
+		}
+		ops := uint64(seed)
+		for i := 0; i < 6; i++ {
+			switch ops % 3 {
+			case 0:
+				if m.Window().To+1 < s.NumVersions() {
+					if err := m.Append(); err != nil {
+						return false
+					}
+				}
+			case 1:
+				if m.Window().Width() > 1 {
+					if err := m.Advance(); err != nil {
+						return false
+					}
+				}
+			default:
+				if m.Window().To+1 < s.NumVersions() && m.Window().Width() > 0 {
+					if err := m.Slide(); err != nil {
+						return false
+					}
+				}
+			}
+			ops /= 3
+			want, err := BuildRep(m.Window())
+			if err != nil {
+				return false
+			}
+			if !repEqual(t, m.Rep(), want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintainedRepEvaluates(t *testing.T) {
+	// The maintained representation must be directly usable by the
+	// evaluators after sliding.
+	s, n := randomStore(107, 8, 40, 40)
+	m, err := NewMaintainedRep(Window{Store: s, From: 0, To: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Slide(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := DirectHop(m.Rep(), Config{Algo: algo.SSSP{}, Source: 0, KeepValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := m.Window()
+	for k := 0; k < w.Width(); k++ {
+		snap, _ := s.GetVersion(w.From + k)
+		ref := engineReference(n, snap)
+		for v := 0; v < n; v++ {
+			if res.Snapshots[k].Values[v] != ref[v] {
+				t.Fatalf("snapshot %d vertex %d differs", k, v)
+			}
+		}
+	}
+}
+
+// engineReference is a tiny local oracle wrapper (SSSP from vertex 0).
+func engineReference(n int, edges graph.EdgeList) []algo.Value {
+	return referenceSSSP(n, edges)
+}
+
+// referenceSSSP runs the engine's oracle for SSSP from vertex 0.
+func referenceSSSP(n int, edges graph.EdgeList) []algo.Value {
+	return engine.Reference(graph.NewPair(n, edges), algo.SSSP{}, 0)
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"commongraph/internal/delta"
+	"commongraph/internal/engine"
+	"commongraph/internal/graph"
+)
+
+// WorkSharingParallel executes a schedule with the root's child subtrees
+// running concurrently — the parallelization §5 notes is possible for the
+// work-sharing algorithm ("resulting in a more work efficient algorithm"
+// than parallel direct hop). Subtrees are independent: each starts from
+// its own clone of the common graph's solution, so no synchronization is
+// needed beyond joining.
+//
+// Result.MaxHopTime reports the longest subtree (the wall-time estimate
+// with one core per subtree); the Cost fields aggregate CPU time across
+// subtrees.
+func WorkSharingParallel(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result, error) {
+	if err := checkWidths(rep, tg); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	t0 := time.Now()
+	baseState, stats := engine.Run(rep.Base, cfg.Algo, cfg.Source, cfg.Engine)
+	res.Cost.InitialCompute = time.Since(t0)
+	res.Work.Add(stats)
+
+	if sched.Root.IsLeaf() {
+		res.Snapshots = append(res.Snapshots, snapshotResult(0, baseState, cfg.KeepValues))
+		return res, nil
+	}
+	labels := tg.Labels(sched.GridEdges())
+
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		err error
+	)
+	par := cfg.Parallelism
+	if par <= 0 || par > len(sched.Root.Edges) {
+		par = len(sched.Root.Edges)
+	}
+	sem := make(chan struct{}, par)
+	res.Snapshots = make([]SnapshotResult, rep.Window.Width())
+	for _, rootEdge := range sched.Root.Edges {
+		wg.Add(1)
+		go func(e *ScheduleEdge) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			sub := &Result{}
+			walkErr := walkSubtree(rep, labels, e, baseState.Clone(), nil, nil, cfg, sub)
+			elapsed := time.Since(start)
+			mu.Lock()
+			defer mu.Unlock()
+			if walkErr != nil && err == nil {
+				err = walkErr
+				return
+			}
+			res.Cost.IncrementalAdd += sub.Cost.IncrementalAdd
+			res.Cost.OverlayBuild += sub.Cost.OverlayBuild
+			res.Cost.StateClone += sub.Cost.StateClone
+			res.Work.Add(sub.Work)
+			res.AdditionsProcessed += sub.AdditionsProcessed
+			if elapsed > res.MaxHopTime {
+				res.MaxHopTime = elapsed
+			}
+			for _, s := range sub.Snapshots {
+				res.Snapshots[s.Index] = s
+			}
+		}(rootEdge)
+	}
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func checkWidths(rep *Rep, tg *TG) error {
+	if tg.W != rep.Window.Width() {
+		return errWidth(tg.W, rep.Window.Width())
+	}
+	return nil
+}
+
+// walkSubtree executes one schedule edge and the subtree below it,
+// accumulating into sub. It mirrors WorkSharing's DFS (single-overlay per
+// leaf, bounded stack otherwise) but is reentrant so subtrees can run
+// concurrently.
+func walkSubtree(rep *Rep, labels map[GridEdge]graph.EdgeList, e *ScheduleEdge,
+	st *engine.State, overlays []*delta.Overlay, parts []graph.EdgeList,
+	cfg Config, sub *Result) error {
+
+	t1 := time.Now()
+	spanLists := make([]graph.EdgeList, 0, len(e.Spans))
+	batchLen := 0
+	for _, span := range e.Spans {
+		spanLists = append(spanLists, labels[span])
+		batchLen += len(labels[span])
+	}
+	childParts := make([]graph.EdgeList, len(parts), len(parts)+len(spanLists))
+	copy(childParts, parts)
+	childParts = append(childParts, spanLists...)
+
+	var childOverlays []*delta.Overlay
+	if e.To.IsLeaf() {
+		childOverlays = []*delta.Overlay{delta.NewOverlay(rep.N, rep.Deltas[e.To.I])}
+	} else {
+		childOverlays = make([]*delta.Overlay, len(overlays), len(overlays)+1)
+		copy(childOverlays, overlays)
+		childOverlays = append(childOverlays, delta.NewOverlayParts(rep.N, spanLists...))
+		if len(childOverlays) > maxOverlayDepth {
+			childOverlays = []*delta.Overlay{delta.NewOverlayParts(rep.N, childParts...)}
+		}
+	}
+	og := delta.NewOverlayGraph(rep.Base, childOverlays...)
+	t2 := time.Now()
+	sub.Cost.OverlayBuild += t2.Sub(t1)
+
+	s := engine.IncrementalAddParts(og, st, edgeParts(spanLists), cfg.Engine)
+	sub.Cost.IncrementalAdd += time.Since(t2)
+	sub.Work.Add(s)
+	sub.AdditionsProcessed += int64(batchLen)
+
+	if e.To.IsLeaf() {
+		sub.Snapshots = append(sub.Snapshots, snapshotResult(e.To.I, st, cfg.KeepValues))
+		return nil
+	}
+	for idx, child := range e.To.Edges {
+		next := st
+		if idx < len(e.To.Edges)-1 {
+			tc := time.Now()
+			next = st.Clone()
+			sub.Cost.StateClone += time.Since(tc)
+		}
+		if err := walkSubtree(rep, labels, child, next, childOverlays, childParts, cfg, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errWidth mirrors WorkSharing's width validation.
+func errWidth(tgW, repW int) error {
+	return fmt.Errorf("core: TG width %d does not match window width %d", tgW, repW)
+}
+
+// EvaluateWorkSharingParallel is the one-call parallel pipeline: TG,
+// greedy Steiner, compression, concurrent execution.
+func EvaluateWorkSharingParallel(rep *Rep, cfg Config) (*Result, *Schedule, error) {
+	tg, err := BuildTG(rep.Window)
+	if err != nil {
+		return nil, nil, err
+	}
+	sched, err := NewSchedule(tg, solveSchedule(tg, cfg))
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := WorkSharingParallel(rep, tg, sched, cfg)
+	return res, sched, err
+}
+
+// EvaluateMany evaluates several queries (different algorithms and/or
+// sources) over the same window, sharing the representation, the
+// Triangular Grid, its labels, and the schedule across all of them — the
+// amortization a multi-query evolving-graph service gets from the
+// CommonGraph form. Results are returned in query order.
+func EvaluateMany(rep *Rep, queries []Config) ([]*Result, *Schedule, error) {
+	tg, err := BuildTG(rep.Window)
+	if err != nil {
+		return nil, nil, err
+	}
+	sched, err := NewSchedule(tg, SteinerGreedy(tg))
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*Result, len(queries))
+	for i, cfg := range queries {
+		res, err := WorkSharing(rep, tg, sched, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i] = res
+	}
+	return out, sched, nil
+}

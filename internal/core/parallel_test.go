@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/engine"
+	"commongraph/internal/graph"
+)
+
+func TestWorkSharingParallelMatchesSequential(t *testing.T) {
+	s, n := randomStore(211, 8, 50, 50)
+	rep, err := BuildRep(Window{Store: s, From: 0, To: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range algo.All() {
+		cfg := Config{Algo: a, Source: 0, KeepValues: true}
+		seq, _, err := EvaluateWorkSharing(rep, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, sched, err := EvaluateWorkSharingParallel(rep, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.AdditionsProcessed != seq.AdditionsProcessed {
+			t.Fatalf("%s: parallel streamed %d additions, sequential %d",
+				a.Name(), par.AdditionsProcessed, seq.AdditionsProcessed)
+		}
+		if sched == nil || par.MaxHopTime <= 0 {
+			t.Fatalf("%s: missing schedule or subtree timing", a.Name())
+		}
+		for k := range seq.Snapshots {
+			if seq.Snapshots[k].Checksum != par.Snapshots[k].Checksum {
+				t.Fatalf("%s: snapshot %d checksum differs", a.Name(), k)
+			}
+			for v := 0; v < n; v++ {
+				if seq.Snapshots[k].Values[v] != par.Snapshots[k].Values[v] {
+					t.Fatalf("%s: snapshot %d vertex %d differs", a.Name(), k, v)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkSharingParallelBoundedParallelism(t *testing.T) {
+	s, _ := randomStore(223, 6, 40, 40)
+	rep, err := BuildRep(Window{Store: s, From: 0, To: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := EvaluateWorkSharing(rep, Config{Algo: algo.BFS{}, Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := EvaluateWorkSharingParallel(rep, Config{Algo: algo.BFS{}, Source: 0, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range seq.Snapshots {
+		if seq.Snapshots[k].Checksum != par.Snapshots[k].Checksum {
+			t.Fatalf("snapshot %d differs under bounded parallelism", k)
+		}
+	}
+}
+
+func TestWorkSharingParallelSingleSnapshot(t *testing.T) {
+	s, _ := randomStore(227, 3, 20, 20)
+	rep, err := BuildRep(Window{Store: s, From: 1, To: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := EvaluateWorkSharingParallel(rep, Config{Algo: algo.SSWP{}, Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots) != 1 {
+		t.Fatalf("snapshots=%d", len(res.Snapshots))
+	}
+}
+
+func TestWorkSharingParallelWidthMismatch(t *testing.T) {
+	s, _ := randomStore(229, 4, 20, 20)
+	rep, _ := BuildRep(Window{Store: s, From: 0, To: 4})
+	tgSmall, _ := BuildTG(Window{Store: s, From: 0, To: 2})
+	sched, err := NewSchedule(tgSmall, SteinerGreedy(tgSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkSharingParallel(rep, tgSmall, sched, Config{Algo: algo.BFS{}, Source: 0}); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+}
+
+func TestEvaluateMany(t *testing.T) {
+	s, n := randomStore(233, 6, 40, 40)
+	rep, err := BuildRep(Window{Store: s, From: 0, To: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Config{
+		{Algo: algo.BFS{}, Source: 0, KeepValues: true},
+		{Algo: algo.SSSP{}, Source: 5, KeepValues: true},
+		{Algo: algo.SSWP{}, Source: 9, KeepValues: true},
+	}
+	results, sched, err := EvaluateMany(rep, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || sched == nil {
+		t.Fatalf("results=%d", len(results))
+	}
+	for qi, q := range queries {
+		for k := 0; k <= 6; k++ {
+			snap, _ := s.GetVersion(k)
+			ref := engine.Reference(graph.NewPair(n, snap), q.Algo, q.Source)
+			for v := 0; v < n; v++ {
+				if results[qi].Snapshots[k].Values[v] != ref[v] {
+					t.Fatalf("query %d (%s from %d): snapshot %d vertex %d differs",
+						qi, q.Algo.Name(), q.Source, k, v)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalScheduleOption(t *testing.T) {
+	s, _ := randomStore(241, 10, 40, 40)
+	rep, err := BuildRep(Window{Store: s, From: 0, To: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, gSched, err := EvaluateWorkSharing(rep, Config{Algo: algo.SSSP{}, Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimal, oSched, err := EvaluateWorkSharing(rep, Config{Algo: algo.SSSP{}, Source: 0, OptimalSchedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oSched.Cost > gSched.Cost {
+		t.Fatalf("optimal schedule cost %d exceeds greedy %d", oSched.Cost, gSched.Cost)
+	}
+	if optimal.AdditionsProcessed > greedy.AdditionsProcessed {
+		t.Fatalf("optimal streamed more: %d vs %d", optimal.AdditionsProcessed, greedy.AdditionsProcessed)
+	}
+	for k := range greedy.Snapshots {
+		if greedy.Snapshots[k].Checksum != optimal.Snapshots[k].Checksum {
+			t.Fatalf("schedules disagree at snapshot %d", k)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schedule is an executable query evaluation plan: a tree of ScheduleNodes
+// rooted at the common graph. Each edge carries the grid edges it spans;
+// after compression (Algorithm 1's Compress-Steiner-Tree) an edge may span
+// several grid edges whose addition batches are streamed as one merged
+// batch.
+type Schedule struct {
+	Root *ScheduleNode
+	// Cost is the total additions across all edges (each shared batch
+	// counted once) — the schedule's work-sharing cost metric.
+	Cost int64
+}
+
+// ScheduleNode is a TG node used by the plan. Leaves (I == J) are the
+// window's snapshots.
+type ScheduleNode struct {
+	I, J  int
+	Edges []*ScheduleEdge
+}
+
+// IsLeaf reports whether the node is an original snapshot.
+func (n *ScheduleNode) IsLeaf() bool { return n.I == n.J }
+
+// ScheduleEdge is one streaming step of the plan.
+type ScheduleEdge struct {
+	To *ScheduleNode
+	// Spans lists the grid edges whose labels this step streams (more
+	// than one after bypassing).
+	Spans []GridEdge
+	// AddCount is the total label size across Spans.
+	AddCount int64
+}
+
+// NewSchedule converts a Steiner tree into an executable plan and applies
+// the bypass compression: any intermediate node with exactly one incoming
+// and one outgoing tree edge is elided, and its two batches merge into one
+// larger batch (maximizing the parallelism of a single streaming step).
+func NewSchedule(tg *TG, t *SteinerTree) (*Schedule, error) {
+	if t.W == 1 {
+		root := &ScheduleNode{I: 0, J: 0}
+		return &Schedule{Root: root}, nil
+	}
+	if !t.SpansAllLeaves() {
+		return nil, fmt.Errorf("core: steiner tree does not span all leaves")
+	}
+	// Build child lists and in-degrees over the tree's nodes.
+	children := map[[2]int][]GridEdge{}
+	indeg := map[[2]int]int{}
+	for _, e := range t.Edges {
+		from := [2]int{e.I, e.J}
+		toI, toJ := e.To()
+		children[from] = append(children[from], e)
+		indeg[[2]int{toI, toJ}]++
+	}
+
+	nodes := map[[2]int]*ScheduleNode{}
+	var build func(i, j int) *ScheduleNode
+	build = func(i, j int) *ScheduleNode {
+		key := [2]int{i, j}
+		if n, ok := nodes[key]; ok {
+			return n
+		}
+		n := &ScheduleNode{I: i, J: j}
+		nodes[key] = n
+		for _, ge := range children[key] {
+			spans := []GridEdge{ge}
+			ti, tj := ge.To()
+			// Bypass chains: while the destination is a non-leaf with
+			// exactly one incoming and one outgoing tree edge, absorb it.
+			for {
+				dkey := [2]int{ti, tj}
+				if ti == tj || indeg[dkey] != 1 || len(children[dkey]) != 1 {
+					break
+				}
+				next := children[dkey][0]
+				spans = append(spans, next)
+				ti, tj = next.To()
+			}
+			edge := &ScheduleEdge{To: build(ti, tj), Spans: spans}
+			for _, s := range spans {
+				edge.AddCount += tg.LabelSize(s)
+			}
+			n.Edges = append(n.Edges, edge)
+		}
+		sort.Slice(n.Edges, func(a, b int) bool {
+			ea, eb := n.Edges[a].To, n.Edges[b].To
+			if ea.I != eb.I {
+				return ea.I < eb.I
+			}
+			return ea.J < eb.J
+		})
+		return n
+	}
+	root := build(0, t.W-1)
+	s := &Schedule{Root: root, Cost: t.Cost}
+	return s, nil
+}
+
+// DirectHopSchedule builds the §3.1 plan: the root fans out straight to
+// every leaf; the k-th edge spans the full zigzag path to leaf k, so its
+// batch is exactly Δ_ck = E_k \ E_c.
+func DirectHopSchedule(tg *TG) *Schedule {
+	w := tg.W
+	root := &ScheduleNode{I: 0, J: w - 1}
+	s := &Schedule{Root: root}
+	if w == 1 {
+		root.I, root.J = 0, 0
+		return s
+	}
+	for k := 0; k < w; k++ {
+		// A canonical root→leaf path: first all right moves to [k, w-1],
+		// then left moves down to [k,k]. Any path yields the same batch
+		// union; the choice only affects span bookkeeping.
+		var spans []GridEdge
+		i, j := 0, w-1
+		for i < k {
+			spans = append(spans, GridEdge{I: i, J: j, Left: false})
+			i++
+		}
+		for j > k {
+			spans = append(spans, GridEdge{I: i, J: j, Left: true})
+			j--
+		}
+		edge := &ScheduleEdge{To: &ScheduleNode{I: k, J: k}, Spans: spans}
+		for _, sp := range spans {
+			edge.AddCount += tg.LabelSize(sp)
+		}
+		s.Cost += edge.AddCount
+		root.Edges = append(root.Edges, edge)
+	}
+	return s
+}
+
+// Leaves returns the schedule's leaf nodes in snapshot order.
+func (s *Schedule) Leaves() []*ScheduleNode {
+	var out []*ScheduleNode
+	var walk func(n *ScheduleNode)
+	walk = func(n *ScheduleNode) {
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		for _, e := range n.Edges {
+			walk(e.To)
+		}
+	}
+	walk(s.Root)
+	sort.Slice(out, func(a, b int) bool { return out[a].I < out[b].I })
+	return out
+}
+
+// GridEdges returns every grid edge any schedule edge spans.
+func (s *Schedule) GridEdges() []GridEdge {
+	var out []GridEdge
+	var walk func(n *ScheduleNode)
+	walk = func(n *ScheduleNode) {
+		for _, e := range n.Edges {
+			out = append(out, e.Spans...)
+			walk(e.To)
+		}
+	}
+	walk(s.Root)
+	return out
+}
+
+// String renders the plan as an indented tree, for logs and examples.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	var walk func(n *ScheduleNode, depth int)
+	walk = func(n *ScheduleNode, depth int) {
+		fmt.Fprintf(&b, "%s[%d,%d]\n", strings.Repeat("  ", depth), n.I, n.J)
+		for _, e := range n.Edges {
+			fmt.Fprintf(&b, "%s+%d additions ->\n", strings.Repeat("  ", depth+1), e.AddCount)
+			walk(e.To, depth+1)
+		}
+	}
+	walk(s.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,129 @@
+// Package dataset persists evolving graphs on disk so the cmd/ tools can
+// hand workloads to each other: a directory with the base snapshot, one
+// addition/deletion batch pair per transition, and a small manifest.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"commongraph/internal/graph"
+	"commongraph/internal/snapshot"
+)
+
+// Format selects the on-disk edge encoding.
+type Format string
+
+// Formats supported by Save/Load.
+const (
+	Text   Format = "text"
+	Binary Format = "binary"
+)
+
+const manifestName = "manifest.txt"
+
+func edgeFile(dir, stem string, f Format) string {
+	ext := ".txt"
+	if f == Binary {
+		ext = ".bin"
+	}
+	return filepath.Join(dir, stem+ext)
+}
+
+func writeEdges(path string, f Format, n int, edges graph.EdgeList) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	if f == Binary {
+		return graph.WriteBinary(file, n, edges)
+	}
+	return graph.WriteText(file, n, edges)
+}
+
+func readEdges(path string, f Format) (int, graph.EdgeList, error) {
+	file, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer file.Close()
+	if f == Binary {
+		return graph.ReadBinary(file)
+	}
+	return graph.ReadText(file)
+}
+
+// Save writes the store's evolving graph into dir (created if needed).
+func Save(dir string, s *snapshot.Store, f Format) error {
+	if f != Text && f != Binary {
+		return fmt.Errorf("dataset: unknown format %q", f)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base, err := s.GetVersion(0)
+	if err != nil {
+		return err
+	}
+	if err := writeEdges(edgeFile(dir, "base", f), f, s.NumVertices(), base); err != nil {
+		return err
+	}
+	transitions := s.NumVersions() - 1
+	for t := 0; t < transitions; t++ {
+		if err := writeEdges(edgeFile(dir, fmt.Sprintf("t%04d.add", t), f), f, s.NumVertices(), s.Additions(t).Edges()); err != nil {
+			return err
+		}
+		if err := writeEdges(edgeFile(dir, fmt.Sprintf("t%04d.del", t), f), f, s.NumVertices(), s.Deletions(t).Edges()); err != nil {
+			return err
+		}
+	}
+	mf, err := os.Create(filepath.Join(dir, manifestName))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	w := bufio.NewWriter(mf)
+	fmt.Fprintf(w, "vertices %d\ntransitions %d\nformat %s\n", s.NumVertices(), transitions, f)
+	return w.Flush()
+}
+
+// Load reads a dataset directory back into a snapshot store.
+func Load(dir string) (*snapshot.Store, error) {
+	mf, err := os.Open(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	var (
+		vertices, transitions int
+		format                Format
+	)
+	if _, err := fmt.Fscanf(mf, "vertices %d\ntransitions %d\nformat %s\n", &vertices, &transitions, &format); err != nil {
+		return nil, fmt.Errorf("dataset: bad manifest: %w", err)
+	}
+	if format != Text && format != Binary {
+		return nil, fmt.Errorf("dataset: manifest has unknown format %q", format)
+	}
+	_, base, err := readEdges(edgeFile(dir, "base", format), format)
+	if err != nil {
+		return nil, err
+	}
+	s := snapshot.NewStore(vertices, base)
+	for t := 0; t < transitions; t++ {
+		_, add, err := readEdges(edgeFile(dir, fmt.Sprintf("t%04d.add", t), format), format)
+		if err != nil {
+			return nil, err
+		}
+		_, del, err := readEdges(edgeFile(dir, fmt.Sprintf("t%04d.del", t), format), format)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := s.NewVersion(add, del); err != nil {
+			return nil, fmt.Errorf("dataset: transition %d: %w", t, err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"commongraph/internal/gen"
+	"commongraph/internal/graph"
+	"commongraph/internal/snapshot"
+)
+
+func testStore(t *testing.T) *snapshot.Store {
+	t.Helper()
+	n, base := gen.RMAT(gen.DefaultRMAT(8, 800, 31))
+	trs, err := gen.Stream(n, base, gen.StreamConfig{Transitions: 4, Additions: 25, Deletions: 25, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := snapshot.NewStore(n, base)
+	for _, tr := range trs {
+		if _, err := s.NewVersion(tr.Additions, tr.Deletions); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func roundTrip(t *testing.T, f Format) {
+	t.Helper()
+	s := testStore(t)
+	dir := t.TempDir()
+	if err := Save(dir, s, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVertices() != s.NumVertices() || back.NumVersions() != s.NumVersions() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			back.NumVertices(), back.NumVersions(), s.NumVertices(), s.NumVersions())
+	}
+	for v := 0; v < s.NumVersions(); v++ {
+		want, _ := s.GetVersion(v)
+		got, _ := back.GetVersion(v)
+		if !graph.Equal(got, want) {
+			t.Fatalf("format %s: version %d differs", f, v)
+		}
+		for i := range got {
+			if got[i].W != want[i].W {
+				t.Fatalf("format %s: version %d weight differs at %d", f, v, i)
+			}
+		}
+	}
+}
+
+func TestRoundTripText(t *testing.T)   { roundTrip(t, Text) }
+func TestRoundTripBinary(t *testing.T) { roundTrip(t, Binary) }
+
+func TestSaveUnknownFormat(t *testing.T) {
+	if err := Save(t.TempDir(), testStore(t), Format("xml")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLoadCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLoadMissingBatchFile(t *testing.T) {
+	s := testStore(t)
+	dir := t.TempDir()
+	if err := Save(dir, s, Text); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "t0002.add.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/delta"
+	"commongraph/internal/graph"
+)
+
+// Mode selects the scheduler policy of §4.3: synchronous level-barriered
+// iterations for large frontiers, or an asynchronous worklist where an
+// update becomes visible within the current pass, which is faster for the
+// small frontiers typical of incremental batches.
+type Mode int
+
+const (
+	// Auto picks Async when the seed frontier is below AsyncThreshold,
+	// Sync otherwise (the paper's scheduler policy).
+	Auto Mode = iota
+	// Sync runs barrier-separated parallel iterations.
+	Sync
+	// Async runs a FIFO worklist to fixpoint with immediate visibility.
+	Async
+)
+
+// Options tunes an engine run.
+type Options struct {
+	// Workers is the parallel width for Sync iterations; 0 means
+	// GOMAXPROCS. Async runs are sequential by design.
+	Workers int
+	// Mode selects the scheduler (default Auto).
+	Mode Mode
+	// AsyncThreshold is the seed-frontier size below which Auto chooses
+	// Async; 0 means DefaultAsyncThreshold.
+	AsyncThreshold int
+}
+
+// DefaultAsyncThreshold is the Auto-mode cutover point.
+const DefaultAsyncThreshold = 2048
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) threshold() int {
+	if o.AsyncThreshold > 0 {
+		return o.AsyncThreshold
+	}
+	return DefaultAsyncThreshold
+}
+
+// Stats reports the work an engine pass performed.
+type Stats struct {
+	Iterations  int   // sync iterations (0 for async runs)
+	EdgesPushed int64 // out-edges examined from active vertices
+	Improved    int64 // successful value improvements
+	Trimmed     int64 // vertices invalidated by deletion trimming
+}
+
+// Add accumulates another pass's stats into s.
+func (s *Stats) Add(o Stats) {
+	s.Iterations += o.Iterations
+	s.EdgesPushed += o.EdgesPushed
+	s.Improved += o.Improved
+	s.Trimmed += o.Trimmed
+}
+
+func (s *Stats) add(o Stats) { s.Add(o) }
+
+// Run evaluates the query from scratch: it allocates fresh state with only
+// the source set and propagates to fixpoint over g. A from-scratch solve
+// touches the whole graph regardless of its one-vertex seed, so Auto mode
+// resolves to Sync (level-synchronous parallel iterations) here; pass
+// Async explicitly to force the sequential worklist.
+func Run(g delta.Graph, a algo.Algorithm, src graph.VertexID, opt Options) (*State, Stats) {
+	st := NewState(g.NumVertices(), a, src)
+	seed := newFrontier(g.NumVertices())
+	seed.setSeq(src)
+	if opt.Mode == Auto {
+		opt.Mode = Sync
+	}
+	stats := propagate(g, st, seed, opt)
+	return st, stats
+}
+
+// Propagate drives an already-seeded frontier to fixpoint over g,
+// following the Options scheduler policy. Exposed for the incremental
+// paths (addition seeding, trim re-propagation).
+func Propagate(g delta.Graph, st *State, seeds []graph.VertexID, opt Options) Stats {
+	f := newFrontier(g.NumVertices())
+	for _, v := range seeds {
+		f.setSeq(v)
+	}
+	return propagate(g, st, f, opt)
+}
+
+func propagate(g delta.Graph, st *State, seed *frontier, opt Options) Stats {
+	mode := opt.Mode
+	if mode == Auto {
+		if seed.count() <= opt.threshold() {
+			mode = Async
+		} else {
+			mode = Sync
+		}
+	}
+	if mode == Async {
+		return runAsync(g, st, seed)
+	}
+	return runSync(g, st, seed, opt.workers())
+}
+
+// runAsync drains a FIFO worklist sequentially; an improvement is visible
+// to later pops in the same pass (the paper's asynchronous mode).
+func runAsync(g delta.Graph, st *State, seed *frontier) Stats {
+	var stats Stats
+	n := g.NumVertices()
+	queued := make([]bool, n)
+	queue := make([]graph.VertexID, 0, 1024)
+	seed.forEachInWordRange(0, seed.words(), func(v graph.VertexID) {
+		queue = append(queue, v)
+		queued[v] = true
+	})
+	id := st.a.Identity()
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		queued[u] = false
+		uval := st.Value(u)
+		if uval == id {
+			continue
+		}
+		g.OutEdges(u, func(v graph.VertexID, w graph.Weight) {
+			stats.EdgesPushed++
+			cand := st.a.Propagate(uval, w)
+			if st.TryImprove(v, cand, u) {
+				stats.Improved++
+				if !queued[v] {
+					queued[v] = true
+					queue = append(queue, v)
+				}
+			}
+		})
+	}
+	return stats
+}
+
+// runSync runs level-synchronized parallel iterations: workers shard the
+// current frontier's bitset words, push along out-edges with CAS
+// improvement, and mark the next frontier.
+func runSync(g delta.Graph, st *State, cur *frontier, workers int) Stats {
+	var stats Stats
+	n := g.NumVertices()
+	next := newFrontier(n)
+	id := st.a.Identity()
+	for !cur.empty() {
+		stats.Iterations++
+		var pushed, improved atomic.Int64
+		shard := (cur.words() + workers - 1) / workers
+		if shard == 0 {
+			shard = 1
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * shard
+			if lo >= cur.words() {
+				break
+			}
+			hi := lo + shard
+			if hi > cur.words() {
+				hi = cur.words()
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				var p, imp int64
+				cur.forEachInWordRange(lo, hi, func(u graph.VertexID) {
+					uval := st.Value(u)
+					if uval == id {
+						return
+					}
+					g.OutEdges(u, func(v graph.VertexID, wt graph.Weight) {
+						p++
+						cand := st.a.Propagate(uval, wt)
+						if st.TryImprove(v, cand, u) {
+							imp++
+							next.set(v)
+						}
+					})
+				})
+				pushed.Add(p)
+				improved.Add(imp)
+			}(lo, hi)
+		}
+		wg.Wait()
+		stats.EdgesPushed += pushed.Load()
+		stats.Improved += improved.Load()
+		cur, next = next, cur
+		next.clear()
+	}
+	return stats
+}

@@ -1,0 +1,252 @@
+package engine
+
+import (
+	"testing"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/delta"
+	"commongraph/internal/gen"
+	"commongraph/internal/graph"
+)
+
+func testGraph(seed uint64, scale, m int) (*graph.Pair, int) {
+	n, edges := gen.RMAT(gen.DefaultRMAT(scale, m, seed))
+	return graph.NewPair(n, edges), n
+}
+
+func TestRunMatchesReferenceAllAlgorithms(t *testing.T) {
+	g, _ := testGraph(1, 9, 3000)
+	src := graph.VertexID(0)
+	for _, a := range algo.All() {
+		for _, mode := range []Mode{Sync, Async} {
+			st, stats := Run(g, a, src, Options{Mode: mode})
+			ref := Reference(g, a, src)
+			if !ValuesEqual(st, ref) {
+				t.Fatalf("%s mode=%d: values differ from reference", a.Name(), mode)
+			}
+			if stats.EdgesPushed == 0 {
+				t.Fatalf("%s: no work recorded", a.Name())
+			}
+		}
+	}
+}
+
+func TestSyncParallelWidths(t *testing.T) {
+	g, _ := testGraph(2, 10, 8000)
+	a := algo.SSSP{}
+	ref := Reference(g, a, 0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		st, _ := Run(g, a, 0, Options{Mode: Sync, Workers: workers})
+		if !ValuesEqual(st, ref) {
+			t.Fatalf("workers=%d: wrong values", workers)
+		}
+	}
+}
+
+func TestAutoModePolicies(t *testing.T) {
+	g, _ := testGraph(3, 8, 1000)
+	// From-scratch runs resolve Auto to Sync: they touch the whole graph.
+	_, stats := Run(g, algo.BFS{}, 0, Options{Mode: Auto})
+	if stats.Iterations == 0 {
+		t.Fatal("auto from-scratch run should iterate synchronously")
+	}
+	// Explicit Async still forces the worklist.
+	_, stats = Run(g, algo.BFS{}, 0, Options{Mode: Async})
+	if stats.Iterations != 0 {
+		t.Fatalf("async run reported %d sync iterations", stats.Iterations)
+	}
+	// Incremental propagation with a tiny seed picks Async under Auto.
+	st, _ := Run(g, algo.BFS{}, 0, Options{})
+	stats = Propagate(g, st, []graph.VertexID{0}, Options{Mode: Auto})
+	if stats.Iterations != 0 {
+		t.Fatalf("auto with tiny seed should run async, got %d iterations", stats.Iterations)
+	}
+	// ... and Sync when the seed exceeds the threshold.
+	seeds := make([]graph.VertexID, 64)
+	for i := range seeds {
+		seeds[i] = graph.VertexID(i)
+	}
+	stats = Propagate(g, st, seeds, Options{Mode: Auto, AsyncThreshold: 8})
+	if stats.Iterations == 0 {
+		t.Fatal("auto with large seed should run sync")
+	}
+}
+
+func TestUnreachableVerticesKeepIdentity(t *testing.T) {
+	// 0->1, isolated 2.
+	edges := graph.EdgeList{{Src: 0, Dst: 1, W: 3}}
+	g := graph.NewPair(3, edges)
+	st, _ := Run(g, algo.SSSP{}, 0, Options{})
+	if st.Value(1) != 3 {
+		t.Fatalf("val(1)=%d", st.Value(1))
+	}
+	if st.Value(2) != algo.Infinity {
+		t.Fatalf("val(2)=%d", st.Value(2))
+	}
+	if st.Reached() != 2 {
+		t.Fatalf("reached=%d", st.Reached())
+	}
+}
+
+func TestParentInvariant(t *testing.T) {
+	// For every reached non-source vertex v, parent p must be a real
+	// in-neighbour and propagating p's value along that edge must yield
+	// exactly v's value — the dependence-tree invariant trimming relies on.
+	g, n := testGraph(4, 9, 4000)
+	for _, a := range algo.All() {
+		st, _ := Run(g, a, 0, Options{Mode: Sync, Workers: 4})
+		for v := 0; v < n; v++ {
+			val := st.Value(graph.VertexID(v))
+			p := st.Parent(graph.VertexID(v))
+			if v == 0 || val == a.Identity() {
+				if v == 0 && p != graph.NoVertex {
+					t.Fatalf("%s: source has parent %d", a.Name(), p)
+				}
+				continue
+			}
+			if p == graph.NoVertex {
+				t.Fatalf("%s: reached vertex %d has no parent", a.Name(), v)
+			}
+			found := false
+			g.InEdges(graph.VertexID(v), func(u graph.VertexID, w graph.Weight) {
+				if u == p && a.Propagate(st.Value(u), w) == val {
+					found = true
+				}
+			})
+			if !found {
+				t.Fatalf("%s: vertex %d value %d not justified by parent %d", a.Name(), v, val, p)
+			}
+		}
+	}
+}
+
+func TestIncrementalAddMatchesScratch(t *testing.T) {
+	n, base := gen.RMAT(gen.DefaultRMAT(9, 2500, 5))
+	trs, err := gen.Stream(n, base, gen.StreamConfig{Transitions: 1, Additions: 120, Deletions: 0, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := trs[0].Additions
+	basePair := graph.NewPair(n, base)
+	for _, a := range algo.All() {
+		st, _ := Run(basePair, a, 0, Options{})
+		og := delta.NewOverlayGraph(basePair, delta.NewOverlay(n, delta.FromCanonical(add)))
+		IncrementalAdd(og, st, add, Options{})
+		ref := Reference(og, a, 0)
+		if !ValuesEqual(st, ref) {
+			t.Fatalf("%s: incremental add diverged from scratch", a.Name())
+		}
+	}
+}
+
+func TestIncrementalAddBothModes(t *testing.T) {
+	n, base := gen.RMAT(gen.DefaultRMAT(9, 2500, 8))
+	trs, _ := gen.Stream(n, base, gen.StreamConfig{Transitions: 1, Additions: 200, Deletions: 0, Seed: 9})
+	add := trs[0].Additions
+	basePair := graph.NewPair(n, base)
+	og := delta.NewOverlayGraph(basePair, delta.NewOverlay(n, delta.FromCanonical(add)))
+	ref := Reference(og, algo.SSWP{}, 0)
+	for _, mode := range []Mode{Sync, Async} {
+		st, _ := Run(basePair, algo.SSWP{}, 0, Options{})
+		IncrementalAdd(og, st, add, Options{Mode: mode})
+		if !ValuesEqual(st, ref) {
+			t.Fatalf("mode=%d diverged", mode)
+		}
+	}
+}
+
+func TestIncrementalAddFromUnreachedSource(t *testing.T) {
+	// Additions whose sources are unreached must not propagate identity.
+	edges := graph.EdgeList{{Src: 0, Dst: 1, W: 1}}
+	g := graph.NewPair(4, edges)
+	st, _ := Run(g, algo.BFS{}, 0, Options{})
+	add := graph.EdgeList{{Src: 2, Dst: 3, W: 1}}.Canonicalize()
+	og := delta.NewOverlayGraph(g, delta.NewOverlay(4, delta.FromCanonical(add)))
+	IncrementalAdd(og, st, add, Options{})
+	if st.Value(3) != algo.Infinity {
+		t.Fatalf("val(3)=%d, identity must not propagate", st.Value(3))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g, _ := testGraph(7, 8, 1000)
+	st, _ := Run(g, algo.BFS{}, 0, Options{})
+	c := st.Clone()
+	if !st.Equal(c) {
+		t.Fatal("clone differs")
+	}
+	c.Reset(1, 0, graph.NoVertex)
+	if st.Value(1) == 0 && st.Parent(1) == graph.NoVertex && c.Value(1) == st.Value(1) {
+		t.Fatal("clone aliases original")
+	}
+	if st.Equal(c) == (st.Value(1) != 0) {
+		t.Fatal("Equal did not detect divergence")
+	}
+}
+
+func TestStatePackUnpack(t *testing.T) {
+	cases := []struct {
+		v algo.Value
+		p graph.VertexID
+	}{
+		{0, 0},
+		{algo.Infinity, graph.NoVertex},
+		{algo.NegInfinity, 12345},
+		{-7, 1},
+		{algo.FixedOne, 99},
+	}
+	for _, c := range cases {
+		v, p := unpack(pack(c.v, c.p))
+		if v != c.v || p != c.p {
+			t.Fatalf("pack/unpack (%d,%d) -> (%d,%d)", c.v, c.p, v, p)
+		}
+	}
+}
+
+func TestValuesSnapshot(t *testing.T) {
+	g, n := testGraph(9, 7, 400)
+	st, _ := Run(g, algo.BFS{}, 0, Options{})
+	vals := st.Values()
+	if len(vals) != n {
+		t.Fatalf("len=%d", len(vals))
+	}
+	for i, v := range vals {
+		if v != st.Value(graph.VertexID(i)) {
+			t.Fatalf("values[%d] mismatch", i)
+		}
+	}
+}
+
+func TestFrontierOps(t *testing.T) {
+	f := newFrontier(130)
+	if !f.empty() || f.count() != 0 {
+		t.Fatal("new frontier not empty")
+	}
+	f.set(0)
+	f.set(64)
+	f.set(129)
+	f.set(129) // idempotent
+	if f.count() != 3 || f.empty() {
+		t.Fatalf("count=%d", f.count())
+	}
+	if !f.has(64) || f.has(63) {
+		t.Fatal("membership wrong")
+	}
+	var got []graph.VertexID
+	f.forEachInWordRange(0, f.words(), func(v graph.VertexID) { got = append(got, v) })
+	if len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Fatalf("iterate got %v", got)
+	}
+	f.clear()
+	if !f.empty() {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	a := Stats{Iterations: 1, EdgesPushed: 10, Improved: 2}
+	a.add(Stats{Iterations: 2, EdgesPushed: 5, Improved: 1})
+	if a.Iterations != 3 || a.EdgesPushed != 15 || a.Improved != 3 {
+		t.Fatalf("%+v", a)
+	}
+}

@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"commongraph/internal/graph"
+)
+
+// frontier is an atomic bitset of active vertices.
+type frontier struct {
+	bits []uint64
+	n    int
+}
+
+func newFrontier(n int) *frontier {
+	return &frontier{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// set marks v active (atomic; safe from concurrent workers).
+func (f *frontier) set(v graph.VertexID) {
+	w := &f.bits[v>>6]
+	mask := uint64(1) << (v & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// setSeq marks v active without atomics (single-writer phases).
+func (f *frontier) setSeq(v graph.VertexID) {
+	f.bits[v>>6] |= uint64(1) << (v & 63)
+}
+
+// has reports whether v is active.
+func (f *frontier) has(v graph.VertexID) bool {
+	return f.bits[v>>6]&(uint64(1)<<(v&63)) != 0
+}
+
+// clear empties the frontier, retaining capacity.
+func (f *frontier) clear() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+}
+
+// count returns the number of active vertices.
+func (f *frontier) count() int {
+	c := 0
+	for _, w := range f.bits {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// empty reports whether no vertex is active.
+func (f *frontier) empty() bool {
+	for _, w := range f.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachInWordRange calls fn for every active vertex whose bitset word
+// index lies in [lo, hi). Used to shard frontier scans across workers.
+func (f *frontier) forEachInWordRange(lo, hi int, fn func(v graph.VertexID)) {
+	for wi := lo; wi < hi; wi++ {
+		w := f.bits[wi]
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			v := graph.VertexID(wi*64 + b)
+			if int(v) < f.n {
+				fn(v)
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// words returns the number of bitset words (the shardable extent).
+func (f *frontier) words() int { return len(f.bits) }

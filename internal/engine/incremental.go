@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"commongraph/internal/delta"
+	"commongraph/internal/graph"
+)
+
+// IncrementalAdd updates st for a batch of edge additions (Algorithm 2 of
+// the paper). g must already present the batch (for the CommonGraph system
+// that means the overlay has been pushed; for KickStarter the adjacency
+// has been mutated). Each added edge is applied once to seed destinations,
+// then the scheduler propagates to fixpoint.
+//
+// For monotonic algorithms additions can only improve values, so no
+// invalidation is needed — this is the cheap path the paper contrasts with
+// deletion trimming.
+func IncrementalAdd(g delta.Graph, st *State, batch graph.EdgeList, opt Options) Stats {
+	return IncrementalAddParts(g, st, [][]graph.Edge{batch}, opt)
+}
+
+// IncrementalAddParts is IncrementalAdd for a batch supplied as several
+// disjoint parts (e.g. the merged Triangular Grid labels a compressed
+// schedule edge spans): all parts seed together and a single propagation
+// pass runs to fixpoint.
+func IncrementalAddParts(g delta.Graph, st *State, parts [][]graph.Edge, opt Options) Stats {
+	var stats Stats
+	id := st.a.Identity()
+	var seeds []graph.VertexID
+	for _, batch := range parts {
+		for _, e := range batch {
+			uval := st.Value(e.Src)
+			if uval == id {
+				continue
+			}
+			stats.EdgesPushed++
+			cand := st.a.Propagate(uval, e.W)
+			if st.TryImprove(e.Dst, cand, e.Src) {
+				stats.Improved++
+				seeds = append(seeds, e.Dst)
+			}
+		}
+	}
+	if len(seeds) > 0 {
+		s := Propagate(g, st, seeds, opt)
+		stats.add(s)
+	}
+	return stats
+}

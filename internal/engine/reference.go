@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"commongraph/internal/algo"
+	"commongraph/internal/delta"
+	"commongraph/internal/graph"
+)
+
+// Reference computes the query fixpoint by repeated whole-graph sweeps
+// (Bellman–Ford style). It is deliberately simple and is the oracle that
+// tests compare every other evaluation path against. O(V·E) worst case —
+// test-sized graphs only.
+func Reference(g delta.Graph, a algo.Algorithm, src graph.VertexID) []algo.Value {
+	n := g.NumVertices()
+	vals := make([]algo.Value, n)
+	for i := range vals {
+		vals[i] = a.Identity()
+	}
+	vals[src] = a.SourceValue()
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			uval := vals[u]
+			if uval == a.Identity() {
+				continue
+			}
+			g.OutEdges(graph.VertexID(u), func(v graph.VertexID, w graph.Weight) {
+				cand := a.Propagate(uval, w)
+				if algo.Better(a, cand, vals[v]) {
+					vals[v] = cand
+					changed = true
+				}
+			})
+		}
+	}
+	return vals
+}
+
+// ValuesEqual compares a state's values against a reference value slice.
+func ValuesEqual(st *State, ref []algo.Value) bool {
+	if st.NumVertices() != len(ref) {
+		return false
+	}
+	for i, want := range ref {
+		if st.Value(graph.VertexID(i)) != want {
+			return false
+		}
+	}
+	return true
+}

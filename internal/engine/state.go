@@ -1,0 +1,138 @@
+// Package engine is the push-based iterative execution engine shared by
+// the KickStarter baseline and the CommonGraph system. It evaluates a
+// monotonic vertex program (internal/algo) over any adjacency view
+// (internal/delta.Graph) from scratch or incrementally, sequentially or in
+// parallel, and maintains the dependence tree (each vertex's parent — the
+// in-neighbour that justified its value) that KickStarter-style trimming
+// requires.
+package engine
+
+import (
+	"sync/atomic"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/graph"
+)
+
+// State is the query state for one graph version: per-vertex (value,
+// parent) pairs packed into single 64-bit words so parallel updates keep
+// value and dependence parent consistent, plus the query's source.
+type State struct {
+	a     algo.Algorithm
+	src   graph.VertexID
+	words []uint64 // hi 32 bits: value (int32 bit pattern); lo 32: parent
+}
+
+func pack(v algo.Value, parent graph.VertexID) uint64 {
+	return uint64(uint32(v))<<32 | uint64(uint32(parent))
+}
+
+func unpack(w uint64) (algo.Value, graph.VertexID) {
+	return algo.Value(int32(uint32(w >> 32))), graph.VertexID(uint32(w))
+}
+
+// NewState allocates state for n vertices: every vertex holds the
+// algorithm's identity except the source, which holds its source value.
+func NewState(n int, a algo.Algorithm, src graph.VertexID) *State {
+	s := &State{a: a, src: src, words: make([]uint64, n)}
+	id := pack(a.Identity(), graph.NoVertex)
+	for i := range s.words {
+		s.words[i] = id
+	}
+	s.words[src] = pack(a.SourceValue(), graph.NoVertex)
+	return s
+}
+
+// NumVertices returns the number of vertices covered.
+func (s *State) NumVertices() int { return len(s.words) }
+
+// Algorithm returns the vertex program this state belongs to.
+func (s *State) Algorithm() algo.Algorithm { return s.a }
+
+// Source returns the query source vertex.
+func (s *State) Source() graph.VertexID { return s.src }
+
+// Value returns v's current value.
+func (s *State) Value(v graph.VertexID) algo.Value {
+	val, _ := unpack(atomic.LoadUint64(&s.words[v]))
+	return val
+}
+
+// Parent returns the in-neighbour that justified v's current value, or
+// NoVertex for the source and unreached vertices.
+func (s *State) Parent(v graph.VertexID) graph.VertexID {
+	_, p := unpack(atomic.LoadUint64(&s.words[v]))
+	return p
+}
+
+// Load returns v's (value, parent) pair atomically.
+func (s *State) Load(v graph.VertexID) (algo.Value, graph.VertexID) {
+	return unpack(atomic.LoadUint64(&s.words[v]))
+}
+
+// TryImprove installs (cand, parent) at v if cand improves on v's current
+// value, retrying on contention. It reports whether the value changed.
+// This is the CASMIN/CASMAX of Table 3.
+func (s *State) TryImprove(v graph.VertexID, cand algo.Value, parent graph.VertexID) bool {
+	for {
+		old := atomic.LoadUint64(&s.words[v])
+		cur, _ := unpack(old)
+		if !algo.Better(s.a, cand, cur) {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&s.words[v], old, pack(cand, parent)) {
+			return true
+		}
+	}
+}
+
+// Reset forces v to (value, parent) unconditionally. Used by trimming to
+// invalidate vertices; not safe concurrently with TryImprove on v.
+func (s *State) Reset(v graph.VertexID, val algo.Value, parent graph.VertexID) {
+	atomic.StoreUint64(&s.words[v], pack(val, parent))
+}
+
+// Clone returns an independent copy of the state. The receiver must be
+// quiescent (no concurrent writers).
+func (s *State) Clone() *State {
+	c := &State{a: s.a, src: s.src, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Values copies the value array out (for result reporting).
+func (s *State) Values() []algo.Value {
+	out := make([]algo.Value, len(s.words))
+	for i := range s.words {
+		out[i], _ = unpack(s.words[i])
+	}
+	return out
+}
+
+// Reached counts vertices whose value is not the identity.
+func (s *State) Reached() int {
+	id := s.a.Identity()
+	n := 0
+	for i := range s.words {
+		if v, _ := unpack(s.words[i]); v != id {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether two states agree on every vertex value (parents
+// may differ: shortest-path trees are not unique).
+func (s *State) Equal(o *State) bool {
+	if len(s.words) != len(o.words) {
+		return false
+	}
+	for i := range s.words {
+		v1, _ := unpack(s.words[i])
+		v2, _ := unpack(o.words[i])
+		if v1 != v2 {
+			return false
+		}
+	}
+	return true
+}

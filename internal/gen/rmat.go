@@ -1,0 +1,102 @@
+package gen
+
+import "commongraph/internal/graph"
+
+// MaxWeight is the number of distinct edge weights; WeightOf yields values
+// in [1, MaxWeight].
+const MaxWeight = 100
+
+// WeightOf deterministically derives an edge's weight from its endpoints,
+// so an edge deleted and later re-added always carries the same weight
+// (edge identity is by endpoints throughout the system).
+func WeightOf(src, dst graph.VertexID) graph.Weight {
+	z := uint64(graph.MakeKey(src, dst))
+	z = (z ^ (z >> 33)) * 0xFF51AFD7ED558CCD
+	z = (z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53
+	z ^= z >> 33
+	return graph.Weight(1 + z%MaxWeight)
+}
+
+// RMATConfig parametrizes the recursive-matrix generator of Chakrabarti
+// et al., the standard stand-in for power-law web/social graphs.
+type RMATConfig struct {
+	Scale       int     // number of vertices is 1 << Scale
+	Edges       int     // number of distinct directed edges to produce
+	A, B, C     float64 // quadrant probabilities; D = 1-A-B-C
+	Seed        uint64
+	NoSelfLoops bool
+}
+
+// DefaultRMAT returns the conventional (0.57, 0.19, 0.19) skew used by
+// Graph500, which yields heavy-tailed degree distributions like the
+// paper's social/web inputs.
+func DefaultRMAT(scale, edges int, seed uint64) RMATConfig {
+	return RMATConfig{Scale: scale, Edges: edges, A: 0.57, B: 0.19, C: 0.19, Seed: seed, NoSelfLoops: true}
+}
+
+// RMAT generates a canonical edge list with cfg.Edges distinct edges over
+// 1<<cfg.Scale vertices. Duplicates produced by the recursive process are
+// rejected and regenerated so the output size is exact.
+func RMAT(cfg RMATConfig) (n int, edges graph.EdgeList) {
+	n = 1 << cfg.Scale
+	r := NewRNG(cfg.Seed)
+	seen := make(map[graph.EdgeKey]struct{}, cfg.Edges)
+	edges = make(graph.EdgeList, 0, cfg.Edges)
+	for len(edges) < cfg.Edges {
+		src, dst := rmatPoint(r, cfg)
+		if cfg.NoSelfLoops && src == dst {
+			continue
+		}
+		k := graph.MakeKey(src, dst)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, W: WeightOf(src, dst)})
+	}
+	edges.Sort()
+	return n, edges
+}
+
+// rmatPoint draws one (src, dst) pair by recursive quadrant descent.
+func rmatPoint(r *RNG, cfg RMATConfig) (graph.VertexID, graph.VertexID) {
+	var src, dst uint32
+	for bit := cfg.Scale - 1; bit >= 0; bit-- {
+		p := r.Float64()
+		switch {
+		case p < cfg.A:
+			// top-left: no bits set
+		case p < cfg.A+cfg.B:
+			dst |= 1 << uint(bit)
+		case p < cfg.A+cfg.B+cfg.C:
+			src |= 1 << uint(bit)
+		default:
+			src |= 1 << uint(bit)
+			dst |= 1 << uint(bit)
+		}
+	}
+	return graph.VertexID(src), graph.VertexID(dst)
+}
+
+// Uniform generates a canonical list of m distinct uniform random edges
+// over n vertices (an Erdős–Rényi-style stand-in for road-like graphs).
+func Uniform(n, m int, seed uint64) graph.EdgeList {
+	r := NewRNG(seed)
+	seen := make(map[graph.EdgeKey]struct{}, m)
+	edges := make(graph.EdgeList, 0, m)
+	for len(edges) < m {
+		src := graph.VertexID(r.Intn(n))
+		dst := graph.VertexID(r.Intn(n))
+		if src == dst {
+			continue
+		}
+		k := graph.MakeKey(src, dst)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst, W: WeightOf(src, dst)})
+	}
+	edges.Sort()
+	return edges
+}

@@ -1,0 +1,47 @@
+// Package gen generates deterministic synthetic workloads: power-law
+// (R-MAT) base graphs standing in for the paper's input graphs (Table 2),
+// and evolving update streams — per-transition batches of edge additions
+// and deletions — standing in for the paper's snapshot sequences.
+//
+// Everything is seeded and reproducible: a (seed, parameters) pair always
+// yields the same workload, so experiments are repeatable.
+package gen
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64 core). It is deliberately self-contained so workloads are
+// reproducible regardless of Go runtime or math/rand version.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Distinct seeds give independent streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("gen: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split derives an independent child generator; the parent advances once.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}

@@ -1,0 +1,49 @@
+package gen
+
+import "commongraph/internal/graph"
+
+// StandIn is a named scaled-down replacement for one of the paper's input
+// graphs (Table 2). The vertex/edge counts keep roughly the original
+// average-degree ratios at 1/400–1/2000 of the original size, so the
+// experiments run at laptop scale while exercising the same skew.
+type StandIn struct {
+	Name   string // paper's abbreviation, with -sim suffix
+	PaperV string // original vertex count, for documentation
+	PaperE string // original edge count, for documentation
+	Scale  int    // R-MAT scale (vertices = 1<<Scale)
+	Edges  int
+	Seed   uint64
+}
+
+// StandIns mirrors Table 2. Average degrees: LJ 28.26, DL 18.85 (low),
+// Wen 64.32 (high), TTW 70.51 (high, largest).
+var StandIns = []StandIn{
+	{Name: "LJ-sim", PaperV: "4M", PaperE: "70M", Scale: 14, Edges: 440_000, Seed: 0xBEEF01},
+	{Name: "DL-sim", PaperV: "18M", PaperE: "170M", Scale: 15, Edges: 600_000, Seed: 0xBEEF02},
+	{Name: "Wen-sim", PaperV: "13M", PaperE: "400M", Scale: 14, Edges: 1_000_000, Seed: 0xBEEF03},
+	{Name: "TTW-sim", PaperV: "41M", PaperE: "1.5B", Scale: 15, Edges: 2_200_000, Seed: 0xBEEF04},
+}
+
+// ByName returns the stand-in with the given name, or false.
+func ByName(name string) (StandIn, bool) {
+	for _, s := range StandIns {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StandIn{}, false
+}
+
+// Build generates the stand-in's base graph scaled by the given factor
+// (scale ≥ 1 multiplies edge counts; vertex count doubles per factor of 2
+// so the average degree — the paper's Table 2 shape — is preserved).
+func (s StandIn) Build(sizeFactor float64) (n int, edges graph.EdgeList) {
+	if sizeFactor < 1 {
+		sizeFactor = 1
+	}
+	cfg := DefaultRMAT(s.Scale, int(float64(s.Edges)*sizeFactor), s.Seed)
+	for f := sizeFactor; f >= 2; f /= 2 {
+		cfg.Scale++
+	}
+	return RMAT(cfg)
+}

@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"fmt"
+
+	"commongraph/internal/graph"
+)
+
+// Transition is one step of an evolving graph: applying Additions and
+// Deletions to snapshot i yields snapshot i+1.
+type Transition struct {
+	Additions graph.EdgeList
+	Deletions graph.EdgeList
+}
+
+// StreamConfig parametrizes an evolving update stream.
+type StreamConfig struct {
+	Transitions int // number of transitions (snapshots - 1)
+	Additions   int // edges added per transition
+	Deletions   int // edges deleted per transition
+	Seed        uint64
+}
+
+// Stream generates cfg.Transitions transitions for an evolving graph that
+// starts from base (canonical) over n vertices. Deletions are sampled
+// uniformly from the current edge set; additions are distinct new edges not
+// currently present. Edge weights come from WeightOf, so identity is stable
+// across delete/re-add. The base list itself is not modified.
+func Stream(n int, base graph.EdgeList, cfg StreamConfig) ([]Transition, error) {
+	if cfg.Deletions*cfg.Transitions > len(base) {
+		// Not a hard bound (additions replenish the pool), but guards
+		// against degenerate configurations that would drain the graph.
+		if cfg.Deletions > len(base)/2 {
+			return nil, fmt.Errorf("gen: %d deletions per transition would drain a %d-edge graph", cfg.Deletions, len(base))
+		}
+	}
+	r := NewRNG(cfg.Seed)
+	current := make(map[graph.EdgeKey]struct{}, len(base))
+	pool := make([]graph.EdgeKey, 0, len(base)+cfg.Transitions*cfg.Additions)
+	for _, e := range base {
+		k := e.Key()
+		current[k] = struct{}{}
+		pool = append(pool, k)
+	}
+	out := make([]Transition, 0, cfg.Transitions)
+	for t := 0; t < cfg.Transitions; t++ {
+		var tr Transition
+		// Deletions: sample distinct live edges from the pool. The pool may
+		// contain stale keys (already deleted); skip them.
+		dels := make(map[graph.EdgeKey]struct{}, cfg.Deletions)
+		for len(dels) < cfg.Deletions {
+			k := pool[r.Intn(len(pool))]
+			if _, live := current[k]; !live {
+				continue
+			}
+			if _, dup := dels[k]; dup {
+				continue
+			}
+			dels[k] = struct{}{}
+		}
+		for k := range dels {
+			delete(current, k)
+			tr.Deletions = append(tr.Deletions, graph.Edge{Src: k.Src(), Dst: k.Dst(), W: WeightOf(k.Src(), k.Dst())})
+		}
+		// Additions: distinct edges absent from the current graph and from
+		// this transition's deletions (an edge deleted and re-added in the
+		// same batch would be ambiguous).
+		for added := 0; added < cfg.Additions; {
+			src := graph.VertexID(r.Intn(n))
+			dst := graph.VertexID(r.Intn(n))
+			if src == dst {
+				continue
+			}
+			k := graph.MakeKey(src, dst)
+			if _, present := current[k]; present {
+				continue
+			}
+			if _, deleted := dels[k]; deleted {
+				continue
+			}
+			current[k] = struct{}{}
+			pool = append(pool, k)
+			tr.Additions = append(tr.Additions, graph.Edge{Src: src, Dst: dst, W: WeightOf(src, dst)})
+			added++
+		}
+		tr.Additions = tr.Additions.Canonicalize()
+		tr.Deletions = tr.Deletions.Canonicalize()
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// Apply materializes the snapshot reached by applying transitions[0:k] to
+// base. It is a reference implementation used by tests and the snapshot
+// store; O(|E|) per call.
+func Apply(base graph.EdgeList, transitions []Transition) graph.EdgeList {
+	cur := base.Clone().Canonicalize()
+	for _, tr := range transitions {
+		cur = graph.Union(graph.Minus(cur, tr.Deletions), tr.Additions)
+	}
+	return cur
+}

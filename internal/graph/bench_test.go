@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchEdges(n, m int, canonical bool) EdgeList {
+	r := rand.New(rand.NewSource(1))
+	el := make(EdgeList, 0, m)
+	for i := 0; i < m; i++ {
+		el = append(el, Edge{Src: VertexID(r.Intn(n)), Dst: VertexID(r.Intn(n)), W: Weight(r.Intn(100) + 1)})
+	}
+	if canonical {
+		el = el.Canonicalize()
+	}
+	return el
+}
+
+func BenchmarkCSRBuildCanonical(b *testing.B) {
+	const n = 1 << 15
+	edges := benchEdges(n, 200_000, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewCSR(n, edges)
+	}
+}
+
+func BenchmarkCSRBuildUnsorted(b *testing.B) {
+	const n = 1 << 15
+	edges := benchEdges(n, 200_000, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewCSR(n, edges)
+	}
+}
+
+func BenchmarkReverseCSRBuild(b *testing.B) {
+	const n = 1 << 15
+	edges := benchEdges(n, 200_000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewReverseCSR(n, edges)
+	}
+}
+
+func BenchmarkCSRTraversal(b *testing.B) {
+	const n = 1 << 15
+	edges := benchEdges(n, 200_000, true)
+	c := NewCSR(n, edges)
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for u := 0; u < n; u++ {
+			c.Neighbors(VertexID(u), func(v VertexID, w Weight) {
+				sink += int64(v)
+			})
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkSetMinus(b *testing.B) {
+	a := benchEdges(1<<15, 100_000, true)
+	c := benchEdges(1<<15, 100_000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Minus(a, c)
+	}
+}
+
+func BenchmarkSetUnion(b *testing.B) {
+	a := benchEdges(1<<15, 100_000, true)
+	c := benchEdges(1<<15, 100_000, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Union(a, c)
+	}
+}
+
+func BenchmarkCanonicalize(b *testing.B) {
+	src := benchEdges(1<<15, 100_000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		el := src.Clone()
+		b.StartTimer()
+		el.Canonicalize()
+	}
+}

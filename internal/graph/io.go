@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes edges as "src dst weight" lines, one per edge, preceded
+// by a header line "# vertices N edges M".
+func WriteText(w io.Writer, n int, edges EdgeList) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d edges %d\n", n, len(edges)); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", e.Src, e.Dst, e.W); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the format produced by WriteText. Lines starting with
+// '#' other than the header, and blank lines, are ignored. If no header is
+// present, the vertex count is inferred as MaxVertex+1.
+func ReadText(r io.Reader) (n int, edges EdgeList, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n = -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			var hn, hm int
+			if _, e := fmt.Sscanf(text, "# vertices %d edges %d", &hn, &hm); e == nil {
+				n = hn
+				edges = make(EdgeList, 0, hm)
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return 0, nil, fmt.Errorf("graph: line %d: want 'src dst [w]', got %q", line, text)
+		}
+		src, e1 := strconv.ParseUint(fields[0], 10, 32)
+		dst, e2 := strconv.ParseUint(fields[1], 10, 32)
+		if e1 != nil || e2 != nil {
+			return 0, nil, fmt.Errorf("graph: line %d: bad vertex id in %q", line, text)
+		}
+		w := int64(1)
+		if len(fields) == 3 {
+			var e3 error
+			w, e3 = strconv.ParseInt(fields[2], 10, 32)
+			if e3 != nil {
+				return 0, nil, fmt.Errorf("graph: line %d: bad weight in %q", line, text)
+			}
+		}
+		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst), W: Weight(w)})
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, err
+	}
+	if n < 0 {
+		n = edges.MaxVertex() + 1
+	}
+	return n, edges, nil
+}
+
+// binaryMagic guards the binary format.
+const binaryMagic = uint32(0xC0330C01)
+
+// WriteBinary writes edges in a compact little-endian binary format:
+// magic, n, m, then m records of (src u32, dst u32, w i32).
+func WriteBinary(w io.Writer, n int, edges EdgeList) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{binaryMagic, uint32(n), uint32(len(edges))}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	buf := make([]uint32, 0, 3*len(edges))
+	for _, e := range edges {
+		buf = append(buf, uint32(e.Src), uint32(e.Dst), uint32(e.W))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the format produced by WriteBinary.
+func ReadBinary(r io.Reader) (n int, edges EdgeList, err error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0] != binaryMagic {
+		return 0, nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	n = int(hdr[1])
+	m := int(hdr[2])
+	buf := make([]uint32, 3*m)
+	if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+		return 0, nil, err
+	}
+	edges = make(EdgeList, m)
+	for i := 0; i < m; i++ {
+		edges[i] = Edge{
+			Src: VertexID(buf[3*i]),
+			Dst: VertexID(buf[3*i+1]),
+			W:   Weight(int32(buf[3*i+2])),
+		}
+	}
+	return n, edges, nil
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	edges := randomCanonical(r, 20, 60)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, 20, edges); err != nil {
+		t.Fatal(err)
+	}
+	n, back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("n=%d", n)
+	}
+	if !Equal(back, edges) {
+		t.Fatalf("edges differ")
+	}
+	for i := range back {
+		if back[i].W != edges[i].W {
+			t.Fatalf("weight differs at %d", i)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	edges := randomCanonical(r, 40, 200)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, 40, edges); err != nil {
+		t.Fatal(err)
+	}
+	n, back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 || !Equal(back, edges) {
+		t.Fatalf("round trip failed: n=%d", n)
+	}
+}
+
+func TestReadTextNoHeader(t *testing.T) {
+	in := "0 1 5\n2 3\n\n# a comment\n1 2 7\n"
+	n, edges, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("inferred n=%d", n)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("edges=%v", edges)
+	}
+	if edges[1].W != 1 {
+		t.Fatalf("default weight should be 1, got %d", edges[1].W)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"0\n",                // too few fields
+		"0 1 2 3\n",          // too many fields
+		"x 1\n",              // bad src
+		"0 y\n",              // bad dst
+		"0 1 zebra\n",        // bad weight
+		"0 1 999999999999\n", // weight overflow
+	}
+	for _, in := range cases {
+		if _, _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0})
+	if _, _, err := ReadBinary(buf); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	edges := EdgeList{{Src: 0, Dst: 1, W: 1}}
+	if err := WriteBinary(&buf, 2, edges); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, _, err := ReadBinary(bytes.NewReader(b[:len(b)-2])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	edges := EdgeList{
+		{Src: 0, Dst: 1, W: 1},
+		{Src: 0, Dst: 2, W: 1},
+		{Src: 1, Dst: 2, W: 1},
+	}
+	s := ComputeStats("toy", 5, edges)
+	if s.Vertices != 5 || s.Edges != 3 {
+		t.Fatalf("%+v", s)
+	}
+	if s.MaxOutDeg != 2 {
+		t.Fatalf("max out %d", s.MaxOutDeg)
+	}
+	if s.MaxInDeg != 2 {
+		t.Fatalf("max in %d", s.MaxInDeg)
+	}
+	if s.Isolated != 2 { // vertices 3 and 4
+		t.Fatalf("isolated %d", s.Isolated)
+	}
+	if s.AvgDegree != 0.6 {
+		t.Fatalf("avg %f", s.AvgDegree)
+	}
+	if !strings.Contains(s.String(), "toy") {
+		t.Fatalf("string: %s", s.String())
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats("empty", 0, nil)
+	if s.AvgDegree != 0 || s.Vertices != 0 || s.Edges != 0 {
+		t.Fatalf("%+v", s)
+	}
+}

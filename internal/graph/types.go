@@ -1,0 +1,64 @@
+// Package graph provides the static graph substrate used throughout the
+// CommonGraph system: vertex and edge types, edge lists, compressed sparse
+// row (CSR) representations in both directions, and text/binary I/O.
+//
+// Everything here is immutable once built. Mutable adjacency (needed only
+// by the KickStarter baseline, which mutates graphs in place) lives in
+// internal/kickstarter; mutation-free overlays live in internal/delta.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// VertexID identifies a vertex. Vertices are dense integers in [0, n).
+type VertexID uint32
+
+// NoVertex is a sentinel meaning "no vertex" (used for absent parents).
+const NoVertex VertexID = math.MaxUint32
+
+// Weight is an edge weight. All five benchmark algorithms operate on
+// int32 weights; Viterbi interprets weights as Q2.30 fixed-point
+// probabilities in (0, 1] (see internal/algo).
+type Weight int32
+
+// Edge is a directed, weighted edge.
+type Edge struct {
+	Src VertexID
+	Dst VertexID
+	W   Weight
+}
+
+// EdgeKey uniquely identifies an edge by its endpoints. Two edges with the
+// same endpoints are considered the same edge: update streams never carry
+// parallel edges, and a (re-)added edge keeps its weight (weights are a
+// deterministic function of the endpoints in all our generators).
+type EdgeKey uint64
+
+// Key returns the edge's identity key.
+func (e Edge) Key() EdgeKey { return MakeKey(e.Src, e.Dst) }
+
+// MakeKey packs (src, dst) into an EdgeKey.
+func MakeKey(src, dst VertexID) EdgeKey {
+	return EdgeKey(uint64(src)<<32 | uint64(dst))
+}
+
+// Src returns the source endpoint encoded in the key.
+func (k EdgeKey) Src() VertexID { return VertexID(k >> 32) }
+
+// Dst returns the destination endpoint encoded in the key.
+func (k EdgeKey) Dst() VertexID { return VertexID(k & 0xffffffff) }
+
+// String renders an edge as "src->dst(w)".
+func (e Edge) String() string {
+	return fmt.Sprintf("%d->%d(%d)", e.Src, e.Dst, e.W)
+}
+
+// Less orders edges by (src, dst).
+func (e Edge) Less(o Edge) bool {
+	if e.Src != o.Src {
+		return e.Src < o.Src
+	}
+	return e.Dst < o.Dst
+}

@@ -1,0 +1,150 @@
+// Package ingest turns a raw interleaved stream of single-edge updates
+// into the net per-snapshot batches the evolving-graph store consumes —
+// the front half of §4.1's "when new snapshots are to be created by a
+// stream of batches". Streams arrive as they happen (an edge may be added,
+// deleted, and re-added within one batching window); the store wants one
+// canonical Δ+/Δ− pair per transition.
+package ingest
+
+import (
+	"fmt"
+
+	"commongraph/internal/graph"
+)
+
+// Op is an update's direction.
+type Op uint8
+
+// Update operations.
+const (
+	Add Op = iota
+	Delete
+)
+
+// String names the op.
+func (o Op) String() string {
+	if o == Add {
+		return "add"
+	}
+	return "delete"
+}
+
+// Update is one raw stream event.
+type Update struct {
+	Op   Op
+	Edge graph.Edge
+}
+
+// Compact folds an ordered sequence of updates into its net effect
+// relative to the sequence's start: an edge added and deleted within the
+// window nets to nothing; deleted and re-added likewise (the edge simply
+// persists); only edges whose final state differs from their initial
+// state appear in the output batches.
+//
+// Per edge, operations must alternate (an Add of a present edge or a
+// Delete of an absent one — judged within the window — is an error), and
+// re-added edges must keep their weight, since edge identity is by
+// endpoints throughout the system.
+func Compact(updates []Update) (additions, deletions graph.EdgeList, err error) {
+	type state struct {
+		first   Op
+		last    Op
+		weight  graph.Weight
+		reAddW  graph.Weight
+		touched bool
+	}
+	states := map[graph.EdgeKey]*state{}
+	order := make([]graph.EdgeKey, 0, len(updates))
+	for i, u := range updates {
+		k := u.Edge.Key()
+		st, ok := states[k]
+		if !ok {
+			st = &state{first: u.Op, last: u.Op, weight: u.Edge.W}
+			states[k] = st
+			order = append(order, k)
+			continue
+		}
+		if st.last == u.Op {
+			return nil, nil, fmt.Errorf("ingest: update %d: %s of edge %v repeats the previous operation", i, u.Op, u.Edge)
+		}
+		if u.Op == Add && u.Edge.W != st.weight {
+			return nil, nil, fmt.Errorf("ingest: update %d: edge %v re-added with weight %d (was %d); edge identity is by endpoints",
+				i, u.Edge, u.Edge.W, st.weight)
+		}
+		st.last = u.Op
+	}
+	for _, k := range order {
+		st := states[k]
+		if st.first != st.last {
+			continue // returned to the initial state: nets to nothing
+		}
+		e := graph.Edge{Src: k.Src(), Dst: k.Dst(), W: st.weight}
+		if st.last == Add {
+			additions = append(additions, e)
+		} else {
+			deletions = append(deletions, e)
+		}
+	}
+	return additions.Canonicalize(), deletions.Canonicalize(), nil
+}
+
+// Sink receives the net batches Batcher emits; the snapshot store's
+// NewVersion has exactly this shape.
+type Sink func(additions, deletions graph.EdgeList) error
+
+// Batcher accumulates raw updates and emits one net batch to its sink
+// every batchSize raw updates (plus whatever remains on Flush). Streaming
+// systems batch updates to amortize incremental computation (§2.1); the
+// window size trades staleness for efficiency.
+type Batcher struct {
+	sink      Sink
+	batchSize int
+	pending   []Update
+}
+
+// NewBatcher creates a batcher emitting to sink every batchSize updates.
+func NewBatcher(sink Sink, batchSize int) (*Batcher, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("ingest: batch size must be positive, got %d", batchSize)
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("ingest: nil sink")
+	}
+	return &Batcher{sink: sink, batchSize: batchSize}, nil
+}
+
+// Push appends raw updates, emitting batches as the window fills.
+func (b *Batcher) Push(updates ...Update) error {
+	b.pending = append(b.pending, updates...)
+	for len(b.pending) >= b.batchSize {
+		if err := b.emit(b.pending[:b.batchSize]); err != nil {
+			return err
+		}
+		b.pending = b.pending[b.batchSize:]
+	}
+	return nil
+}
+
+// Flush emits any remaining updates as a final, possibly short batch.
+func (b *Batcher) Flush() error {
+	if len(b.pending) == 0 {
+		return nil
+	}
+	pend := b.pending
+	b.pending = nil
+	return b.emit(pend)
+}
+
+// Pending reports how many raw updates await the next batch boundary.
+func (b *Batcher) Pending() int { return len(b.pending) }
+
+func (b *Batcher) emit(updates []Update) error {
+	adds, dels, err := Compact(updates)
+	if err != nil {
+		return err
+	}
+	if len(adds) == 0 && len(dels) == 0 {
+		return nil // the window cancelled itself out entirely
+	}
+	return b.sink(adds, dels)
+}

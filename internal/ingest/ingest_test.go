@@ -1,0 +1,151 @@
+package ingest
+
+import (
+	"testing"
+
+	"commongraph/internal/graph"
+)
+
+func e(s, d uint32, w int32) graph.Edge {
+	return graph.Edge{Src: graph.VertexID(s), Dst: graph.VertexID(d), W: graph.Weight(w)}
+}
+
+func TestCompactNetEffects(t *testing.T) {
+	updates := []Update{
+		{Add, e(0, 1, 5)},    // plain add
+		{Delete, e(2, 3, 7)}, // plain delete
+		{Add, e(4, 5, 1)},    // add ...
+		{Delete, e(4, 5, 1)}, // ... then delete: nets to nothing
+		{Delete, e(6, 7, 2)}, // delete ...
+		{Add, e(6, 7, 2)},    // ... then re-add: nets to nothing
+		{Add, e(8, 9, 3)},    // add, delete, add again: net add
+		{Delete, e(8, 9, 3)},
+		{Add, e(8, 9, 3)},
+	}
+	adds, dels, err := Compact(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAdds := graph.EdgeList{e(0, 1, 5), e(8, 9, 3)}
+	wantDels := graph.EdgeList{e(2, 3, 7)}
+	if !graph.Equal(adds, wantAdds) {
+		t.Fatalf("adds = %v", adds)
+	}
+	if !graph.Equal(dels, wantDels) {
+		t.Fatalf("dels = %v", dels)
+	}
+}
+
+func TestCompactRejectsRepeatedOp(t *testing.T) {
+	if _, _, err := Compact([]Update{{Add, e(0, 1, 1)}, {Add, e(0, 1, 1)}}); err == nil {
+		t.Fatal("double add accepted")
+	}
+	if _, _, err := Compact([]Update{{Delete, e(0, 1, 1)}, {Delete, e(0, 1, 1)}}); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestCompactRejectsWeightChange(t *testing.T) {
+	updates := []Update{
+		{Delete, e(0, 1, 5)},
+		{Add, e(0, 1, 9)}, // re-added with a different weight
+	}
+	if _, _, err := Compact(updates); err == nil {
+		t.Fatal("weight change accepted")
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	adds, dels, err := Compact(nil)
+	if err != nil || len(adds) != 0 || len(dels) != 0 {
+		t.Fatalf("adds=%v dels=%v err=%v", adds, dels, err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Add.String() != "add" || Delete.String() != "delete" {
+		t.Fatal("op names wrong")
+	}
+}
+
+// collectSink records emitted batches.
+type collectSink struct {
+	adds []graph.EdgeList
+	dels []graph.EdgeList
+}
+
+func (c *collectSink) sink(a, d graph.EdgeList) error {
+	c.adds = append(c.adds, a)
+	c.dels = append(c.dels, d)
+	return nil
+}
+
+func TestBatcherWindows(t *testing.T) {
+	var c collectSink
+	b, err := NewBatcher(c.sink, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Push(
+		Update{Add, e(0, 1, 1)},
+		Update{Add, e(1, 2, 1)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.adds) != 0 || b.Pending() != 2 {
+		t.Fatalf("premature emission: %d batches, %d pending", len(c.adds), b.Pending())
+	}
+	if err := b.Push(
+		Update{Delete, e(5, 6, 2)}, // completes window 1
+		Update{Add, e(7, 8, 3)},    // starts window 2
+	); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.adds) != 1 || b.Pending() != 1 {
+		t.Fatalf("after window 1: %d batches, %d pending", len(c.adds), b.Pending())
+	}
+	if len(c.adds[0]) != 2 || len(c.dels[0]) != 1 {
+		t.Fatalf("window 1 batches: +%d -%d", len(c.adds[0]), len(c.dels[0]))
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.adds) != 2 || b.Pending() != 0 {
+		t.Fatalf("after flush: %d batches, %d pending", len(c.adds), b.Pending())
+	}
+	// Flushing again is a no-op.
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.adds) != 2 {
+		t.Fatal("double flush emitted")
+	}
+}
+
+func TestBatcherSkipsSelfCancellingWindow(t *testing.T) {
+	var c collectSink
+	b, _ := NewBatcher(c.sink, 2)
+	if err := b.Push(
+		Update{Add, e(0, 1, 1)},
+		Update{Delete, e(0, 1, 1)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.adds) != 0 {
+		t.Fatal("self-cancelling window emitted a batch")
+	}
+}
+
+func TestBatcherValidation(t *testing.T) {
+	if _, err := NewBatcher(nil, 3); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+	var c collectSink
+	if _, err := NewBatcher(c.sink, 0); err == nil {
+		t.Fatal("zero batch size accepted")
+	}
+	b, _ := NewBatcher(c.sink, 2)
+	if err := b.Push(Update{Add, e(0, 1, 1)}, Update{Add, e(0, 1, 1)}); err == nil {
+		t.Fatal("invalid window accepted")
+	}
+}

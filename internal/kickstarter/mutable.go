@@ -1,0 +1,126 @@
+// Package kickstarter reconstructs the KickStarter streaming baseline
+// (Vora et al., ASPLOS '17) that the paper compares against: a single
+// mutable graph version plus a trimmed-approximation incremental engine.
+// Additions propagate improvements directly; deletions invalidate the
+// dependence subtree of every vertex whose justifying edge died, reset it,
+// and re-propagate. The graph itself is mutated in place — the cost the
+// CommonGraph representation eliminates.
+package kickstarter
+
+import (
+	"fmt"
+
+	"commongraph/internal/delta"
+	"commongraph/internal/graph"
+)
+
+type half struct {
+	to graph.VertexID
+	w  graph.Weight
+}
+
+// MutableGraph is an in-place mutable adjacency (out- and in-lists per
+// vertex). Additions append (amortized O(1) per edge); deletions linear-
+// search the row and swap-remove (O(degree) per edge) — the classic
+// adjacency-mutation asymmetry the paper measures in Figure 1 (bottom).
+type MutableGraph struct {
+	n   int
+	m   int
+	out [][]half
+	in  [][]half
+}
+
+// NewMutableGraph builds a mutable graph over n vertices from initial.
+func NewMutableGraph(n int, initial graph.EdgeList) *MutableGraph {
+	g := &MutableGraph{n: n, out: make([][]half, n), in: make([][]half, n)}
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for _, e := range initial {
+		outDeg[e.Src]++
+		inDeg[e.Dst]++
+	}
+	for v := 0; v < n; v++ {
+		if outDeg[v] > 0 {
+			g.out[v] = make([]half, 0, outDeg[v])
+		}
+		if inDeg[v] > 0 {
+			g.in[v] = make([]half, 0, inDeg[v])
+		}
+	}
+	g.AddBatch(initial)
+	return g
+}
+
+// NumVertices returns the vertex count.
+func (g *MutableGraph) NumVertices() int { return g.n }
+
+// NumEdges returns the current edge count.
+func (g *MutableGraph) NumEdges() int { return g.m }
+
+// OutEdges visits u's current out-neighbours.
+func (g *MutableGraph) OutEdges(u graph.VertexID, fn func(v graph.VertexID, w graph.Weight)) {
+	for _, h := range g.out[u] {
+		fn(h.to, h.w)
+	}
+}
+
+// InEdges visits v's current in-neighbours.
+func (g *MutableGraph) InEdges(v graph.VertexID, fn func(u graph.VertexID, w graph.Weight)) {
+	for _, h := range g.in[v] {
+		fn(h.to, h.w)
+	}
+}
+
+// AddBatch mutates the graph to include the batch (graph mutation,
+// addition side). Duplicate edges must not be added; the snapshot store
+// and generators uphold this.
+func (g *MutableGraph) AddBatch(batch graph.EdgeList) {
+	for _, e := range batch {
+		g.out[e.Src] = append(g.out[e.Src], half{to: e.Dst, w: e.W})
+		g.in[e.Dst] = append(g.in[e.Dst], half{to: e.Src, w: e.W})
+		g.m++
+	}
+}
+
+// DeleteBatch mutates the graph to remove the batch (graph mutation,
+// deletion side). It returns an error if an edge is not present.
+func (g *MutableGraph) DeleteBatch(batch graph.EdgeList) error {
+	for _, e := range batch {
+		if !removeHalf(&g.out[e.Src], e.Dst) {
+			return fmt.Errorf("kickstarter: delete of absent edge %v", e)
+		}
+		if !removeHalf(&g.in[e.Dst], e.Src) {
+			return fmt.Errorf("kickstarter: in-list missing edge %v", e)
+		}
+		g.m--
+	}
+	return nil
+}
+
+// removeHalf deletes the entry for `to`, preserving row order: like CSR
+// compaction, every later entry shifts left, so deletion costs O(degree)
+// in both the search and the move — the asymmetry of Figure 1 (bottom).
+func removeHalf(row *[]half, to graph.VertexID) bool {
+	s := *row
+	for i := range s {
+		if s[i].to == to {
+			copy(s[i:], s[i+1:])
+			*row = s[:len(s)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// Edges materializes the current edge list (canonical); test support.
+func (g *MutableGraph) Edges() graph.EdgeList {
+	out := make(graph.EdgeList, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, h := range g.out[u] {
+			out = append(out, graph.Edge{Src: graph.VertexID(u), Dst: h.to, W: h.w})
+		}
+	}
+	return out.Canonicalize()
+}
+
+var _ delta.Graph = (*MutableGraph)(nil)

@@ -1,0 +1,205 @@
+// Package snapshot implements the evolving-graph store: the initial
+// snapshot plus the per-transition update batches, behind the version
+// control API of Table 1 in the paper (get_version, diff, new_version).
+//
+// The store never materializes all snapshots; it keeps the initial edge
+// list and the Δ batches, and materializes any requested version on
+// demand. Each edge is stored once (the paper's space-optimality claim for
+// the common-graph representation is realized one level up, in
+// internal/core, which consumes this store).
+package snapshot
+
+import (
+	"fmt"
+	"sync"
+
+	"commongraph/internal/delta"
+	"commongraph/internal/graph"
+)
+
+// Store holds an evolving graph as snapshot 0 plus transitions.
+// It is safe for concurrent readers; NewVersion requires exclusive use.
+type Store struct {
+	mu   sync.RWMutex
+	n    int
+	base graph.EdgeList // canonical snapshot 0
+	adds []*delta.Batch // adds[i], dels[i] turn version i into i+1
+	dels []*delta.Batch
+
+	// cache of materialized versions, filled lazily. Version 0 is always
+	// cached; at most maxCached others are retained (FIFO eviction), so a
+	// long store never holds every snapshot in memory at once.
+	versions   map[int]graph.EdgeList
+	cacheOrder []int
+}
+
+// maxCached bounds the number of non-zero versions kept materialized.
+const maxCached = 4
+
+// NewStore creates a store over n vertices whose version 0 is initial.
+func NewStore(n int, initial graph.EdgeList) *Store {
+	base := initial.Clone().Canonicalize()
+	return &Store{
+		n:        n,
+		base:     base,
+		versions: map[int]graph.EdgeList{0: base},
+	}
+}
+
+// NewStoreFromTransitions creates a store from a pre-validated update
+// stream without the per-transition consistency materialization NewVersion
+// performs — for trusted producers (the workload generator, whose streams
+// are consistent by construction). adds and dels must be equal-length
+// slices of canonical batches; adds[i]/dels[i] turn version i into i+1.
+func NewStoreFromTransitions(n int, initial graph.EdgeList, adds, dels []graph.EdgeList) (*Store, error) {
+	if len(adds) != len(dels) {
+		return nil, fmt.Errorf("snapshot: %d addition batches vs %d deletion batches", len(adds), len(dels))
+	}
+	s := NewStore(n, initial)
+	for i := range adds {
+		s.adds = append(s.adds, delta.FromCanonical(adds[i]))
+		s.dels = append(s.dels, delta.FromCanonical(dels[i]))
+	}
+	return s, nil
+}
+
+// NumVertices returns the store's vertex-space size.
+func (s *Store) NumVertices() int { return s.n }
+
+// NumVersions returns the number of snapshots (transitions + 1).
+func (s *Store) NumVersions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.adds) + 1
+}
+
+// Additions returns the Δ+ batch of transition i (version i → i+1).
+func (s *Store) Additions(i int) *delta.Batch {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.adds[i]
+}
+
+// Deletions returns the Δ− batch of transition i (version i → i+1).
+func (s *Store) Deletions(i int) *delta.Batch {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.dels[i]
+}
+
+// NewVersion appends a snapshot derived from the latest one by applying
+// the given batches (Table 1's new_version(Δ+, Δ−)). It validates that
+// deletions exist in and additions are absent from the latest snapshot.
+func (s *Store) NewVersion(additions, deletions graph.EdgeList) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	latest := len(s.adds)
+	cur := s.materializeLocked(latest)
+	add := delta.NewBatch(additions)
+	del := delta.NewBatch(deletions)
+	for _, e := range del.Edges() {
+		if !cur.Contains(e.Src, e.Dst) {
+			return 0, fmt.Errorf("snapshot: version %d does not contain deleted edge %v", latest, e)
+		}
+	}
+	for _, e := range add.Edges() {
+		if cur.Contains(e.Src, e.Dst) {
+			return 0, fmt.Errorf("snapshot: version %d already contains added edge %v", latest, e)
+		}
+		if int(e.Src) >= s.n || int(e.Dst) >= s.n {
+			return 0, fmt.Errorf("snapshot: edge %v out of vertex range %d", e, s.n)
+		}
+	}
+	if add.Intersect(del).Len() != 0 {
+		return 0, fmt.Errorf("snapshot: additions and deletions overlap")
+	}
+	s.adds = append(s.adds, add)
+	s.dels = append(s.dels, del)
+	return latest + 1, nil
+}
+
+// GetVersion materializes snapshot i as a canonical edge list
+// (Table 1's get_version). The result is cached; do not modify it.
+func (s *Store) GetVersion(i int) (graph.EdgeList, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i > len(s.adds) {
+		return nil, fmt.Errorf("snapshot: version %d out of range [0,%d]", i, len(s.adds))
+	}
+	return s.materializeLocked(i), nil
+}
+
+// materializeLocked returns version i, computing from the nearest lower
+// cached version. Only version i itself enters the cache, which is
+// bounded by maxCached entries besides version 0.
+func (s *Store) materializeLocked(i int) graph.EdgeList {
+	if v, ok := s.versions[i]; ok {
+		return v
+	}
+	// Find the nearest cached predecessor.
+	from := 0
+	for j := i - 1; j > 0; j-- {
+		if _, ok := s.versions[j]; ok {
+			from = j
+			break
+		}
+	}
+	cur := s.versions[from]
+	for t := from; t < i; t++ {
+		cur = graph.Union(graph.Minus(cur, s.dels[t].Edges()), s.adds[t].Edges())
+	}
+	s.cacheLocked(i, cur)
+	return cur
+}
+
+// cacheLocked inserts a materialized version, evicting the oldest cached
+// non-zero version beyond the cap.
+func (s *Store) cacheLocked(i int, edges graph.EdgeList) {
+	if i == 0 {
+		return
+	}
+	if _, ok := s.versions[i]; ok {
+		return
+	}
+	s.versions[i] = edges
+	s.cacheOrder = append(s.cacheOrder, i)
+	for len(s.cacheOrder) > maxCached {
+		evict := s.cacheOrder[0]
+		s.cacheOrder = s.cacheOrder[1:]
+		delete(s.versions, evict)
+	}
+}
+
+// Diff computes the batches that turn version i into version j
+// (Table 1's diff): the returned additions are in j but not i, deletions
+// in i but not j. i and j need not be adjacent or ordered.
+func (s *Store) Diff(i, j int) (additions, deletions *delta.Batch, err error) {
+	gi, err := s.GetVersion(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	gj, err := s.GetVersion(j)
+	if err != nil {
+		return nil, nil, err
+	}
+	return delta.FromCanonical(graph.Minus(gj, gi)),
+		delta.FromCanonical(graph.Minus(gi, gj)), nil
+}
+
+// Pair materializes snapshot i as a traversal-ready CSR pair.
+func (s *Store) Pair(i int) (*graph.Pair, error) {
+	edges, err := s.GetVersion(i)
+	if err != nil {
+		return nil, err
+	}
+	return graph.NewPair(s.n, edges), nil
+}
+
+// DropCache releases materialized snapshots other than version 0, for
+// long-lived stores that only need the batch view.
+func (s *Store) DropCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.versions = map[int]graph.EdgeList{0: s.base}
+	s.cacheOrder = nil
+}

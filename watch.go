@@ -1,0 +1,139 @@
+package commongraph
+
+import (
+	"fmt"
+
+	"commongraph/internal/core"
+)
+
+// Watcher keeps the CommonGraph representation of a snapshot window alive
+// and up to date as the evolving graph grows — the maintenance behaviour
+// of §4.1. Instead of rebuilding the common graph per query, a service
+// appends snapshots as they arrive (and optionally slides the window
+// forward) paying only incremental set work, then evaluates repeatedly.
+type Watcher struct {
+	g *EvolvingGraph
+	m *core.MaintainedRep
+}
+
+// Watch creates a maintained window over [from, to].
+func (g *EvolvingGraph) Watch(from, to int) (*Watcher, error) {
+	m, err := core.NewMaintainedRep(core.Window{Store: g.store, From: from, To: to})
+	if err != nil {
+		return nil, err
+	}
+	return &Watcher{g: g, m: m}, nil
+}
+
+// Window returns the watcher's current snapshot range.
+func (w *Watcher) Window() (from, to int) {
+	win := w.m.Window()
+	return win.From, win.To
+}
+
+// CommonEdges returns the current common graph's size.
+func (w *Watcher) CommonEdges() int { return len(w.m.Rep().Common) }
+
+// Append extends the window to the next snapshot, which must already have
+// been created with ApplyUpdates.
+func (w *Watcher) Append() error { return w.m.Append() }
+
+// Advance drops the window's oldest snapshot.
+func (w *Watcher) Advance() error { return w.m.Advance() }
+
+// Slide appends the next snapshot and drops the oldest, keeping the
+// window's width.
+func (w *Watcher) Slide() error { return w.m.Slide() }
+
+// Evaluate runs a query over the maintained window. Only the CommonGraph
+// strategies apply (the whole point of maintaining the representation);
+// KickStarter would stream from the store directly.
+func (w *Watcher) Evaluate(q Query, strategy Strategy, opt Options) (*Result, error) {
+	if q.Algorithm == nil {
+		return nil, fmt.Errorf("commongraph: query has no algorithm")
+	}
+	cfg := core.Config{
+		Algo:            q.Algorithm,
+		Source:          q.Source,
+		Engine:          opt.engine(),
+		KeepValues:      opt.KeepValues,
+		Parallelism:     opt.Parallelism,
+		OptimalSchedule: opt.OptimalSchedule,
+	}
+	rep := w.m.Rep()
+	var (
+		inner *core.Result
+		err   error
+	)
+	switch strategy {
+	case DirectHop:
+		inner, err = core.DirectHop(rep, cfg)
+	case DirectHopParallel:
+		inner, err = core.DirectHopParallel(rep, cfg)
+	case WorkSharing:
+		inner, _, err = core.EvaluateWorkSharing(rep, cfg)
+	case WorkSharingParallel:
+		inner, _, err = core.EvaluateWorkSharingParallel(rep, cfg)
+	default:
+		return nil, fmt.Errorf("commongraph: watcher supports only CommonGraph strategies, not %v", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(inner, w.m.Window().From, strategy), nil
+}
+
+// EvaluateMulti evaluates several queries over the same window with the
+// Work-Sharing schedule built once and shared across all of them.
+func (g *EvolvingGraph) EvaluateMulti(queries []Query, from, to int, opt Options) ([]*Result, error) {
+	w := core.Window{Store: g.store, From: from, To: to}
+	rep, err := core.BuildRep(w)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]core.Config, len(queries))
+	for i, q := range queries {
+		if q.Algorithm == nil {
+			return nil, fmt.Errorf("commongraph: query %d has no algorithm", i)
+		}
+		cfgs[i] = core.Config{
+			Algo:       q.Algorithm,
+			Source:     q.Source,
+			Engine:     opt.engine(),
+			KeepValues: opt.KeepValues,
+		}
+	}
+	inner, _, err := core.EvaluateMany(rep, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(inner))
+	for i, r := range inner {
+		out[i] = convertResult(r, from, WorkSharing)
+	}
+	return out, nil
+}
+
+// convertResult maps a core result into the public shape.
+func convertResult(inner *core.Result, from int, strategy Strategy) *Result {
+	res := &Result{
+		Strategy:           strategy,
+		AdditionsProcessed: inner.AdditionsProcessed,
+		MaxHopTime:         inner.MaxHopTime,
+		Timings: Timings{
+			InitialCompute: inner.Cost.InitialCompute,
+			IncrementalAdd: inner.Cost.IncrementalAdd,
+			Mutation:       inner.Cost.OverlayBuild,
+			Total:          inner.Cost.Total(),
+		},
+	}
+	for _, s := range inner.Snapshots {
+		res.Snapshots = append(res.Snapshots, SnapshotResult{
+			Index:    from + s.Index,
+			Reached:  s.Reached,
+			Checksum: s.Checksum,
+			Values:   s.Values,
+		})
+	}
+	return res
+}

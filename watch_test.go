@@ -1,0 +1,187 @@
+package commongraph
+
+import (
+	"testing"
+)
+
+func TestWatcherTracksGrowth(t *testing.T) {
+	g, _ := buildEvolving(t, 301, 8, 30, 30)
+	w, err := g.Watch(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from, to := w.Window(); from != 0 || to != 3 {
+		t.Fatalf("window [%d,%d]", from, to)
+	}
+	if w.CommonEdges() <= 0 {
+		t.Fatal("no common edges")
+	}
+	q := Query{Algorithm: SSSP, Source: 0}
+	for to := 4; to <= 8; to++ {
+		if err := w.Append(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Evaluate(q, DirectHop, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Must match a fresh evaluation of the same window.
+		fresh, err := g.Evaluate(q, 0, to, DirectHop, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Snapshots) != len(fresh.Snapshots) {
+			t.Fatalf("to=%d: %d vs %d snapshots", to, len(res.Snapshots), len(fresh.Snapshots))
+		}
+		for k := range res.Snapshots {
+			if res.Snapshots[k].Checksum != fresh.Snapshots[k].Checksum ||
+				res.Snapshots[k].Index != fresh.Snapshots[k].Index {
+				t.Fatalf("to=%d snapshot %d differs from fresh evaluation", to, k)
+			}
+		}
+	}
+}
+
+func TestWatcherSlide(t *testing.T) {
+	g, _ := buildEvolving(t, 307, 8, 30, 30)
+	w, err := g.Watch(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Algorithm: SSWP, Source: 0}
+	for i := 0; i < 4; i++ {
+		if err := w.Slide(); err != nil {
+			t.Fatal(err)
+		}
+		from, to := w.Window()
+		if to-from != 4 {
+			t.Fatalf("slide changed width: [%d,%d]", from, to)
+		}
+		res, err := w.Evaluate(q, WorkSharing, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := g.Evaluate(q, from, to, WorkSharing, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range res.Snapshots {
+			if res.Snapshots[k].Checksum != fresh.Snapshots[k].Checksum {
+				t.Fatalf("slide %d snapshot %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestWatcherRejections(t *testing.T) {
+	g, _ := buildEvolving(t, 311, 3, 20, 20)
+	if _, err := g.Watch(2, 9); err == nil {
+		t.Fatal("bad window accepted")
+	}
+	w, err := g.Watch(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(); err == nil {
+		t.Fatal("append past the latest snapshot should fail")
+	}
+	if _, err := w.Evaluate(Query{Algorithm: BFS, Source: 0}, KickStarter, Options{}); err == nil {
+		t.Fatal("watcher should reject the streaming strategy")
+	}
+	if _, err := w.Evaluate(Query{Source: 0}, DirectHop, Options{}); err == nil {
+		t.Fatal("nil algorithm accepted")
+	}
+}
+
+func TestWorkSharingParallelStrategy(t *testing.T) {
+	g, _ := buildEvolving(t, 313, 6, 35, 35)
+	q := Query{Algorithm: SSNP, Source: 0}
+	seq, err := g.Evaluate(q, 0, 6, WorkSharing, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := g.Evaluate(q, 0, 6, WorkSharingParallel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Strategy.String() != "Work-Sharing(parallel)" {
+		t.Fatalf("name %q", par.Strategy.String())
+	}
+	for k := range seq.Snapshots {
+		if seq.Snapshots[k].Checksum != par.Snapshots[k].Checksum {
+			t.Fatalf("snapshot %d differs", k)
+		}
+	}
+	if par.MaxHopTime <= 0 {
+		t.Fatal("parallel work sharing should report the longest subtree")
+	}
+}
+
+func TestEvaluateMulti(t *testing.T) {
+	g, _ := buildEvolving(t, 317, 5, 30, 30)
+	queries := []Query{
+		{Algorithm: BFS, Source: 0},
+		{Algorithm: SSSP, Source: 3},
+		{Algorithm: Viterbi, Source: 0},
+	}
+	multi, err := g.EvaluateMulti(queries, 0, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi) != 3 {
+		t.Fatalf("results=%d", len(multi))
+	}
+	for i, q := range queries {
+		single, err := g.Evaluate(q, 0, 5, WorkSharing, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range single.Snapshots {
+			if single.Snapshots[k].Checksum != multi[i].Snapshots[k].Checksum {
+				t.Fatalf("query %d snapshot %d differs", i, k)
+			}
+		}
+	}
+	// Validation.
+	if _, err := g.EvaluateMulti([]Query{{Source: 0}}, 0, 5, Options{}); err == nil {
+		t.Fatal("nil algorithm accepted")
+	}
+	if _, err := g.EvaluateMulti(queries, 0, 99, Options{}); err == nil {
+		t.Fatal("bad window accepted")
+	}
+}
+
+func TestIndependentStrategyAgrees(t *testing.T) {
+	g, _ := buildEvolving(t, 331, 5, 30, 30)
+	q := Query{Algorithm: SSSP, Source: 0}
+	ind, err := g.Evaluate(q, 0, 5, Independent, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ind.Strategy != Independent || ind.Strategy.String() != "Independent" {
+		t.Fatalf("strategy metadata wrong: %v", ind.Strategy)
+	}
+	ks, err := g.Evaluate(q, 0, 5, KickStarter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range ind.Snapshots {
+		if ind.Snapshots[k].Checksum != ks.Snapshots[k].Checksum {
+			t.Fatalf("independent disagrees at snapshot %d", k)
+		}
+		if ind.Snapshots[k].Index != k {
+			t.Fatalf("snapshot %d has index %d", k, ind.Snapshots[k].Index)
+		}
+	}
+	if ind.AdditionsProcessed != 0 || ind.DeletionsProcessed != 0 {
+		t.Fatal("independent evaluation streams no batches")
+	}
+	// Sub-window indices must be absolute.
+	sub, err := g.Evaluate(q, 2, 4, Independent, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Snapshots[0].Index != 2 {
+		t.Fatalf("sub-window index %d", sub.Snapshots[0].Index)
+	}
+}
