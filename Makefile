@@ -1,0 +1,32 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race vet fuzz-smoke ci
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The §5 parallel executor is validated under the race detector; the
+# race-stress tests in internal/core pit Parallelism 1/2/unbounded
+# against sequential Work-Sharing over a shared representation.
+race:
+	$(GO) test -race ./...
+
+# vet = the standard toolchain vet plus cgvet, the repo's own
+# invariant-checking analyzers (CSR immutability, lock discipline,
+# engine-state write sites, determinism). Both must be clean.
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/cgvet ./...
+
+# Short deterministic fuzz of the graph ingest paths (text + binary).
+fuzz-smoke:
+	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzParseEdgeList$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzLoadCSR$$' -fuzztime $(FUZZTIME)
+
+ci: build vet test race fuzz-smoke

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism keeps runs reproducible — the property every benchmark
+// comparison in EXPERIMENTS.md rests on. It bans the global math/rand
+// source (unseeded, shared, order-dependent) module-wide, and bare
+// time.Now() in the representation/algorithm layers, where a timestamp
+// can only mean a hidden input. Timing-accounting layers (the executor
+// packages, the bench harness, the seeded generator, commands and
+// examples) are allowlisted below; a genuinely needed exception elsewhere
+// is suppressed per-site with //cgvet:ignore determinism.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "ban global math/rand and bare time.Now() in algorithm/representation packages",
+	Run:  runDeterminism,
+}
+
+// randAllowedSegments are path elements whose packages may use math/rand
+// freely: the bench harness, the (seeded) workload generator, and
+// human-facing commands/examples.
+var randAllowedSegments = []string{"bench", "gen", "cmd", "examples"}
+
+// randConstructors create explicitly seeded generators and stay allowed
+// everywhere (math/rand and math/rand/v2 spellings).
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// timeRestrictedLeaves are the internal/<leaf> packages that must stay
+// pure: graph representation, set algebra, the engine, the vertex
+// programs, and the storage/ingest layers. The executor layers (core,
+// kickstarter) and the harness do legitimate wall-clock cost accounting
+// and are not listed — this is the determinism allowlist.
+var timeRestrictedLeaves = map[string]bool{
+	"graph": true, "delta": true, "engine": true, "algo": true,
+	"snapshot": true, "ingest": true, "dataset": true,
+}
+
+func runDeterminism(pass *Pass) {
+	randAllowed := false
+	for _, seg := range randAllowedSegments {
+		if hasSegment(pass.Path, seg) {
+			randAllowed = true
+			break
+		}
+	}
+	timeRestricted := timeRestrictedLeaves[internalLeaf(pass.Path)]
+	if randAllowed && !timeRestricted {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			f, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || f.Pkg() == nil {
+				return true
+			}
+			if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. a seeded *rand.Rand) are fine
+			}
+			switch f.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if !randAllowed && !randConstructors[f.Name()] {
+					pass.Reportf(id.Pos(),
+						"use of global math/rand.%s makes runs irreproducible; use a seeded gen.RNG or rand.New(rand.NewSource(seed))",
+						f.Name())
+				}
+			case "time":
+				if timeRestricted && f.Name() == "Now" {
+					pass.Reportf(id.Pos(),
+						"time.Now() in representation/algorithm package %s; timing belongs in the executor/bench layers (or suppress with //cgvet:ignore determinism)",
+						pass.Path)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package of the module, carrying everything an
+// analyzer needs: syntax, type information, and the import path used to
+// decide which invariants apply.
+type Package struct {
+	Path  string // import path ("commongraph/internal/graph")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// sharedFset and sharedStd are process-wide so stdlib packages are parsed
+// and type-checked once per process even when several loads run (the
+// fixture tests plus the whole-module test). The "source" importer
+// type-checks the standard library from GOROOT sources, which keeps the
+// module free of toolchain-export-data assumptions.
+var (
+	sharedFset = token.NewFileSet()
+	stdOnce    sync.Once
+	sharedStd  types.Importer
+	loadMu     sync.Mutex
+)
+
+func stdImporter() types.Importer {
+	stdOnce.Do(func() {
+		sharedStd = importer.ForCompiler(sharedFset, "source", nil)
+	})
+	return sharedStd
+}
+
+type loader struct {
+	root    string // module root directory
+	module  string // module path from go.mod
+	fset    *token.FileSet
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at root (the directory containing go.mod). testdata,
+// vendor, and hidden directories are skipped. Packages are returned in
+// import-path order.
+func LoadModule(root string) ([]*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		root:    abs,
+		module:  module,
+		fset:    sharedFset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	dirs, err := packageDirs(abs)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		path := ld.importPathFor(dir)
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// synthetic import path. Used by the analyzer fixture tests, where the
+// import path (not the on-disk location) decides which rules apply.
+func LoadDir(dir, asPath string) (*Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ld := &loader{
+		root:    abs,
+		module:  asPath, // fixtures only import stdlib
+		fset:    sharedFset,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	return ld.checkDir(abs, asPath)
+}
+
+func (ld *loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil || rel == "." {
+		return ld.module
+	}
+	return ld.module + "/" + filepath.ToSlash(rel)
+}
+
+func (ld *loader) dirFor(path string) string {
+	if path == ld.module {
+		return ld.root
+	}
+	return filepath.Join(ld.root, filepath.FromSlash(strings.TrimPrefix(path, ld.module+"/")))
+}
+
+func (ld *loader) load(path string) (*Package, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer delete(ld.loading, path)
+	p, err := ld.checkDir(ld.dirFor(path), path)
+	if err != nil {
+		return nil, err
+	}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+func (ld *loader) checkDir(dir, path string) (*Package, error) {
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(path, ld.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v (and %d more)",
+			path, typeErrs[0], len(typeErrs)-1)
+	}
+	return &Package{Path: path, Dir: dir, Fset: ld.fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// Import implements types.Importer: module-internal paths are type-checked
+// from source recursively; everything else is delegated to the stdlib
+// source importer (the module is dependency-free by design).
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.module || strings.HasPrefix(path, ld.module+"/") {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return stdImporter().Import(path)
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			name := strings.TrimSpace(rest)
+			if name != "" {
+				return name, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s", gomod)
+}
+
+// packageDirs returns every directory under root holding at least one
+// non-test Go file, skipping testdata, vendor, and hidden directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		names, err := goFileNames(path)
+		if err != nil {
+			return err
+		}
+		if len(names) > 0 {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// goFileNames lists the buildable non-test Go files of dir, sorted.
+func goFileNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline guards the §5 parallel executors: inside a `go func`
+// closure, a write to a variable captured from the enclosing scope (or to
+// one of its fields/elements) is only safe when a shared sync.Mutex or
+// RWMutex is held — a Lock (or Lock + defer Unlock) must dominate the
+// write. The analysis is a conservative statement walk: locks acquired
+// inside a branch do not count after the branch joins, and a mutex local
+// to the goroutine guards nothing. Intentionally index-disjoint writes
+// (one slice slot per goroutine) are false positives by design and are
+// suppressed per-site with //cgvet:ignore lockdiscipline.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "flag unsynchronized writes to captured variables inside go closures",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ls := &lockWalk{pass: pass, lit: lit}
+			ls.walkStmt(lit.Body, map[types.Object]bool{})
+			// Keep descending: nested go statements are visited (and
+			// analyzed as their own closures) by this same Inspect.
+			return true
+		})
+	}
+}
+
+type lockWalk struct {
+	pass *Pass
+	lit  *ast.FuncLit
+}
+
+// captured resolves id to a variable declared outside the closure — the
+// shared state the goroutine can race on. Parameters and locals of the
+// closure (declared within its source range) are excluded, struct fields
+// resolve through their base variable instead.
+func (ls *lockWalk) captured(id *ast.Ident) *types.Var {
+	v, ok := ls.pass.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pos() >= ls.lit.Pos() && v.Pos() <= ls.lit.End() {
+		return nil
+	}
+	return v
+}
+
+const (
+	lockOp = iota + 1
+	unlockOp
+)
+
+// mutexOp classifies a call as Lock/RLock or Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex and returns the guard's root object. Only a
+// guard captured from outside the goroutine counts: a mutex created
+// inside the closure cannot order the closure against anyone else.
+func (ls *lockWalk) mutexOp(call *ast.CallExpr) (types.Object, int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0
+	}
+	f, ok := ls.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, 0
+	}
+	var kind int
+	switch f.Name() {
+	case "Lock", "RLock":
+		kind = lockOp
+	case "Unlock", "RUnlock":
+		kind = unlockOp
+	default:
+		return nil, 0
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return nil, 0
+	}
+	obj := ls.pass.Info.Uses[root]
+	if obj == nil {
+		return nil, 0
+	}
+	if kind == lockOp && ls.captured(root) == nil {
+		return nil, 0
+	}
+	return obj, kind
+}
+
+func copyHeld(held map[types.Object]bool) map[types.Object]bool {
+	c := make(map[types.Object]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// walkStmt threads the held-mutex set through a statement in source
+// order. Branch bodies get a copy, so a Lock inside an if/for does not
+// leak past the join — "held" always means "a Lock dominates this point".
+func (ls *lockWalk) walkStmt(s ast.Stmt, held map[types.Object]bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if obj, kind := ls.mutexOp(call); obj != nil {
+				if kind == lockOp {
+					held[obj] = true
+				} else {
+					delete(held, obj)
+				}
+				return
+			}
+		}
+		ls.walkExprFuncLits(st.X, held)
+	case *ast.DeferStmt:
+		if obj, kind := ls.mutexOp(st.Call); obj != nil && kind == unlockOp {
+			return // defer Unlock: the lock stays held for the remainder
+		}
+		ls.walkExprFuncLits(st.Call, held)
+	case *ast.AssignStmt:
+		for _, lhs := range st.Lhs {
+			ls.checkWrite(lhs, held)
+		}
+		for _, rhs := range st.Rhs {
+			ls.walkExprFuncLits(rhs, held)
+		}
+	case *ast.IncDecStmt:
+		ls.checkWrite(st.X, held)
+	case *ast.BlockStmt:
+		for _, inner := range st.List {
+			ls.walkStmt(inner, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			ls.walkStmt(st.Init, held)
+		}
+		ls.walkStmt(st.Body, copyHeld(held))
+		if st.Else != nil {
+			ls.walkStmt(st.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			ls.walkStmt(st.Init, held)
+		}
+		ls.walkStmt(st.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		if st.Tok == token.ASSIGN {
+			if st.Key != nil {
+				ls.checkWrite(st.Key, held)
+			}
+			if st.Value != nil {
+				ls.checkWrite(st.Value, held)
+			}
+		}
+		ls.walkStmt(st.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			ls.walkStmt(st.Init, held)
+		}
+		ls.walkClauses(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			ls.walkStmt(st.Init, held)
+		}
+		ls.walkClauses(st.Body, held)
+	case *ast.SelectStmt:
+		ls.walkClauses(st.Body, held)
+	case *ast.LabeledStmt:
+		ls.walkStmt(st.Stmt, held)
+	case *ast.GoStmt:
+		// A nested goroutine is its own closure with its own (empty)
+		// held set; the enclosing Inspect analyzes it separately.
+	}
+}
+
+func (ls *lockWalk) walkClauses(body *ast.BlockStmt, held map[types.Object]bool) {
+	for _, clause := range body.List {
+		branch := copyHeld(held)
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			for _, inner := range cl.Body {
+				ls.walkStmt(inner, branch)
+			}
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				ls.walkStmt(cl.Comm, branch)
+			}
+			for _, inner := range cl.Body {
+				ls.walkStmt(inner, branch)
+			}
+		}
+	}
+}
+
+// walkExprFuncLits walks the bodies of function literals nested in an
+// expression (callbacks invoked from the goroutine) with the current held
+// set, so writes inside e.g. a Neighbors callback are still checked.
+func (ls *lockWalk) walkExprFuncLits(e ast.Expr, held map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok {
+			ls.walkStmt(inner.Body, copyHeld(held))
+			return false
+		}
+		return true
+	})
+}
+
+func (ls *lockWalk) checkWrite(lhs ast.Expr, held map[types.Object]bool) {
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	v := ls.captured(root)
+	if v == nil {
+		return
+	}
+	if len(held) > 0 {
+		return
+	}
+	ls.pass.Reportf(lhs.Pos(),
+		"write to captured variable %q inside go closure without holding a captured sync.Mutex", v.Name())
+}

@@ -1,0 +1,35 @@
+// Fixture for the determinism analyzer, loaded under a restricted
+// representation-package import path (commongraph/internal/graph): global
+// math/rand and bare time.Now must be flagged; seeded generators and
+// non-Now time functions stay allowed.
+package graph
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand\.Shuffle`
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now\(\) in representation/algorithm package`
+}
+
+func seeded() int {
+	r := rand.New(rand.NewSource(42)) // seeded constructor: allowed
+	return r.Intn(10)                 // method on seeded generator: allowed
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // not time.Now: allowed
+}
+
+func suppressed() int64 {
+	return time.Now().Unix() //cgvet:ignore determinism -- fixture-sanctioned timing site
+}

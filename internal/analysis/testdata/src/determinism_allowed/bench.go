@@ -1,0 +1,20 @@
+// Fixture for the determinism analyzer, loaded under an allowlisted
+// import path (commongraph/internal/bench): the harness layer may use
+// wall-clock time and math/rand freely, so this file must produce zero
+// diagnostics.
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+func measure() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Microsecond)
+	return time.Since(t0)
+}
+
+func noise() int {
+	return rand.Intn(100)
+}

@@ -1,0 +1,131 @@
+// Fixture for the lockdiscipline analyzer: goroutines writing shared
+// captured state with and without a dominating mutex, mirroring the shape
+// of internal/core/parallel.go.
+package core
+
+import "sync"
+
+type result struct {
+	count int
+	items []int
+}
+
+func fanOut(n int) *result {
+	res := &result{}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	total := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			local := k * 2 // closure-local: allowed
+			res.count += local // want `write to captured variable "res"`
+			total++            // want `write to captured variable "total"`
+			mu.Lock()
+			res.count += local // lock held: allowed
+			mu.Unlock()
+			res.items = append(res.items, k) // want `write to captured variable "res"`
+		}(i)
+	}
+	wg.Wait()
+	return res
+}
+
+func disciplined(n int) int {
+	total := 0
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			mu.Lock()
+			defer mu.Unlock()
+			total += k // defer-unlock keeps the lock held: allowed
+			if k%2 == 0 {
+				total-- // still held inside the branch: allowed
+			}
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+func localMutexGuardsNothing(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			var mu sync.Mutex // goroutine-local: not a shared guard
+			mu.Lock()
+			total += k // want `write to captured variable "total"`
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+func branchLockDoesNotDominate(n int) int {
+	total := 0
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if k > 0 {
+				mu.Lock()
+				mu.Unlock()
+			}
+			total += k // want `write to captured variable "total"`
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+func disjointIndexSuppressed(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			out[k] = k //cgvet:ignore lockdiscipline -- one slot per goroutine, indices are disjoint
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func callbackWrites(n int, each func(func(int))) *result {
+	res := &result{}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		each(func(v int) {
+			res.count += v // want `write to captured variable "res"`
+		})
+		mu.Lock()
+		defer mu.Unlock()
+		each(func(v int) {
+			res.count += v // lock held at callback site: allowed
+		})
+	}()
+	wg.Wait()
+	return res
+}

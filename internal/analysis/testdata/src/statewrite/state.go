@@ -1,0 +1,50 @@
+// Fixture for the statewrite analyzer: a miniature of
+// internal/engine's State with the approved update sites, plus seeded
+// direct writes that must be flagged.
+package engine
+
+import "sync/atomic"
+
+type State struct {
+	words []uint64
+}
+
+func NewState(n int) *State {
+	s := &State{words: make([]uint64, n)}
+	s.words[0] = 1 // approved site: allowed
+	return s
+}
+
+func (s *State) Value(v int) uint64 {
+	return atomic.LoadUint64(&s.words[v]) // atomic read: allowed
+}
+
+func (s *State) TryImprove(v int, w uint64) bool {
+	return atomic.CompareAndSwapUint64(&s.words[v], 0, w) // approved site: allowed
+}
+
+func (s *State) Reset(v int, w uint64) {
+	atomic.StoreUint64(&s.words[v], w) // approved site: allowed
+}
+
+func (s *State) Clone() *State {
+	c := &State{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words) // approved site: allowed
+	return c
+}
+
+func (s *State) Poke(v int, w uint64) {
+	s.words[v] = w // want `write to engine\.State\.words`
+}
+
+func Smash(s *State) {
+	atomic.StoreUint64(&s.words[0], 9) // want `atomic write to engine\.State\.words`
+}
+
+func Rebind(s *State) {
+	s.words = nil // want `write to engine\.State\.words`
+}
+
+func Blit(dst, src *State) {
+	copy(dst.words, src.words) // want `copy into engine\.State\.words`
+}

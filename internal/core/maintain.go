@@ -61,13 +61,20 @@ func (m *MaintainedRep) Append() error {
 
 	width := w.Width()
 	newDeltas := make([]*delta.Batch, width+1)
+	var err error
 	for k := 0; k < width; k++ {
-		newDeltas[k] = delta.FromCanonical(graph.Union(m.rep.Deltas[k].Edges(), leaving))
+		newDeltas[k], err = delta.FromCanonical(graph.Union(m.rep.Deltas[k].Edges(), leaving))
+		if err != nil {
+			return err
+		}
 	}
 	// The new snapshot: E_new \ E_c' = ((D_last ∪ leaving) \ Δ−) ∪ Δ+.
 	last := graph.Union(m.rep.Deltas[width-1].Edges(), leaving)
-	newDeltas[width] = delta.FromCanonical(
+	newDeltas[width], err = delta.FromCanonical(
 		graph.Union(graph.Minus(last, delBatch), addBatch))
+	if err != nil {
+		return err
+	}
 
 	base := m.rep.Base
 	if len(leaving) > 0 {
@@ -107,7 +114,11 @@ func (m *MaintainedRep) Advance() error {
 	newCommon := graph.Union(m.rep.Common, promoted)
 	newDeltas := make([]*delta.Batch, width-1)
 	for k := 1; k < width; k++ {
-		newDeltas[k-1] = delta.FromCanonical(graph.Minus(m.rep.Deltas[k].Edges(), promoted))
+		d, err := delta.FromCanonical(graph.Minus(m.rep.Deltas[k].Edges(), promoted))
+		if err != nil {
+			return err
+		}
+		newDeltas[k-1] = d
 	}
 	base := m.rep.Base
 	if len(promoted) > 0 {

@@ -53,14 +53,32 @@ func WorkSharingParallel(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Short-circuit: once any subtree has failed the whole
+			// evaluation is doomed, so skip the full walk (and the state
+			// clone it implies) instead of computing a result that would
+			// be discarded.
+			mu.Lock()
+			failed := err != nil
+			mu.Unlock()
+			if failed {
+				return
+			}
 			start := time.Now()
 			sub := &Result{}
 			walkErr := walkSubtree(rep, labels, e, baseState.Clone(), nil, nil, cfg, sub)
 			elapsed := time.Since(start)
 			mu.Lock()
 			defer mu.Unlock()
-			if walkErr != nil && err == nil {
-				err = walkErr
+			if walkErr != nil {
+				if err == nil {
+					err = walkErr
+				}
+				return
+			}
+			if err != nil {
+				// Another subtree failed while we were walking; do not
+				// merge partial results into an evaluation that will
+				// return an error.
 				return
 			}
 			res.Cost.IncrementalAdd += sub.Cost.IncrementalAdd

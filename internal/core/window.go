@@ -90,10 +90,15 @@ func BuildRep(w Window) (*Rep, error) {
 	// D_{k+1} = (D_k \ Δ−_k) ∪ Δ+_k  (added edges are never in E_c).
 	// This keeps every step O(|D|) instead of materializing snapshots.
 	cur := graph.Intersect(first, allDels)
-	r.Deltas[0] = delta.FromCanonical(cur)
+	var err2 error
+	if r.Deltas[0], err2 = delta.FromCanonical(cur); err2 != nil {
+		return nil, err2
+	}
 	for k := 1; k < width; k++ {
 		cur = graph.Union(graph.Minus(cur, w.deletions(k-1)), w.additions(k-1))
-		r.Deltas[k] = delta.FromCanonical(cur)
+		if r.Deltas[k], err2 = delta.FromCanonical(cur); err2 != nil {
+			return nil, err2
+		}
 	}
 	return r, nil
 }

@@ -23,12 +23,24 @@ func NewBatch(edges graph.EdgeList) *Batch {
 }
 
 // FromCanonical wraps an already canonical list without copying. The caller
-// must not modify the list afterwards.
-func FromCanonical(edges graph.EdgeList) *Batch {
+// must not modify the list afterwards. Non-canonical input is rejected with
+// an error (wrapping graph.ErrNotCanonical) rather than a panic, so ingest
+// paths fed untrusted batches degrade gracefully.
+func FromCanonical(edges graph.EdgeList) (*Batch, error) {
 	if !edges.IsCanonical() {
-		panic("delta: FromCanonical on non-canonical list")
+		return nil, fmt.Errorf("delta: FromCanonical: %w", graph.ErrNotCanonical)
 	}
-	return &Batch{edges: edges}
+	return &Batch{edges: edges}, nil
+}
+
+// MustFromCanonical is FromCanonical for input canonical by construction
+// (set algebra over canonical lists); it panics on violation.
+func MustFromCanonical(edges graph.EdgeList) *Batch {
+	b, err := FromCanonical(edges)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // Len returns the number of edges in the batch.

@@ -38,13 +38,23 @@ func TestNewBatchDoesNotAliasInput(t *testing.T) {
 	}
 }
 
-func TestFromCanonicalPanicsOnBadInput(t *testing.T) {
+func TestFromCanonicalRejectsBadInput(t *testing.T) {
+	if _, err := FromCanonical(mk([2]uint32{2, 0}, [2]uint32{1, 0})); err == nil {
+		t.Fatal("expected error on non-canonical input")
+	}
+	b, err := FromCanonical(mk([2]uint32{0, 1}, [2]uint32{2, 3}))
+	if err != nil || b.Len() != 2 {
+		t.Fatalf("canonical input rejected: %v", err)
+	}
+}
+
+func TestMustFromCanonicalPanicsOnBadInput(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	FromCanonical(mk([2]uint32{2, 0}, [2]uint32{1, 0}))
+	MustFromCanonical(mk([2]uint32{2, 0}, [2]uint32{1, 0}))
 }
 
 func TestNilBatchIsEmpty(t *testing.T) {

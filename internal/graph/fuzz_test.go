@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzBound keeps CSR construction in fuzzing affordable: inputs are
+// arbitrary, so vertex counts are capped before allocating offset arrays.
+const fuzzBound = 1 << 15
+
+// FuzzParseEdgeList covers the text ingest path: ReadText must never
+// panic, must validate vertex ids against a declared header, and anything
+// it accepts must survive a WriteText/ReadText round trip unchanged.
+func FuzzParseEdgeList(f *testing.F) {
+	seeds := []string{
+		"# vertices 4 edges 2\n0 1 5\n2 3 1\n",
+		"0 1\n1 2 3\n",
+		"",
+		"# a comment\n\n3 1 7\n",
+		"# vertices 3 edges 1\n0 2\n",
+		"# vertices 1 edges 1\n0 5\n",       // id out of declared range
+		"# vertices 2 edges 1000000000\n0 1\n", // lying header count
+		"a b\n",
+		"1\n",
+		"0 1 2 3\n",
+		"0 1 notanumber\n",
+		"4294967296 0\n", // id overflows uint32
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, edges, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; crashing is not
+		}
+		if n < 0 {
+			t.Fatalf("accepted input with negative vertex count %d", n)
+		}
+		for _, e := range edges {
+			if int(e.Src) >= n || int(e.Dst) >= n {
+				t.Fatalf("accepted edge %v outside declared vertex range %d", e, n)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, n, edges); err != nil {
+			t.Fatalf("WriteText on accepted input: %v", err)
+		}
+		n2, edges2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if n2 != n || len(edges2) != len(edges) {
+			t.Fatalf("round trip changed shape: (%d,%d) -> (%d,%d)", n, len(edges), n2, len(edges2))
+		}
+		for i := range edges {
+			if edges[i] != edges2[i] {
+				t.Fatalf("round trip changed edge %d: %v -> %v", i, edges[i], edges2[i])
+			}
+		}
+	})
+}
+
+// FuzzLoadCSR covers the binary ingest path through CSR construction:
+// ReadBinary must never panic or overallocate on hostile headers, and a
+// CSR built from any accepted input must satisfy its structural
+// invariants (monotone offsets, consistent edge count, row/degree
+// agreement).
+func FuzzLoadCSR(f *testing.F) {
+	seed := func(n int, edges EdgeList) []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, n, edges); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(4, EdgeList{{Src: 0, Dst: 1, W: 5}, {Src: 2, Dst: 3, W: 1}}))
+	f.Add(seed(1, nil))
+	f.Add(seed(3, EdgeList{{Src: 2, Dst: 0, W: -7}, {Src: 0, Dst: 2, W: 9}, {Src: 1, Dst: 1, W: 0}}))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x0c, 0x33, 0xc0})                                     // magic only
+	f.Add([]byte{0x01, 0x0c, 0x33, 0xc0, 2, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}) // lying edge count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, edges, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, e := range edges {
+			if int(e.Src) >= n || int(e.Dst) >= n {
+				t.Fatalf("ReadBinary accepted edge %v outside vertex range %d", e, n)
+			}
+		}
+		if n > fuzzBound || len(edges) > fuzzBound {
+			t.Skip("valid but too large to build affordably under fuzzing")
+		}
+		c := NewCSR(n, edges)
+		if c.NumVertices() != n || c.NumEdges() != len(edges) {
+			t.Fatalf("CSR shape (%d,%d) does not match input (%d,%d)",
+				c.NumVertices(), c.NumEdges(), n, len(edges))
+		}
+		total := 0
+		for u := 0; u < n; u++ {
+			d := c.Degree(VertexID(u))
+			if d < 0 {
+				t.Fatalf("negative degree %d at vertex %d (offsets not monotone)", d, u)
+			}
+			row, weights := c.Row(VertexID(u))
+			if len(row) != d || len(weights) != d {
+				t.Fatalf("vertex %d: Row length %d/%d vs Degree %d", u, len(row), len(weights), d)
+			}
+			total += d
+		}
+		if total != len(edges) {
+			t.Fatalf("degrees sum to %d, want %d", total, len(edges))
+		}
+		back := c.Edges()
+		if len(back) != len(edges) {
+			t.Fatalf("Edges() returned %d edges, want %d", len(back), len(edges))
+		}
+		// Reverse orientation must preserve the edge multiset size too.
+		if r := NewReverseCSR(n, edges); r.NumEdges() != len(edges) {
+			t.Fatalf("reverse CSR has %d edges, want %d", r.NumEdges(), len(edges))
+		}
+	})
+}

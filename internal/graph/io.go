@@ -40,8 +40,17 @@ func ReadText(r io.Reader) (n int, edges EdgeList, err error) {
 		}
 		if strings.HasPrefix(text, "#") {
 			var hn, hm int
-			if _, e := fmt.Sscanf(text, "# vertices %d edges %d", &hn, &hm); e == nil {
+			if _, e := fmt.Sscanf(text, "# vertices %d edges %d", &hn, &hm); e == nil && hn >= 0 {
 				n = hn
+				// The header count is a hint, not a promise: cap the
+				// preallocation so a hostile header cannot force a huge
+				// up-front allocation.
+				if hm < 0 {
+					hm = 0
+				}
+				if hm > maxPrealloc {
+					hm = maxPrealloc
+				}
 				edges = make(EdgeList, 0, hm)
 			}
 			continue
@@ -62,6 +71,9 @@ func ReadText(r io.Reader) (n int, edges EdgeList, err error) {
 			if e3 != nil {
 				return 0, nil, fmt.Errorf("graph: line %d: bad weight in %q", line, text)
 			}
+		}
+		if n >= 0 && (src >= uint64(n) || dst >= uint64(n)) {
+			return 0, nil, fmt.Errorf("graph: line %d: vertex id out of range [0,%d) in %q", line, n, text)
 		}
 		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst), W: Weight(w)})
 	}
@@ -95,7 +107,14 @@ func WriteBinary(w io.Writer, n int, edges EdgeList) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the format produced by WriteBinary.
+// maxPrealloc caps allocations driven by untrusted header counts; real
+// data simply grows past it, while a lying header cannot exhaust memory.
+const maxPrealloc = 1 << 20
+
+// ReadBinary parses the format produced by WriteBinary. The declared edge
+// count is read in bounded chunks so a corrupt or hostile header cannot
+// force a giant allocation, and every vertex id is validated against the
+// declared vertex count.
 func ReadBinary(r io.Reader) (n int, edges EdgeList, err error) {
 	br := bufio.NewReader(r)
 	var hdr [3]uint32
@@ -107,17 +126,34 @@ func ReadBinary(r io.Reader) (n int, edges EdgeList, err error) {
 	}
 	n = int(hdr[1])
 	m := int(hdr[2])
-	buf := make([]uint32, 3*m)
-	if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
-		return 0, nil, err
+	pre := m
+	if pre > maxPrealloc {
+		pre = maxPrealloc
 	}
-	edges = make(EdgeList, m)
-	for i := 0; i < m; i++ {
-		edges[i] = Edge{
-			Src: VertexID(buf[3*i]),
-			Dst: VertexID(buf[3*i+1]),
-			W:   Weight(int32(buf[3*i+2])),
+	edges = make(EdgeList, 0, pre)
+	const chunk = 4096
+	buf := make([]uint32, 0, 3*chunk)
+	for read := 0; read < m; {
+		c := m - read
+		if c > chunk {
+			c = chunk
 		}
+		buf = buf[:3*c]
+		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			return 0, nil, fmt.Errorf("graph: truncated edge records (%d of %d read): %w", read, m, err)
+		}
+		for i := 0; i < c; i++ {
+			src, dst := buf[3*i], buf[3*i+1]
+			if src >= hdr[1] || dst >= hdr[1] {
+				return 0, nil, fmt.Errorf("graph: edge record %d: vertex id out of range [0,%d)", read+i, n)
+			}
+			edges = append(edges, Edge{
+				Src: VertexID(src),
+				Dst: VertexID(dst),
+				W:   Weight(int32(buf[3*i+2])),
+			})
+		}
+		read += c
 	}
 	return n, edges, nil
 }

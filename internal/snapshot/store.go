@@ -57,8 +57,16 @@ func NewStoreFromTransitions(n int, initial graph.EdgeList, adds, dels []graph.E
 	}
 	s := NewStore(n, initial)
 	for i := range adds {
-		s.adds = append(s.adds, delta.FromCanonical(adds[i]))
-		s.dels = append(s.dels, delta.FromCanonical(dels[i]))
+		ab, err := delta.FromCanonical(adds[i])
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: transition %d additions: %w", i, err)
+		}
+		db, err := delta.FromCanonical(dels[i])
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: transition %d deletions: %w", i, err)
+		}
+		s.adds = append(s.adds, ab)
+		s.dels = append(s.dels, db)
 	}
 	return s, nil
 }
@@ -182,8 +190,9 @@ func (s *Store) Diff(i, j int) (additions, deletions *delta.Batch, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return delta.FromCanonical(graph.Minus(gj, gi)),
-		delta.FromCanonical(graph.Minus(gi, gj)), nil
+	// Minus over canonical lists is canonical by construction.
+	return delta.MustFromCanonical(graph.Minus(gj, gi)),
+		delta.MustFromCanonical(graph.Minus(gi, gj)), nil
 }
 
 // Pair materializes snapshot i as a traversal-ready CSR pair.
