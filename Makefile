@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fuzz-smoke ci
+.PHONY: all build test race vet fuzz-smoke chaos ci
 
 all: build vet test
 
@@ -15,7 +15,7 @@ test:
 # race-stress tests in internal/core pit Parallelism 1/2/unbounded
 # against sequential Work-Sharing over a shared representation.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # vet = the standard toolchain vet plus cgvet, the repo's own
 # invariant-checking analyzers (CSR immutability, lock discipline,
@@ -29,4 +29,14 @@ fuzz-smoke:
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzParseEdgeList$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzLoadCSR$$' -fuzztime $(FUZZTIME)
 
-ci: build vet test race fuzz-smoke
+# Probabilistic fault injection under the race detector: seeded random
+# errors and panics (internal/faults) against the degraded parallel
+# executor, plus the deterministic fault/cancellation matrix and the
+# race-stress suite. Every outcome must be a clean result, an exact
+# degraded result, or a wrapped injected error — never a crash.
+chaos:
+	COMMONGRAPH_CHAOS=1 $(GO) test -race ./internal/core -count=1 \
+		-run 'Chaos|Fault|Panic|Degrade|Cancellation|RaceStress'
+	$(GO) test -race . -count=1 -run 'Fault|Degrade|Cancelled|WatcherConcurrent|WatcherRetries'
+
+ci: build vet test race fuzz-smoke chaos

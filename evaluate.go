@@ -1,6 +1,7 @@
 package commongraph
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -85,10 +86,48 @@ type Options struct {
 	// substantially fewer additions on wide windows at a higher one-off
 	// scheduling cost.
 	OptimalSchedule bool
+	// Context cancels the evaluation cooperatively: deadlines and client
+	// disconnects are observed at every schedule-edge boundary, so the
+	// work stops within one edge of the cancellation. Nil means
+	// context.Background() — never cancelled.
+	Context context.Context
+	// Degrade makes WorkSharingParallel survive a failed schedule
+	// subtree (an error or a contained panic): the subtree's snapshots
+	// are recomputed via Direct-Hop from the base state and the Result
+	// is marked Degraded, instead of the whole query failing. See
+	// DESIGN.md "Failure semantics" for the exact contract.
+	Degrade bool
 }
 
 func (o Options) engine() engine.Options {
 	return engine.Options{Workers: o.Workers, Mode: o.Scheduler}
+}
+
+// context resolves the evaluation context uniformly: every entry point
+// (Evaluate, EvaluateMulti, Watcher.Evaluate) goes through this helper, so
+// a nil Options.Context always means "never cancelled" rather than a nil
+// dereference somewhere down the stack.
+func (o Options) context() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
+}
+
+// config builds the core configuration for one query. Centralizing this
+// keeps every entry point passing the full option set — Parallelism and
+// OptimalSchedule used to be silently dropped on the EvaluateMulti path.
+func (o Options) config(q Query) core.Config {
+	return core.Config{
+		Algo:            q.Algorithm,
+		Source:          q.Source,
+		Engine:          o.engine(),
+		KeepValues:      o.KeepValues,
+		Parallelism:     o.Parallelism,
+		OptimalSchedule: o.OptimalSchedule,
+		Ctx:             o.context(),
+		Degrade:         o.Degrade,
+	}
 }
 
 // Query is a standing query: an algorithm and its source vertex.
@@ -138,6 +177,14 @@ type Result struct {
 	// MaxHopTime is the longest single hop (DirectHopParallel only) —
 	// the run time given one core per snapshot.
 	MaxHopTime time.Duration
+	// Degraded reports that one or more schedule subtrees of a
+	// WorkSharingParallel evaluation failed and their snapshots were
+	// recomputed via the Direct-Hop fallback (Options.Degrade). Degraded
+	// values are still exact; only the work sharing was lost.
+	Degraded bool
+	// SnapshotErrors maps absolute snapshot index to the failure that
+	// forced that snapshot onto the fallback path. Nil unless Degraded.
+	SnapshotErrors map[int]error
 }
 
 // Evaluate runs the query on every snapshot in [from, to] using the given
@@ -163,19 +210,14 @@ func (g *EvolvingGraph) Evaluate(q Query, from, to int, strategy Strategy, opt O
 		res, err = g.evaluateKickStarter(q, w, opt)
 	case Independent:
 		var inner *core.Result
-		inner, err = core.Independent(w, core.Config{
-			Algo:       q.Algorithm,
-			Source:     q.Source,
-			Engine:     opt.engine(),
-			KeepValues: opt.KeepValues,
-		})
+		inner, err = core.Independent(w, opt.config(q))
 		if err == nil {
 			res = convertResult(inner, from, Independent)
 		}
 	case DirectHop, DirectHopParallel, WorkSharing, WorkSharingParallel:
 		res, err = g.evaluateCommonGraph(q, w, strategy, opt)
 	default:
-		return nil, fmt.Errorf("commongraph: unknown strategy %d", strategy)
+		return nil, fmt.Errorf("commongraph: unknown strategy %v", strategy)
 	}
 	if err != nil {
 		return nil, err
@@ -190,6 +232,7 @@ func (g *EvolvingGraph) evaluateKickStarter(q Query, w core.Window, opt Options)
 	if err != nil {
 		return nil, err
 	}
+	ctx := opt.context()
 	sys := kickstarter.New(g.NumVertices(), first, q.Algorithm, q.Source, opt.engine())
 	res := &Result{}
 	record := func(index int) {
@@ -202,6 +245,11 @@ func (g *EvolvingGraph) evaluateKickStarter(q Query, w core.Window, opt Options)
 	}
 	record(w.From)
 	for t := w.From; t < w.To; t++ {
+		// Transition boundary: the streaming baseline's equivalent of a
+		// schedule edge, so cancellation is observed here.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("commongraph: evaluation cancelled at transition %d: %w", t, err)
+		}
 		add := g.store.Additions(t).Edges()
 		del := g.store.Deletions(t).Edges()
 		if err := sys.ApplyTransition(add, del); err != nil {
@@ -225,14 +273,7 @@ func (g *EvolvingGraph) evaluateCommonGraph(q Query, w core.Window, strategy Str
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.Config{
-		Algo:            q.Algorithm,
-		Source:          q.Source,
-		Engine:          opt.engine(),
-		KeepValues:      opt.KeepValues,
-		Parallelism:     opt.Parallelism,
-		OptimalSchedule: opt.OptimalSchedule,
-	}
+	cfg := opt.config(q)
 	var inner *core.Result
 	switch strategy {
 	case DirectHop:

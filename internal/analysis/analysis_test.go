@@ -89,6 +89,22 @@ func TestDeterminismFixture(t *testing.T) {
 	runFixture(t, "determinism", "commongraph/internal/graph", Determinism)
 }
 
+func TestGoPanicFixture(t *testing.T) {
+	runFixture(t, "gopanic", "commongraph/internal/core", GoPanic)
+}
+
+// TestGoPanicScopedToCore proves the analyzer keeps out of other layers:
+// the same unprotected goroutines under internal/engine yield nothing.
+func TestGoPanicScopedToCore(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "gopanic"), "commongraph/internal/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{GoPanic}); len(diags) > 0 {
+		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+}
+
 // TestDeterminismAllowlistedPath proves the same constructs are legal in
 // the harness layer: the identical rand/time usage under internal/bench
 // yields zero diagnostics.

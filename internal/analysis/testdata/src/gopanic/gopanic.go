@@ -1,0 +1,65 @@
+// Fixture for the gopanic analyzer: goroutines with and without the
+// executor layer's recovery wrapper, mirroring the shapes of
+// internal/core/parallel.go and evaluator.go.
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// recoverToError stands in for the real helper in internal/core/safety.go;
+// the analyzer recognizes it by name.
+func recoverToError(errp *error) {
+	if r := recover(); r != nil {
+		*errp = fmt.Errorf("recovered: %v", r)
+	}
+}
+
+func work(int) {}
+
+func spawnAll(n int) error {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go work(i) // want `goroutine body is not a function literal`
+
+		wg.Add(1)
+		go func(k int) { // want `goroutine installs no recovery wrapper`
+			defer wg.Done()
+			work(k)
+		}(i)
+
+		wg.Add(1)
+		go func(k int) { // wrapped with the helper: allowed
+			defer wg.Done()
+			defer recoverToError(&errs[k])
+			work(k)
+		}(i)
+
+		wg.Add(1)
+		go func(k int) { // deferred closure calling recover(): allowed
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[k] = fmt.Errorf("recovered: %v", r)
+				}
+			}()
+			work(k)
+		}(i)
+
+		wg.Add(1)
+		go func(k int) { // want `goroutine installs no recovery wrapper`
+			defer wg.Done()
+			// Recovery buried inside a nested call does not count: the
+			// wrapper must be a top-level deferred statement.
+			func() {
+				defer recoverToError(&errs[k])
+				work(k)
+			}()
+		}(i)
+	}
+	wg.Wait()
+	return nil
+}

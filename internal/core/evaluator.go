@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +10,7 @@ import (
 	"commongraph/internal/algo"
 	"commongraph/internal/delta"
 	"commongraph/internal/engine"
+	"commongraph/internal/faults"
 	"commongraph/internal/graph"
 )
 
@@ -27,6 +30,16 @@ type Config struct {
 	// schedules streaming several times fewer additions, at a solver cost
 	// of O(w^5) — see the ablation-steiner experiment.
 	OptimalSchedule bool
+	// Ctx cancels the evaluation cooperatively: it is observed at every
+	// schedule-edge boundary (each Direct-Hop, each Work-Sharing DFS
+	// edge), so a deadline or client disconnect stops the work within one
+	// edge. Nil means the evaluation is never cancelled.
+	Ctx context.Context
+	// Degrade lets WorkSharingParallel survive a failed (erroring or
+	// panicking) schedule subtree: the subtree's snapshots are recomputed
+	// via Direct-Hop from the base state and the Result is marked
+	// Degraded, instead of the whole query failing.
+	Degrade bool
 }
 
 // solveSchedule picks the configured Steiner solver.
@@ -71,6 +84,16 @@ type Result struct {
 	// MaxHopTime is the longest single hop in DirectHopParallel — the
 	// paper's Table 5 estimate of the embarrassingly-parallel runtime.
 	MaxHopTime time.Duration
+	// Degraded marks that at least one schedule subtree failed and its
+	// snapshots were recomputed via the Direct-Hop fallback
+	// (Config.Degrade). Degraded snapshot values are still exact — the
+	// fallback recomputes from the base state — only the work sharing was
+	// lost.
+	Degraded bool
+	// SnapshotErrors records, per window-relative snapshot index, the
+	// original subtree failure that forced that snapshot onto the
+	// fallback path. Nil unless Degraded.
+	SnapshotErrors map[int]error
 }
 
 // Checksum folds the state's values FNV-style so snapshot results can be
@@ -115,6 +138,9 @@ func snapshotResult(k int, st *engine.State, keep bool) SnapshotResult {
 // its Δ_ck addition batch and update incrementally. Sequential; see
 // DirectHopParallel for the parallel variant.
 func DirectHop(rep *Rep, cfg Config) (*Result, error) {
+	if err := checkpoint(cfg.Ctx, faults.CoreEngineRun); err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	t0 := time.Now()
 	baseState, stats := engine.Run(rep.Base, cfg.Algo, cfg.Source, cfg.Engine)
@@ -122,6 +148,11 @@ func DirectHop(rep *Rep, cfg Config) (*Result, error) {
 	res.Work.Add(stats)
 
 	for k := range rep.Deltas {
+		// Hops are the schedule edges of the §3.1 plan: cancellation and
+		// injected faults are observed once per hop.
+		if err := checkpoint(cfg.Ctx, faults.CoreOverlayBuild); err != nil {
+			return nil, err
+		}
 		t1 := time.Now()
 		ov := delta.NewOverlay(rep.N, rep.Deltas[k])
 		og := delta.NewOverlayGraph(rep.Base, ov)
@@ -154,6 +185,9 @@ func DirectHop(rep *Rep, cfg Config) (*Result, error) {
 // graph's solution, the dependency streaming imposes having been broken.
 // MaxHopTime in the result is the longest single hop.
 func DirectHopParallel(rep *Rep, cfg Config) (*Result, error) {
+	if err := checkpoint(cfg.Ctx, faults.CoreEngineRun); err != nil {
+		return nil, err
+	}
 	res := &Result{}
 	t0 := time.Now()
 	baseState, stats := engine.Run(rep.Base, cfg.Algo, cfg.Source, cfg.Engine)
@@ -163,6 +197,7 @@ func DirectHopParallel(rep *Rep, cfg Config) (*Result, error) {
 	w := len(rep.Deltas)
 	res.Snapshots = make([]SnapshotResult, w)
 	durations := make([]time.Duration, w)
+	errs := make([]error, w)
 	par := cfg.Parallelism
 	if par <= 0 || par > w {
 		par = w
@@ -173,20 +208,35 @@ func DirectHopParallel(rep *Rep, cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			// Each hop owns exactly one slot k of these slices, so the
+			// writes are disjoint and need no lock; wg.Wait publishes them.
+			var hopErr error
+			defer func() {
+				errs[k] = hopErr //cgvet:ignore lockdiscipline -- index-disjoint, one k per goroutine
+			}()
+			defer recoverToError(&hopErr)
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// Cancellation and injected faults are observed at the hop
+			// boundary, before the hop's work starts.
+			if hopErr = checkpoint(cfg.Ctx, faults.CoreOverlayBuild); hopErr != nil {
+				return
+			}
 			start := time.Now()
 			ov := delta.NewOverlay(rep.N, rep.Deltas[k])
 			og := delta.NewOverlayGraph(rep.Base, ov)
 			st := baseState.Clone()
 			engine.IncrementalAdd(og, st, rep.Deltas[k].Edges(), cfg.Engine)
-			// Each hop owns exactly one slot k of these slices, so the
-			// writes are disjoint and need no lock; wg.Wait publishes them.
 			durations[k] = time.Since(start)       //cgvet:ignore lockdiscipline -- index-disjoint, one k per goroutine
 			res.Snapshots[k] = snapshotResult(k, st, cfg.KeepValues) //cgvet:ignore lockdiscipline -- index-disjoint, one k per goroutine
 		}(k)
 	}
 	wg.Wait()
+	// Hop failures (including recovered panics) join into one error; a
+	// partial snapshot slice is never returned.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
 	for k := 0; k < w; k++ {
 		res.AdditionsProcessed += int64(rep.Deltas[k].Len())
 		if durations[k] > res.MaxHopTime {
@@ -203,6 +253,9 @@ func DirectHopParallel(rep *Rep, cfg Config) (*Result, error) {
 func WorkSharing(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result, error) {
 	if tg.W != rep.Window.Width() {
 		return nil, fmt.Errorf("core: TG width %d does not match window width %d", tg.W, rep.Window.Width())
+	}
+	if err := checkpoint(cfg.Ctx, faults.CoreEngineRun); err != nil {
+		return nil, err
 	}
 	res := &Result{}
 	t0 := time.Now()
@@ -237,6 +290,11 @@ func WorkSharing(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result, error)
 			return nil
 		}
 		for idx, e := range n.Edges {
+			// Schedule-edge boundary: cancellation (and armed faults) stop
+			// the DFS here, before the edge's batch is streamed.
+			if err := checkpoint(cfg.Ctx, faults.CoreSubtreeWalk); err != nil {
+				return err
+			}
 			// Gather the labels this edge spans (bypassed nodes contribute
 			// their batches here); they are disjoint by construction.
 			t1 := time.Now()
@@ -286,7 +344,14 @@ func WorkSharing(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result, error)
 		}
 		return nil
 	}
-	if err := walk(sched.Root, baseState, nil, nil); err != nil {
+	// The walk runs panic-contained: a panicking subtree (a bug, or an
+	// armed Panic-mode fault) surfaces as a *PanicError instead of killing
+	// the calling service.
+	err := func() (err error) {
+		defer recoverToError(&err)
+		return walk(sched.Root, baseState, nil, nil)
+	}()
+	if err != nil {
 		return nil, err
 	}
 	// Snapshots arrive in DFS order; restore window order.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"commongraph/internal/engine"
+	"commongraph/internal/faults"
 	"commongraph/internal/graph"
 )
 
@@ -19,6 +20,11 @@ func Independent(w Window, cfg Config) (*Result, error) {
 	}
 	res := &Result{}
 	for k := 0; k < w.Width(); k++ {
+		// Per-snapshot boundary: each from-scratch solve is this
+		// strategy's schedule edge, so cancellation is observed here.
+		if err := checkpoint(cfg.Ctx, faults.CoreEngineRun); err != nil {
+			return nil, err
+		}
 		edges, err := w.Store.GetVersion(w.From + k)
 		if err != nil {
 			return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"commongraph/internal/delta"
+	"commongraph/internal/faults"
 	"commongraph/internal/graph"
 )
 
@@ -45,6 +46,9 @@ func (m *MaintainedRep) Window() Window { return m.rep.Window }
 // Append extends the window to include the store's next snapshot, which
 // must already exist (Store.NewVersion first, then Append).
 func (m *MaintainedRep) Append() error {
+	if err := faults.Check(faults.CoreMaintainAppend); err != nil {
+		return fmt.Errorf("core: maintain append: %w", err)
+	}
 	w := m.rep.Window
 	if w.To+1 >= w.Store.NumVersions() {
 		return fmt.Errorf("core: no snapshot beyond %d to append (store has %d versions)",
@@ -95,6 +99,9 @@ func (m *MaintainedRep) Append() error {
 // that also survive every later snapshot — are promoted into the common
 // graph.
 func (m *MaintainedRep) Advance() error {
+	if err := faults.Check(faults.CoreMaintainAdvance); err != nil {
+		return fmt.Errorf("core: maintain advance: %w", err)
+	}
 	w := m.rep.Window
 	if w.Width() <= 1 {
 		return fmt.Errorf("core: cannot advance a single-snapshot window")
@@ -135,10 +142,19 @@ func (m *MaintainedRep) Advance() error {
 }
 
 // Slide is Append followed by Advance: the window keeps its width while
-// tracking the newest snapshot.
+// tracking the newest snapshot. It is atomic: if the Advance half fails
+// after the Append succeeded, the maintained window rolls back to its
+// pre-Slide state (every update builds a fresh Rep and swaps the pointer,
+// so the saved representation is still exact), leaving no half-moved
+// window behind.
 func (m *MaintainedRep) Slide() error {
+	saved := m.rep
 	if err := m.Append(); err != nil {
 		return err
 	}
-	return m.Advance()
+	if err := m.Advance(); err != nil {
+		m.rep = saved
+		return fmt.Errorf("core: slide rolled back: %w", err)
+	}
+	return nil
 }

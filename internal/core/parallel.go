@@ -1,12 +1,15 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"commongraph/internal/delta"
 	"commongraph/internal/engine"
+	"commongraph/internal/faults"
 	"commongraph/internal/graph"
 )
 
@@ -17,11 +20,22 @@ import (
 // its own clone of the common graph's solution, so no synchronization is
 // needed beyond joining.
 //
+// Fault tolerance: every subtree runs panic-contained — a panic becomes a
+// *PanicError instead of crashing the process — and cancellation is
+// observed at each schedule-edge boundary. When Config.Degrade is set, a
+// failed subtree falls back to Direct-Hop recomputation of its snapshots
+// from the base state and the Result is marked Degraded with the
+// per-snapshot failure cause; otherwise the first failure aborts the
+// whole evaluation.
+//
 // Result.MaxHopTime reports the longest subtree (the wall-time estimate
 // with one core per subtree); the Cost fields aggregate CPU time across
 // subtrees.
 func WorkSharingParallel(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result, error) {
 	if err := checkWidths(rep, tg); err != nil {
+		return nil, err
+	}
+	if err := checkpoint(cfg.Ctx, faults.CoreEngineRun); err != nil {
 		return nil, err
 	}
 	res := &Result{}
@@ -37,9 +51,9 @@ func WorkSharingParallel(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result
 	labels := tg.Labels(sched.GridEdges())
 
 	var (
-		mu  sync.Mutex
-		wg  sync.WaitGroup
-		err error
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
 	)
 	par := cfg.Parallelism
 	if par <= 0 || par > len(sched.Root.Edges) {
@@ -51,35 +65,70 @@ func WorkSharingParallel(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result
 		wg.Add(1)
 		go func(e *ScheduleEdge) {
 			defer wg.Done()
+			// Last-resort containment: a panic escaping the protected walk
+			// below (e.g. in the merge itself) is recorded as the
+			// evaluation's error, never allowed to kill the process.
+			defer func() {
+				if r := recover(); r != nil {
+					pe := &PanicError{Value: r, Stack: debug.Stack()}
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = pe
+					}
+					mu.Unlock()
+				}
+			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			// Short-circuit: once any subtree has failed the whole
+			// Short-circuit: once any subtree has failed fatally the whole
 			// evaluation is doomed, so skip the full walk (and the state
 			// clone it implies) instead of computing a result that would
 			// be discarded.
 			mu.Lock()
-			failed := err != nil
+			aborted := firstErr != nil
 			mu.Unlock()
-			if failed {
+			if aborted {
 				return
 			}
 			start := time.Now()
 			sub := &Result{}
-			walkErr := walkSubtree(rep, labels, e, baseState.Clone(), nil, nil, cfg, sub)
+			walkErr := runSubtree(rep, labels, e, baseState.Clone(), cfg, sub)
+			degraded := false
+			if walkErr != nil && cfg.Degrade && !isCancellation(walkErr) {
+				// Graceful degradation: recompute this subtree's snapshots
+				// via Direct-Hop from the base state. The fallback shares
+				// nothing with the failed walk; if it fails too, the whole
+				// evaluation fails with both causes.
+				sub = &Result{}
+				if degErr := degradeSubtree(rep, e, baseState, cfg, sub); degErr != nil {
+					walkErr = errors.Join(walkErr, degErr)
+				} else {
+					degraded = true
+				}
+			}
 			elapsed := time.Since(start)
 			mu.Lock()
 			defer mu.Unlock()
-			if walkErr != nil {
-				if err == nil {
-					err = walkErr
+			if walkErr != nil && !degraded {
+				if firstErr == nil {
+					firstErr = walkErr
 				}
 				return
 			}
-			if err != nil {
-				// Another subtree failed while we were walking; do not
-				// merge partial results into an evaluation that will
+			if firstErr != nil {
+				// Another subtree failed fatally while we were walking; do
+				// not merge partial results into an evaluation that will
 				// return an error.
 				return
+			}
+			if degraded {
+				res.Degraded = true
+				if res.SnapshotErrors == nil {
+					res.SnapshotErrors = make(map[int]error)
+				}
+				for _, s := range sub.Snapshots {
+					res.SnapshotErrors[s.Index] = walkErr
+				}
 			}
 			res.Cost.IncrementalAdd += sub.Cost.IncrementalAdd
 			res.Cost.OverlayBuild += sub.Cost.OverlayBuild
@@ -95,8 +144,8 @@ func WorkSharingParallel(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result
 		}(rootEdge)
 	}
 	wg.Wait()
-	if err != nil {
-		return nil, err
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return res, nil
 }
@@ -108,14 +157,27 @@ func checkWidths(rep *Rep, tg *TG) error {
 	return nil
 }
 
+// runSubtree is one root subtree's protected walk: a panic anywhere below
+// (the engine, the overlay algebra, or an armed Panic-mode fault) comes
+// back as a *PanicError the caller can degrade around.
+func runSubtree(rep *Rep, labels map[GridEdge]graph.EdgeList, e *ScheduleEdge,
+	st *engine.State, cfg Config, sub *Result) (err error) {
+	defer recoverToError(&err)
+	return walkSubtree(rep, labels, e, st, nil, nil, cfg, sub)
+}
+
 // walkSubtree executes one schedule edge and the subtree below it,
 // accumulating into sub. It mirrors WorkSharing's DFS (single-overlay per
 // leaf, bounded stack otherwise) but is reentrant so subtrees can run
-// concurrently.
+// concurrently. Every invocation is a schedule-edge boundary: cancellation
+// and armed faults are observed before the edge's batch is streamed.
 func walkSubtree(rep *Rep, labels map[GridEdge]graph.EdgeList, e *ScheduleEdge,
 	st *engine.State, overlays []*delta.Overlay, parts []graph.EdgeList,
 	cfg Config, sub *Result) error {
 
+	if err := checkpoint(cfg.Ctx, faults.CoreSubtreeWalk); err != nil {
+		return err
+	}
 	t1 := time.Now()
 	spanLists := make([]graph.EdgeList, 0, len(e.Spans))
 	batchLen := 0
@@ -165,6 +227,55 @@ func walkSubtree(rep *Rep, labels map[GridEdge]graph.EdgeList, e *ScheduleEdge,
 	return nil
 }
 
+// degradeSubtree recomputes every snapshot below a failed schedule edge
+// via Direct-Hop from the base state (§3.1): the per-leaf batches are
+// already materialized canonically in the representation, so the fallback
+// shares nothing with the failed walk. It is itself panic-contained and
+// cancellable, and its snapshot values are exact — degradation loses only
+// the work sharing, never correctness.
+func degradeSubtree(rep *Rep, e *ScheduleEdge, base *engine.State, cfg Config, sub *Result) (err error) {
+	defer recoverToError(&err)
+	for _, k := range subtreeLeaves(e) {
+		if cerr := checkpoint(cfg.Ctx, faults.CoreOverlayBuild); cerr != nil {
+			return cerr
+		}
+		t1 := time.Now()
+		ov := delta.NewOverlay(rep.N, rep.Deltas[k])
+		og := delta.NewOverlayGraph(rep.Base, ov)
+		t2 := time.Now()
+		sub.Cost.OverlayBuild += t2.Sub(t1)
+
+		st := base.Clone()
+		t3 := time.Now()
+		sub.Cost.StateClone += t3.Sub(t2)
+
+		s := engine.IncrementalAdd(og, st, rep.Deltas[k].Edges(), cfg.Engine)
+		sub.Cost.IncrementalAdd += time.Since(t3)
+		sub.Work.Add(s)
+		sub.AdditionsProcessed += int64(rep.Deltas[k].Len())
+		sub.Snapshots = append(sub.Snapshots, snapshotResult(k, st, cfg.KeepValues))
+	}
+	return nil
+}
+
+// subtreeLeaves collects the window-relative snapshot indices at or below
+// the destination of a schedule edge.
+func subtreeLeaves(e *ScheduleEdge) []int {
+	var out []int
+	var walk func(n *ScheduleNode)
+	walk = func(n *ScheduleNode) {
+		if n.IsLeaf() {
+			out = append(out, n.I)
+			return
+		}
+		for _, ce := range n.Edges {
+			walk(ce.To)
+		}
+	}
+	walk(e.To)
+	return out
+}
+
 // errWidth mirrors WorkSharing's width validation.
 func errWidth(tgW, repW int) error {
 	return fmt.Errorf("core: TG width %d does not match window width %d", tgW, repW)
@@ -189,13 +300,19 @@ func EvaluateWorkSharingParallel(rep *Rep, cfg Config) (*Result, *Schedule, erro
 // sources) over the same window, sharing the representation, the
 // Triangular Grid, its labels, and the schedule across all of them — the
 // amortization a multi-query evolving-graph service gets from the
-// CommonGraph form. Results are returned in query order.
+// CommonGraph form. The shared schedule is solved with the first query's
+// solver choice (callers pass uniform configs). Results are returned in
+// query order.
 func EvaluateMany(rep *Rep, queries []Config) ([]*Result, *Schedule, error) {
 	tg, err := BuildTG(rep.Window)
 	if err != nil {
 		return nil, nil, err
 	}
-	sched, err := NewSchedule(tg, SteinerGreedy(tg))
+	var cfg0 Config
+	if len(queries) > 0 {
+		cfg0 = queries[0]
+	}
+	sched, err := NewSchedule(tg, solveSchedule(tg, cfg0))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"commongraph/internal/faults"
+)
+
+// This file is the executor layer's fault-tolerance kit: cooperative
+// cancellation checkpoints at schedule-edge boundaries, and panic
+// containment for the evaluation goroutines. A long-running service must
+// survive a panicking subtree and stop promptly when a client disconnects;
+// both behaviours are driven in tests through internal/faults.
+
+// PanicError is a recovered evaluation panic converted into an error: the
+// panic value plus the goroutine stack captured at recovery time. The §5
+// parallel executors return it (or degrade around it) instead of letting a
+// single subtree take down the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("core: recovered panic: %v\n%s", p.Value, p.Stack)
+}
+
+// recoverToError converts an in-flight panic into a *PanicError stored at
+// errp. Install it with `defer recoverToError(&err)` at the top of any
+// function whose failure must become an error instead of a crash — the
+// cgvet gopanic analyzer enforces the pattern on every goroutine this
+// package spawns.
+func recoverToError(errp *error) {
+	if r := recover(); r != nil {
+		*errp = &PanicError{Value: r, Stack: debug.Stack()}
+	}
+}
+
+// checkpoint is the cooperative cancellation + fault-injection gate placed
+// at schedule-edge boundaries: the context's deadline/cancellation is
+// observed first, then the named injection point (a no-op unless a test
+// armed it). A nil ctx means the evaluation is never cancelled.
+func checkpoint(ctx context.Context, p faults.Point) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: evaluation cancelled at %s: %w", p, err)
+		}
+	}
+	if err := faults.Check(p); err != nil {
+		return fmt.Errorf("core: %s: %w", p, err)
+	}
+	return nil
+}
+
+// isCancellation distinguishes cooperative cancellation from genuine
+// subtree failure: a cancelled evaluation must return the context error
+// promptly, never burn cycles on the degraded fallback.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,61 @@
+package ingest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"commongraph/internal/faults"
+	"commongraph/internal/graph"
+)
+
+// TestWindowCloseFaultRetainsPending drives the ingest.window-close
+// injection point: a failed hand-off must surface a wrapped,
+// point-identifying error and leave the pending window intact so the
+// caller can retry.
+func TestWindowCloseFaultRetainsPending(t *testing.T) {
+	var emitted int
+	sink := func(adds, dels graph.EdgeList) error {
+		emitted++
+		return nil
+	}
+	b, err := NewBatcher(sink, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	disarm := faults.Arm(&faults.Plan{Specs: []faults.Spec{{Point: faults.IngestWindowClose}}})
+	err = b.Push(Update{Add, e(0, 1, 1)}, Update{Add, e(2, 3, 1)})
+	if err == nil {
+		t.Fatal("armed window close produced no error")
+	}
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("error does not wrap faults.ErrInjected: %v", err)
+	}
+	if !strings.Contains(err.Error(), string(faults.IngestWindowClose)) {
+		t.Fatalf("error does not identify its point: %v", err)
+	}
+	if emitted != 0 {
+		t.Fatal("failed close still reached the sink")
+	}
+	if b.Pending() != 2 {
+		t.Fatalf("failed close lost the pending window: %d updates left", b.Pending())
+	}
+
+	// A short tail behaves the same on the Flush path.
+	if err := b.Flush(); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("armed flush: %v", err)
+	}
+	if b.Pending() != 2 {
+		t.Fatalf("failed flush lost the pending window: %d updates left", b.Pending())
+	}
+	disarm()
+
+	// Once the fault clears, the retained window flushes cleanly.
+	if err := b.Flush(); err != nil {
+		t.Fatalf("flush after disarm: %v", err)
+	}
+	if emitted != 1 || b.Pending() != 0 {
+		t.Fatalf("retry did not drain the window: emitted=%d pending=%d", emitted, b.Pending())
+	}
+}

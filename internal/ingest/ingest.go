@@ -9,6 +9,7 @@ package ingest
 import (
 	"fmt"
 
+	"commongraph/internal/faults"
 	"commongraph/internal/graph"
 )
 
@@ -125,20 +126,30 @@ func (b *Batcher) Push(updates ...Update) error {
 	return nil
 }
 
-// Flush emits any remaining updates as a final, possibly short batch.
+// Flush emits any remaining updates as a final, possibly short batch. On
+// error the pending window is retained, so a transient sink failure can be
+// retried with another Flush instead of silently losing the tail.
 func (b *Batcher) Flush() error {
 	if len(b.pending) == 0 {
 		return nil
 	}
-	pend := b.pending
+	if err := b.emit(b.pending); err != nil {
+		return err
+	}
 	b.pending = nil
-	return b.emit(pend)
+	return nil
 }
 
 // Pending reports how many raw updates await the next batch boundary.
 func (b *Batcher) Pending() int { return len(b.pending) }
 
 func (b *Batcher) emit(updates []Update) error {
+	// Fault-injection point: window close is the batcher's hand-off
+	// boundary. It fires before compaction, so a failed close leaves the
+	// pending window intact and the caller can retry the Push/Flush.
+	if err := faults.Check(faults.IngestWindowClose); err != nil {
+		return fmt.Errorf("ingest: window close: %w", err)
+	}
 	adds, dels, err := Compact(updates)
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"commongraph/internal/delta"
+	"commongraph/internal/faults"
 	"commongraph/internal/graph"
 )
 
@@ -99,6 +100,13 @@ func (s *Store) Deletions(i int) *delta.Batch {
 // the given batches (Table 1's new_version(Δ+, Δ−)). It validates that
 // deletions exist in and additions are absent from the latest snapshot.
 func (s *Store) NewVersion(additions, deletions graph.EdgeList) (int, error) {
+	// Fault-injection point: the store write is where a real backend
+	// (disk, replication) fails; armed tests drive the error path before
+	// any state is touched, so a failed NewVersion never leaves a partial
+	// version behind.
+	if err := faults.Check(faults.StoreNewVersion); err != nil {
+		return 0, fmt.Errorf("snapshot: new version: %w", err)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	latest := len(s.adds)

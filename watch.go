@@ -2,8 +2,11 @@ package commongraph
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"commongraph/internal/core"
+	"commongraph/internal/faults"
 )
 
 // Watcher keeps the CommonGraph representation of a snapshot window alive
@@ -11,10 +14,34 @@ import (
 // of §4.1. Instead of rebuilding the common graph per query, a service
 // appends snapshots as they arrive (and optionally slides the window
 // forward) paying only incremental set work, then evaluates repeatedly.
+//
+// A Watcher is safe for concurrent use: maintenance (Append, Advance,
+// Slide) takes the write lock while evaluations snapshot the current
+// representation under the read lock. Representations are immutable once
+// built, so an evaluation racing a slide simply computes over the window
+// that was current when it started.
 type Watcher struct {
-	g *EvolvingGraph
-	m *core.MaintainedRep
+	g     *EvolvingGraph
+	mu    sync.RWMutex
+	m     *core.MaintainedRep
+	retry RetryPolicy
 }
+
+// RetryPolicy bounds the watcher's automatic retry of transient
+// maintenance failures (a store backend briefly unavailable, an injected
+// transient fault in tests). Non-transient errors are never retried.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first;
+	// values below 1 mean a single attempt (no retry).
+	Attempts int
+	// Backoff is the wait before the first retry; it doubles on each
+	// subsequent one.
+	Backoff time.Duration
+}
+
+// DefaultRetry is the policy a new Watcher starts with: three attempts
+// with a small doubling backoff.
+var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 2 * time.Millisecond}
 
 // Watch creates a maintained window over [from, to].
 func (g *EvolvingGraph) Watch(from, to int) (*Watcher, error) {
@@ -22,28 +49,68 @@ func (g *EvolvingGraph) Watch(from, to int) (*Watcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Watcher{g: g, m: m}, nil
+	return &Watcher{g: g, m: m, retry: DefaultRetry}, nil
+}
+
+// SetRetry replaces the watcher's maintenance retry policy.
+func (w *Watcher) SetRetry(p RetryPolicy) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.retry = p
 }
 
 // Window returns the watcher's current snapshot range.
 func (w *Watcher) Window() (from, to int) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
 	win := w.m.Window()
 	return win.From, win.To
 }
 
 // CommonEdges returns the current common graph's size.
-func (w *Watcher) CommonEdges() int { return len(w.m.Rep().Common) }
+func (w *Watcher) CommonEdges() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.m.Rep().Common)
+}
 
 // Append extends the window to the next snapshot, which must already have
 // been created with ApplyUpdates.
-func (w *Watcher) Append() error { return w.m.Append() }
+func (w *Watcher) Append() error { return w.maintain((*core.MaintainedRep).Append) }
 
 // Advance drops the window's oldest snapshot.
-func (w *Watcher) Advance() error { return w.m.Advance() }
+func (w *Watcher) Advance() error { return w.maintain((*core.MaintainedRep).Advance) }
 
 // Slide appends the next snapshot and drops the oldest, keeping the
-// window's width.
-func (w *Watcher) Slide() error { return w.m.Slide() }
+// window's width. Slide is atomic: a failure in its second half rolls the
+// maintained window back to its pre-Slide state.
+func (w *Watcher) Slide() error { return w.maintain((*core.MaintainedRep).Slide) }
+
+// maintain runs one maintenance step under the write lock, retrying
+// transient failures per the watcher's policy. Maintenance steps swap the
+// representation pointer only on success (Slide rolls back internally),
+// so a failed step leaves the previous window fully evaluable.
+func (w *Watcher) maintain(step func(*core.MaintainedRep) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	attempts := w.retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := w.retry.Backoff
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		err = step(w.m)
+		if err == nil || !faults.IsTransient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("commongraph: maintenance failed after %d attempts: %w", attempts, err)
+}
 
 // Evaluate runs a query over the maintained window. Only the CommonGraph
 // strategies apply (the whole point of maintaining the representation);
@@ -52,15 +119,13 @@ func (w *Watcher) Evaluate(q Query, strategy Strategy, opt Options) (*Result, er
 	if q.Algorithm == nil {
 		return nil, fmt.Errorf("commongraph: query has no algorithm")
 	}
-	cfg := core.Config{
-		Algo:            q.Algorithm,
-		Source:          q.Source,
-		Engine:          opt.engine(),
-		KeepValues:      opt.KeepValues,
-		Parallelism:     opt.Parallelism,
-		OptimalSchedule: opt.OptimalSchedule,
-	}
+	cfg := opt.config(q)
+	// Snapshot the representation under the read lock; it is immutable,
+	// so the evaluation itself runs lock-free even while maintenance
+	// swaps in a newer window.
+	w.mu.RLock()
 	rep := w.m.Rep()
+	w.mu.RUnlock()
 	var (
 		inner *core.Result
 		err   error
@@ -80,7 +145,7 @@ func (w *Watcher) Evaluate(q Query, strategy Strategy, opt Options) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return convertResult(inner, w.m.Window().From, strategy), nil
+	return convertResult(inner, rep.Window.From, strategy), nil
 }
 
 // EvaluateMulti evaluates several queries over the same window with the
@@ -96,12 +161,7 @@ func (g *EvolvingGraph) EvaluateMulti(queries []Query, from, to int, opt Options
 		if q.Algorithm == nil {
 			return nil, fmt.Errorf("commongraph: query %d has no algorithm", i)
 		}
-		cfgs[i] = core.Config{
-			Algo:       q.Algorithm,
-			Source:     q.Source,
-			Engine:     opt.engine(),
-			KeepValues: opt.KeepValues,
-		}
+		cfgs[i] = opt.config(q)
 	}
 	inner, _, err := core.EvaluateMany(rep, cfgs)
 	if err != nil {
@@ -120,12 +180,19 @@ func convertResult(inner *core.Result, from int, strategy Strategy) *Result {
 		Strategy:           strategy,
 		AdditionsProcessed: inner.AdditionsProcessed,
 		MaxHopTime:         inner.MaxHopTime,
+		Degraded:           inner.Degraded,
 		Timings: Timings{
 			InitialCompute: inner.Cost.InitialCompute,
 			IncrementalAdd: inner.Cost.IncrementalAdd,
 			Mutation:       inner.Cost.OverlayBuild,
 			Total:          inner.Cost.Total(),
 		},
+	}
+	if len(inner.SnapshotErrors) > 0 {
+		res.SnapshotErrors = make(map[int]error, len(inner.SnapshotErrors))
+		for k, e := range inner.SnapshotErrors {
+			res.SnapshotErrors[from+k] = e
+		}
 	}
 	for _, s := range inner.Snapshots {
 		res.Snapshots = append(res.Snapshots, SnapshotResult{
