@@ -1,7 +1,11 @@
 GO ?= go
 FUZZTIME ?= 10s
+# bench-json: which experiments to snapshot and where. CI commits one
+# BENCH_PR<n>.json per PR so the performance trajectory is diffable.
+BENCH_JSON_OUT ?= BENCH_PR3.json
+BENCH_JSON_FLAGS ?= -exp all
 
-.PHONY: all build test race vet fuzz-smoke chaos ci
+.PHONY: all build test race vet fuzz-smoke chaos bench-json metrics-smoke obs-bench ci
 
 all: build vet test
 
@@ -35,8 +39,28 @@ fuzz-smoke:
 # race-stress suite. Every outcome must be a clean result, an exact
 # degraded result, or a wrapped injected error — never a crash.
 chaos:
-	COMMONGRAPH_CHAOS=1 $(GO) test -race ./internal/core -count=1 \
+	COMMONGRAPH_CHAOS=1 COMMONGRAPH_TRACE=log $(GO) test -race ./internal/core -count=1 \
 		-run 'Chaos|Fault|Panic|Degrade|Cancellation|RaceStress'
 	$(GO) test -race . -count=1 -run 'Fault|Degrade|Cancelled|WatcherConcurrent|WatcherRetries'
 
-ci: build vet test race fuzz-smoke chaos
+# Machine-readable benchmark snapshot: every experiment's table plus its
+# wall time as one JSON report (internal/bench.Report — a stable shape).
+bench-json:
+	$(GO) run ./cmd/cgbench $(BENCH_JSON_FLAGS) -json $(BENCH_JSON_OUT)
+
+# Metrics-endpoint smoke: scrape a live Watcher.ServeMetrics endpoint
+# over HTTP and validate the Prometheus exposition plus counter deltas
+# against Result fields, then the registry's own format round-trips.
+metrics-smoke:
+	$(GO) test . -count=1 -run 'MetricsEndpoint|MetricsServer'
+	$(GO) test ./internal/obs -count=1
+
+# Disabled-path regression guard: the nil-tracer span chain must stay
+# allocation-free and within ~2% of baseline (benchstat old new), and
+# the end-to-end untraced evaluation must not regress against the
+# pre-instrumentation pipeline. See internal/obs/bench_test.go.
+obs-bench:
+	$(GO) test ./internal/obs -run '^$$' -bench 'Disabled|Counter|Histogram' -benchmem -count=5
+	$(GO) test ./internal/core -run '^$$' -bench 'TracingOverhead' -benchmem -count=3
+
+ci: build vet test race fuzz-smoke chaos metrics-smoke

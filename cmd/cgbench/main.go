@@ -5,8 +5,11 @@
 //
 //	cgbench -list
 //	cgbench -exp table4
-//	cgbench -exp all
+//	cgbench -exp all -json BENCH.json
 //	COMMONGRAPH_SCALE=4 cgbench -exp fig8 -snapshots 50
+//
+// Setting COMMONGRAPH_TRACE=<path.json> additionally writes a Chrome
+// trace of every evaluation the experiments ran.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"time"
 
 	"commongraph/internal/bench"
+	"commongraph/internal/obs"
 )
 
 func main() {
@@ -26,6 +30,8 @@ func main() {
 		snapshots = flag.Int("snapshots", 0, "override window length (default: paper's 50)")
 		seed      = flag.Uint64("seed", 0, "override workload seed")
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonPath  = flag.String("json", "", "write all results as one machine-readable JSON report to this file")
+		metrics   = flag.Bool("metrics", false, "dump the metric registry in Prometheus text format to stderr when done")
 	)
 	flag.Parse()
 
@@ -48,6 +54,7 @@ func main() {
 		p.Seed = *seed
 	}
 
+	report := &bench.Report{Params: p}
 	run := func(name string) {
 		start := time.Now()
 		e, _ := bench.ByName(name)
@@ -56,6 +63,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
 			os.Exit(1)
 		}
+		report.Experiments = append(report.Experiments, bench.ReportEntry{
+			Name:           name,
+			ElapsedSeconds: time.Since(start).Seconds(),
+			Table:          tab,
+		})
 		tab.Fprint(os.Stdout)
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -86,7 +98,38 @@ func main() {
 		for _, e := range bench.Experiments() {
 			run(e.Name)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	finish(report, *jsonPath, *metrics)
+}
+
+// finish writes the run's machine-readable artifacts: the JSON report,
+// the Prometheus metrics dump, and the COMMONGRAPH_TRACE Chrome trace.
+func finish(report *bench.Report, jsonPath string, metrics bool) {
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err == nil {
+			err = f.Close()
+			if err == nil {
+				fmt.Printf("(wrote JSON report to %s)\n", jsonPath)
+			}
+		} else {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if metrics {
+		if err := obs.Default().WritePrometheus(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
+		}
+	}
+	if err := obs.WriteEnvTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
+	}
 }

@@ -6,6 +6,7 @@
 //
 //	cggen -out /tmp/lj -graph LJ-sim -snapshots 10 -adds 500 -dels 500
 //	cggen -out /tmp/custom -scale 12 -edges 100000 -snapshots 5
+//	COMMONGRAPH_TRACE=/tmp/gen.json cggen -out /tmp/lj -graph LJ-sim
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"commongraph/internal/dataset"
 	"commongraph/internal/gen"
 	"commongraph/internal/graph"
+	"commongraph/internal/obs"
 	"commongraph/internal/snapshot"
 )
 
@@ -45,6 +47,7 @@ func main() {
 		n    int
 		base graph.EdgeList
 	)
+	sp := obs.Env().StartSpan("gen.base", obs.String("graph", *name))
 	if *name != "" {
 		s, ok := gen.ByName(*name)
 		if !ok {
@@ -54,20 +57,32 @@ func main() {
 	} else {
 		n, base = gen.RMAT(gen.DefaultRMAT(*scale, *edges, *seed))
 	}
+	sp.SetAttr(obs.Int("vertices", n), obs.Int("edges", len(base)))
+	sp.End()
 
+	sp = obs.Env().StartSpan("gen.stream", obs.Int("transitions", *snapshots-1))
 	trs, err := gen.Stream(n, base, gen.StreamConfig{
 		Transitions: *snapshots - 1, Additions: *adds, Deletions: *dels, Seed: *seed + 1,
 	})
+	sp.End()
 	if err != nil {
 		fail(err)
 	}
+	sp = obs.Env().StartSpan("gen.store", obs.Int("snapshots", *snapshots))
 	store := snapshot.NewStore(n, base)
 	for _, tr := range trs {
 		if _, err := store.NewVersion(tr.Additions, tr.Deletions); err != nil {
 			fail(err)
 		}
 	}
-	if err := dataset.Save(*out, store, dataset.Format(*format)); err != nil {
+	sp.End()
+	sp = obs.Env().StartSpan("gen.save", obs.String("format", *format))
+	err = dataset.Save(*out, store, dataset.Format(*format))
+	sp.End()
+	if err != nil {
+		fail(err)
+	}
+	if err := obs.WriteEnvTrace(); err != nil {
 		fail(err)
 	}
 	fmt.Printf("wrote %s: %d vertices, %d base edges, %d snapshots (+%d/-%d per transition)\n",

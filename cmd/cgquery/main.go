@@ -5,11 +5,13 @@
 //
 //	cgquery -data /tmp/lj -algo SSSP -source 0 -strategy work-sharing
 //	cgquery -data /tmp/lj -algo BFS -from 2 -to 8 -strategy kickstarter -vertex 17
+//	cgquery -data /tmp/lj -strategy work-sharing-parallel -trace /tmp/cg.trace.json -metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -24,9 +26,11 @@ func main() {
 		source   = flag.Uint("source", 0, "query source vertex")
 		from     = flag.Int("from", 0, "first snapshot of the window")
 		to       = flag.Int("to", -1, "last snapshot of the window (-1 = latest)")
-		strategy = flag.String("strategy", "direct-hop", "kickstarter | direct-hop | direct-hop-parallel | work-sharing")
+		strategy = flag.String("strategy", "direct-hop", "kickstarter | independent | direct-hop | direct-hop-parallel | work-sharing | work-sharing-parallel")
 		vertex   = flag.Int("vertex", -1, "also print this vertex's value at each snapshot")
 		plan     = flag.Bool("plan", false, "print the schedule comparison instead of evaluating")
+		tracePth = flag.String("trace", "", "write a Chrome trace of the evaluation: a .json path, or 'log' to stream spans to stderr")
+		metrics  = flag.Bool("metrics", false, "dump the metric registry in Prometheus text format to stderr when done")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -71,17 +75,56 @@ func main() {
 		strat = commongraph.DirectHopParallel
 	case "work-sharing", "ws":
 		strat = commongraph.WorkSharing
+	case "work-sharing-parallel", "wsp":
+		strat = commongraph.WorkSharingParallel
+	case "independent", "indep":
+		strat = commongraph.Independent
 	default:
 		fail(fmt.Errorf("unknown strategy %q", *strategy))
 	}
 
 	opts := commongraph.Options{KeepValues: *vertex >= 0}
+	var tracer *commongraph.Tracer
+	if *tracePth != "" {
+		switch strings.ToLower(*tracePth) {
+		case "log", "stderr", "1":
+			tracer = commongraph.NewTracer(commongraph.WithTraceLogger(
+				slog.New(slog.NewTextHandler(os.Stderr, nil))))
+		default:
+			tracer = commongraph.NewTracer()
+		}
+		opts.Trace = tracer
+	}
 	res, err := g.Evaluate(commongraph.Query{
 		Algorithm: a,
 		Source:    commongraph.VertexID(*source),
 	}, *from, *to, strat, opts)
 	if err != nil {
 		fail(err)
+	}
+
+	if tracer != nil && strings.ToLower(*tracePth) != "log" &&
+		strings.ToLower(*tracePth) != "stderr" && *tracePth != "1" {
+		f, ferr := os.Create(*tracePth)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if werr := commongraph.WriteChromeTrace(tracer, f); werr != nil {
+			f.Close()
+			fail(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			fail(cerr)
+		}
+		fmt.Fprintf(os.Stderr, "cgquery: wrote %d trace events to %s\n", len(tracer.Events()), *tracePth)
+	}
+	if *metrics {
+		if werr := commongraph.WriteMetricsPrometheus(os.Stderr); werr != nil {
+			fail(werr)
+		}
+	}
+	if werr := commongraph.WriteEnvTrace(); werr != nil {
+		fail(werr)
 	}
 
 	fmt.Printf("%s over snapshots [%d,%d] with %s: total %v\n", a.Name(), *from, *to, strat, res.Timings.Total)

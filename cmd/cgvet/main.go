@@ -1,7 +1,9 @@
 // Command cgvet runs CommonGraph's invariant-checking static-analysis
 // suite (internal/analysis) over the module: the mutation-free CSR
-// contract, engine-state monotonicity, goroutine lock discipline, and
-// determinism of the algorithm/representation layers.
+// contract, engine-state monotonicity, goroutine lock discipline,
+// determinism of the algorithm/representation layers, and observability
+// discipline (library packages report through internal/obs, never by
+// printing to the terminal).
 //
 // Usage:
 //

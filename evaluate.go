@@ -3,11 +3,13 @@ package commongraph
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"commongraph/internal/core"
 	"commongraph/internal/engine"
 	"commongraph/internal/kickstarter"
+	"commongraph/internal/obs"
 )
 
 // Strategy selects how a window of snapshots is evaluated.
@@ -59,6 +61,28 @@ func (s Strategy) String() string {
 	}
 }
 
+// Slug names the strategy as a metric label value — the stable vocabulary
+// of the commongraph_*_total{strategy=...} series and of trace span
+// attributes (DESIGN.md "Observability").
+func (s Strategy) Slug() string {
+	switch s {
+	case KickStarter:
+		return "kickstarter"
+	case Independent:
+		return "independent"
+	case DirectHop:
+		return "direct-hop"
+	case DirectHopParallel:
+		return "direct-hop-parallel"
+	case WorkSharing:
+		return "work-sharing"
+	case WorkSharingParallel:
+		return "work-sharing-parallel"
+	default:
+		return fmt.Sprintf("strategy-%d", int(s))
+	}
+}
+
 // SchedulerMode mirrors the engine's §4.3 scheduler policy.
 type SchedulerMode = engine.Mode
 
@@ -97,6 +121,23 @@ type Options struct {
 	// is marked Degraded, instead of the whole query failing. See
 	// DESIGN.md "Failure semantics" for the exact contract.
 	Degrade bool
+	// Trace, when non-nil, records the evaluation's span tree on this
+	// tracer: one root "evaluate" span per query with schedule-level
+	// children (common.solve, hop, schedule.edge, subtree, transitions)
+	// down to engine passes — never per-vertex work. Nil falls back to
+	// the process tracer armed by COMMONGRAPH_TRACE (EnvTracer), which
+	// is itself nil when the variable is unset, making tracing free on
+	// the default path.
+	Trace *Tracer
+}
+
+// tracer resolves the evaluation's tracer: the explicit option, else the
+// COMMONGRAPH_TRACE process tracer, else nil (disabled).
+func (o Options) tracer() *obs.Tracer {
+	if o.Trace != nil {
+		return o.Trace
+	}
+	return obs.Env()
 }
 
 func (o Options) engine() engine.Options {
@@ -160,8 +201,20 @@ type Timings struct {
 	// Mutation is in-place graph update time (KickStarter) or overlay
 	// construction time (CommonGraph strategies).
 	Mutation time.Duration
-	// Total is the end-to-end evaluation time.
+	// StateClone is time spent copying query state at schedule branch
+	// points (zero for KickStarter, which maintains one state in place).
+	StateClone time.Duration
+	// Total is the end-to-end evaluation time. For parallel strategies
+	// the per-phase fields aggregate CPU time across workers and may
+	// exceed Total; sequential strategies keep their sum within it.
 	Total time.Duration
+	// AllocBytes and Mallocs are the process heap-allocation deltas over
+	// the evaluation (runtime.MemStats TotalAlloc/Mallocs). They are
+	// populated only when tracing is enabled — ReadMemStats is too
+	// expensive for the default path — and, being process-wide, include
+	// whatever concurrent work was allocating at the same time.
+	AllocBytes uint64
+	Mallocs    uint64
 }
 
 // Result is the outcome of Evaluate.
@@ -174,8 +227,12 @@ type Result struct {
 	// (zero for the CommonGraph strategies).
 	AdditionsProcessed int64
 	DeletionsProcessed int64
-	// MaxHopTime is the longest single hop (DirectHopParallel only) —
-	// the run time given one core per snapshot.
+	// MaxHopTime is the longest independent unit of the strategy — a
+	// per-snapshot hop for Independent and Direct-Hop (sequential and
+	// parallel), a root schedule subtree for Work-Sharing (sequential
+	// and parallel) — i.e. the run time given one core per unit, the
+	// paper's Table 5 estimate. Zero for KickStarter, whose transitions
+	// form a single sequential chain.
 	MaxHopTime time.Duration
 	// Degraded reports that one or more schedule subtrees of a
 	// WorkSharingParallel evaluation failed and their snapshots were
@@ -200,6 +257,17 @@ func (g *EvolvingGraph) Evaluate(q Query, from, to int, strategy Strategy, opt O
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	slug := strategy.Slug()
+	tr := opt.tracer()
+	sp := tr.StartSpan("evaluate",
+		obs.String("strategy", slug),
+		obs.String("algo", q.Algorithm.Name()),
+		obs.Int("source", int(q.Source)),
+		obs.Int("from", from), obs.Int("to", to), obs.Int("width", w.Width()))
+	var m0 runtime.MemStats
+	if tr.Enabled() {
+		runtime.ReadMemStats(&m0)
+	}
 	start := time.Now()
 	var (
 		res *Result
@@ -207,33 +275,60 @@ func (g *EvolvingGraph) Evaluate(q Query, from, to int, strategy Strategy, opt O
 	)
 	switch strategy {
 	case KickStarter:
-		res, err = g.evaluateKickStarter(q, w, opt)
+		res, err = g.evaluateKickStarter(q, w, opt, sp)
 	case Independent:
+		cfg := opt.config(q)
+		cfg.Trace = sp
 		var inner *core.Result
-		inner, err = core.Independent(w, opt.config(q))
+		inner, err = core.Independent(w, cfg)
 		if err == nil {
 			res = convertResult(inner, from, Independent)
 		}
 	case DirectHop, DirectHopParallel, WorkSharing, WorkSharingParallel:
-		res, err = g.evaluateCommonGraph(q, w, strategy, opt)
+		res, err = g.evaluateCommonGraph(q, w, strategy, opt, sp)
 	default:
+		sp.End()
 		return nil, fmt.Errorf("commongraph: unknown strategy %v", strategy)
 	}
+	obs.Queries(slug).Inc()
 	if err != nil {
+		obs.QueryErrors(slug).Inc()
+		sp.SetAttr(obs.String("error", err.Error()))
+		sp.End()
 		return nil, err
 	}
 	res.Strategy = strategy
 	res.Timings.Total = time.Since(start)
+	if tr.Enabled() {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		res.Timings.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+		res.Timings.Mallocs = m1.Mallocs - m0.Mallocs
+		sp.SetAttr(obs.Int64("alloc_bytes", int64(res.Timings.AllocBytes)),
+			obs.Int64("mallocs", int64(res.Timings.Mallocs)))
+	}
+	obs.AdditionsStreamed(slug).Add(res.AdditionsProcessed)
+	obs.DeletionsStreamed(slug).Add(res.DeletionsProcessed)
+	obs.SnapshotsEvaluated(slug).Add(int64(len(res.Snapshots)))
+	if res.Degraded {
+		sp.SetAttr(obs.Bool("degraded", true))
+	}
+	sp.SetAttr(obs.Int64("additions_processed", res.AdditionsProcessed),
+		obs.Int64("deletions_processed", res.DeletionsProcessed))
+	sp.End()
 	return res, nil
 }
 
-func (g *EvolvingGraph) evaluateKickStarter(q Query, w core.Window, opt Options) (*Result, error) {
+func (g *EvolvingGraph) evaluateKickStarter(q Query, w core.Window, opt Options, sp *obs.Span) (*Result, error) {
 	first, err := g.store.GetVersion(w.From)
 	if err != nil {
 		return nil, err
 	}
 	ctx := opt.context()
-	sys := kickstarter.New(g.NumVertices(), first, q.Algorithm, q.Source, opt.engine())
+	solve := sp.StartChild("common.solve")
+	sys := kickstarter.New(g.NumVertices(), first, q.Algorithm, q.Source, opt.engine().WithSpan(solve))
+	solve.End()
+	sys.Trace = sp
 	res := &Result{}
 	record := func(index int) {
 		st := sys.State()
@@ -268,12 +363,13 @@ func (g *EvolvingGraph) evaluateKickStarter(q Query, w core.Window, opt Options)
 	return res, nil
 }
 
-func (g *EvolvingGraph) evaluateCommonGraph(q Query, w core.Window, strategy Strategy, opt Options) (*Result, error) {
+func (g *EvolvingGraph) evaluateCommonGraph(q Query, w core.Window, strategy Strategy, opt Options, sp *obs.Span) (*Result, error) {
 	rep, err := core.BuildRep(w)
 	if err != nil {
 		return nil, err
 	}
 	cfg := opt.config(q)
+	cfg.Trace = sp
 	var inner *core.Result
 	switch strategy {
 	case DirectHop:

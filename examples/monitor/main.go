@@ -1,6 +1,7 @@
 // Monitor: a long-running evolving-graph service built on the Watcher
-// API. A content-delivery overlay network keeps the last 12 snapshots of
-// its topology under observation; every time a new snapshot arrives the
+// API, observed from the outside through its own metrics endpoint. A
+// content-delivery overlay network keeps the last 12 snapshots of its
+// topology under observation; every time a new snapshot arrives the
 // window slides forward with incremental common-graph maintenance (§4.1)
 // and two standing queries re-evaluate:
 //
@@ -9,11 +10,22 @@
 //   - HopLimit(3): which caches are within 3 hops of the origin (the
 //     low-latency tier) — one of this implementation's extension
 //     algorithms beyond the paper's Table 3.
+//
+// The twist over a plain evaluation loop: the watcher serves its metric
+// registry over HTTP (Watcher.ServeMetrics), and this program reports by
+// scraping http://…/metrics (Prometheus text format) and /window (JSON)
+// exactly the way an external dashboard would — nothing in the table
+// below comes from in-process state except the query answers themselves.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"strconv"
+	"strings"
 
 	"commongraph"
 	"commongraph/internal/algo"
@@ -51,8 +63,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("overlay: %d nodes, %d links; watching a %d-snapshot window\n\n", nodes, links, window)
-	fmt.Println("arrival  window     common   min-bandwidth(node 2047)  low-latency tier")
+	ms, err := w.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ms.Close()
+	fmt.Printf("overlay: %d nodes, %d links; watching a %d-snapshot window\n", nodes, links, window)
+	fmt.Printf("metrics endpoint: %s (scraped for every row below)\n\n", ms.URL())
+	fmt.Println("arrival  window     common   min-bw(node 2047)  tier  queries  slides")
 
 	report := func(arrival int) {
 		bw, err := w.Evaluate(commongraph.Query{Algorithm: commongraph.SSWP, Source: origin},
@@ -65,12 +83,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		from, to := w.Window()
-		// The newest snapshot's numbers.
+		// Everything else in the row comes off the wire.
+		win := pollWindow(ms.Addr())
+		samples := scrape(ms.URL())
+		queries := sum(samples, "commongraph_queries_total")
+		slides := sum(samples, `commongraph_maintenance_ops_total{kind="slide"}`)
 		latestBW := bw.Snapshots[len(bw.Snapshots)-1].Values[nodes-1]
 		latestTier := tier.Snapshots[len(tier.Snapshots)-1].Reached
-		fmt.Printf("%7d  [%2d,%2d]  %8d  %24d  %16d\n",
-			arrival, from, to, w.CommonEdges(), latestBW, latestTier)
+		fmt.Printf("%7d  [%2d,%2d]  %8d  %17d  %4d  %7.0f  %6.0f\n",
+			arrival, win.From, win.To, win.CommonEdges, latestBW, latestTier, queries, slides)
 	}
 	report(0)
 
@@ -86,4 +107,74 @@ func main() {
 	}
 	fmt.Println("\nthe common graph shrinks as churn accumulates inside the window,")
 	fmt.Println("and recovers as old snapshots slide out — all without re-building.")
+	fmt.Println("the queries and slides columns are cumulative counters scraped from")
+	fmt.Println("/metrics; point a real Prometheus at the same endpoint in production.")
+
+	// COMMONGRAPH_TRACE=<path> captures a Chrome trace of the whole run.
+	if err := commongraph.WriteEnvTrace(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// windowStatus mirrors the JSON the /window endpoint serves.
+type windowStatus struct {
+	From        int `json:"from"`
+	To          int `json:"to"`
+	Width       int `json:"width"`
+	CommonEdges int `json:"common_edges"`
+}
+
+func pollWindow(addr string) windowStatus {
+	resp, err := http.Get("http://" + addr + "/window")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ws windowStatus
+	if err := json.NewDecoder(resp.Body).Decode(&ws); err != nil {
+		log.Fatal(err)
+	}
+	return ws
+}
+
+// scrape fetches the Prometheus exposition and returns every sample line
+// as series → value ("name{labels}" → float).
+func scrape(url string) map[string]float64 {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		samples[line[:i]] = v
+	}
+	return samples
+}
+
+// sum adds every series whose name (or exact series string) matches:
+// "commongraph_queries_total" sums over all strategy labels.
+func sum(samples map[string]float64, series string) float64 {
+	var total float64
+	for s, v := range samples {
+		if s == series || strings.HasPrefix(s, series+"{") {
+			total += v
+		}
+	}
+	return total
 }

@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-// wantRe extracts the expectation regex from a `// want `+"`rx`"+`` comment.
+// wantRe extracts the expectation regex from a `// want `+"`rx`"+“ comment.
 var wantRe = regexp.MustCompile("want\\s+`([^`]+)`")
 
 type wantKey struct {
@@ -102,6 +102,25 @@ func TestGoPanicScopedToCore(t *testing.T) {
 	}
 	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{GoPanic}); len(diags) > 0 {
 		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+}
+
+func TestObsDisciplineFixture(t *testing.T) {
+	runFixture(t, "obsdiscipline", "commongraph/internal/core", ObsDiscipline)
+}
+
+// TestObsDisciplineScopedToLibraries proves commands and examples keep
+// their terminal: the same printing under cmd/ and examples/ paths yields
+// zero diagnostics.
+func TestObsDisciplineScopedToLibraries(t *testing.T) {
+	for _, asPath := range []string{"commongraph/cmd/cgquery", "commongraph/examples/monitor"} {
+		pkg, err := LoadDir(filepath.Join("testdata", "src", "obsdiscipline"), asPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{ObsDiscipline}); len(diags) > 0 {
+			t.Fatalf("human-facing package %s flagged: %v", asPath, diags)
+		}
 	}
 }
 

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsDiscipline keeps the library layers silent: ad-hoc printing from a
+// package that services embed bypasses the observability layer entirely —
+// it cannot be disabled, filtered, scraped, or correlated with a trace.
+// Anything a library package wants to say goes through internal/obs (a
+// span, an instant event, a metric) or an error return; only the
+// human-facing commands and examples may write to the terminal directly.
+// A genuinely needed exception is suppressed per-site with
+// //cgvet:ignore obsdiscipline.
+var ObsDiscipline = &Analyzer{
+	Name: "obsdiscipline",
+	Doc:  "forbid fmt.Print*/log.Print* (and friends) outside cmd/ and examples/",
+	Run:  runObsDiscipline,
+}
+
+// printAllowedSegments are path elements whose packages talk to humans by
+// design. Test files never reach the analyzer at all: the loader compiles
+// only the non-test build of each package.
+var printAllowedSegments = []string{"cmd", "examples"}
+
+// bannedPrinters maps package path → banned top-level function prefixes.
+// Prefix matching catches the whole families (Print, Printf, Println;
+// log's Fatal*/Panic* additionally hide an os.Exit or panic in what looks
+// like logging).
+var bannedPrinters = map[string][]string{
+	"fmt": {"Print"},
+	"log": {"Print", "Fatal", "Panic"},
+}
+
+func runObsDiscipline(pass *Pass) {
+	for _, seg := range printAllowedSegments {
+		if hasSegment(pass.Path, seg) {
+			return
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			f, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || f.Pkg() == nil {
+				return true
+			}
+			if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. a *log.Logger a caller injected) pass
+			}
+			for _, prefix := range bannedPrinters[f.Pkg().Path()] {
+				if strings.HasPrefix(f.Name(), prefix) {
+					pass.Reportf(id.Pos(),
+						"%s.%s in library package %s bypasses the observability layer; emit an obs span/metric, return an error, or move the printing to cmd/",
+						f.Pkg().Name(), f.Name(), pass.Path)
+					return true
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,48 @@
+// Fixture for the obsdiscipline analyzer, loaded under a library import
+// path (commongraph/internal/core): implicit-stdout printing and the
+// global log package must be flagged; Sprintf/Errorf/Fprintf to an
+// injected writer and an injected *log.Logger stay allowed, and the same
+// file under a cmd/ path yields nothing (scope test).
+package core
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+func chatty() {
+	fmt.Println("solving common graph") // want `fmt\.Println in library package`
+}
+
+func chattier(n int) {
+	fmt.Printf("streamed %d additions\n", n) // want `fmt\.Printf in library package`
+}
+
+func global(n int) {
+	log.Printf("hop %d done", n) // want `log\.Printf in library package`
+}
+
+func fatal(err error) {
+	log.Fatalf("cannot recover: %v", err) // want `log\.Fatalf in library package`
+}
+
+func formatted(n int) string {
+	return fmt.Sprintf("snapshot %d", n) // formatting, not printing: allowed
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("walk: %w", err) // allowed
+}
+
+func toWriter(w io.Writer, n int) {
+	fmt.Fprintf(w, "reached %d\n", n) // explicit writer, caller's choice: allowed
+}
+
+func injected(l *log.Logger, n int) {
+	l.Printf("hop %d", n) // method on an injected logger: allowed
+}
+
+func sanctioned() {
+	fmt.Println("progress") //cgvet:ignore obsdiscipline -- fixture-sanctioned print site
+}

@@ -17,16 +17,16 @@ import (
 // laptop; COMMONGRAPH_SCALE multiplies both graph and batch sizes.
 type Params struct {
 	// SizeFactor multiplies stand-in graph sizes (≥ 1).
-	SizeFactor float64
+	SizeFactor float64 `json:"size_factor"`
 	// UpdateScale converts the paper's batch sizes to ours
 	// (75,000 edges → 75,000 × UpdateScale).
-	UpdateScale float64
+	UpdateScale float64 `json:"update_scale"`
 	// Snapshots is the window length for Table 4-style runs (paper: 50).
-	Snapshots int
+	Snapshots int `json:"snapshots"`
 	// Source is the query source vertex.
-	Source uint32
+	Source uint32 `json:"source"`
 	// Seed namespaces the experiment's workloads.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 }
 
 // Default returns the standard experiment scale, honouring the

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -10,11 +11,36 @@ import (
 // Table is a printable experiment result: the shared currency between the
 // experiment runners, cmd/cgbench, and bench_test.go.
 type Table struct {
-	ID     string // paper anchor, e.g. "Table 4" or "Figure 8"
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"` // paper anchor, e.g. "Table 4" or "Figure 8"
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// Report is the machine-readable result of a whole cgbench run
+// (cgbench -json): the parameter set and one entry per experiment, in
+// execution order. CI commits one snapshot per PR (BENCH_PR<n>.json via
+// `make bench-json`) so the performance trajectory of the repo is
+// diffable; the shape — params, then {name, elapsed_seconds, table} — is
+// a stable contract for the comparison tooling.
+type Report struct {
+	Params      Params        `json:"params"`
+	Experiments []ReportEntry `json:"experiments"`
+}
+
+// ReportEntry is one experiment's result inside a Report.
+type ReportEntry struct {
+	Name           string  `json:"name"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Table          *Table  `json:"table"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // AddRow appends one formatted row.

@@ -5,6 +5,7 @@ import (
 
 	"commongraph/internal/algo"
 	"commongraph/internal/gen"
+	"commongraph/internal/obs"
 	"commongraph/internal/snapshot"
 )
 
@@ -117,6 +118,41 @@ func BenchmarkStrategies(b *testing.B) {
 			if _, _, err := EvaluateWorkSharing(rep, cfg); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkTracingOverhead contrasts the same end-to-end Work-Sharing
+// evaluation with tracing disabled (the default: a nil tracer, one
+// pointer test per instrumented site) and enabled. The disabled variant
+// is the regression gate of the observability layer — it must stay
+// within ~2% of the pre-instrumentation baseline (compare against
+// "Untraced" with benchstat); the enabled variant merely bounds the
+// opt-in cost.
+func BenchmarkTracingOverhead(b *testing.B) {
+	w := benchWindow(b, 50)
+	rep, err := BuildRep(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Untraced", func(b *testing.B) {
+		cfg := Config{Algo: algo.SSSP{}, Source: 0}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := EvaluateWorkSharing(rep, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Traced", func(b *testing.B) {
+		tr := obs.New()
+		for i := 0; i < b.N; i++ {
+			root := tr.StartSpan("evaluate")
+			cfg := Config{Algo: algo.SSSP{}, Source: 0, Trace: root}
+			if _, _, err := EvaluateWorkSharing(rep, cfg); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+			tr.Reset()
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"commongraph/internal/engine"
 	"commongraph/internal/faults"
 	"commongraph/internal/graph"
+	"commongraph/internal/obs"
 )
 
 // Config selects what to evaluate over a window and how.
@@ -40,6 +42,37 @@ type Config struct {
 	// via Direct-Hop from the base state and the Result is marked
 	// Degraded, instead of the whole query failing.
 	Degrade bool
+	// Trace, when non-nil, is the query's root span: executors hang
+	// schedule-level spans off it (common.solve, hop, schedule.edge,
+	// subtree — the taxonomy DESIGN.md "Observability" documents) and the
+	// engine nests its per-pass spans below those. Nil — the default —
+	// disables tracing at one pointer test per span site; the hot
+	// per-vertex loop is never instrumented either way.
+	Trace *obs.Span
+}
+
+// nodeRef renders a schedule node as "i,j" for span attributes. In a
+// schedule tree every node has one incoming edge, so the destination ref
+// alone identifies a schedule edge.
+func nodeRef(n *ScheduleNode) string { return fmt.Sprintf("%d,%d", n.I, n.J) }
+
+// solveCommon is the shared from-scratch solve on the common graph, under
+// a "common.solve" span (with the engine's own pass span nested inside).
+func solveCommon(g delta.Graph, cfg Config) (*engine.State, engine.Stats) {
+	sp := cfg.Trace.StartChild("common.solve")
+	st, stats := engine.Run(g, cfg.Algo, cfg.Source, cfg.Engine.WithSpan(sp))
+	sp.End()
+	return st, stats
+}
+
+// executorCtx is the context pprof.Do labels executor goroutines with;
+// labels propagate to everything the goroutine spawns, so CPU profiles of
+// a busy service split by executor.
+func executorCtx(cfg Config) context.Context {
+	if cfg.Ctx != nil {
+		return cfg.Ctx
+	}
+	return context.Background()
 }
 
 // solveSchedule picks the configured Steiner solver.
@@ -81,8 +114,12 @@ type Result struct {
 	// AdditionsProcessed counts batch edges streamed across all hops —
 	// the schedule-cost metric of §3 (22 vs 19 in the worked example).
 	AdditionsProcessed int64
-	// MaxHopTime is the longest single hop in DirectHopParallel — the
-	// paper's Table 5 estimate of the embarrassingly-parallel runtime.
+	// MaxHopTime is the longest single independent unit of the strategy —
+	// a per-snapshot hop for Direct-Hop (sequential and parallel) and
+	// Independent, a root subtree for Work-Sharing (sequential and
+	// parallel). It is the paper's Table 5 estimate of the runtime with
+	// one core per unit. Zero only for KickStarter-style fully sequential
+	// plans and single-snapshot windows.
 	MaxHopTime time.Duration
 	// Degraded marks that at least one schedule subtree failed and its
 	// snapshots were recomputed via the Direct-Hop fallback
@@ -143,9 +180,10 @@ func DirectHop(rep *Rep, cfg Config) (*Result, error) {
 	}
 	res := &Result{}
 	t0 := time.Now()
-	baseState, stats := engine.Run(rep.Base, cfg.Algo, cfg.Source, cfg.Engine)
+	baseState, stats := solveCommon(rep.Base, cfg)
 	res.Cost.InitialCompute = time.Since(t0)
 	res.Work.Add(stats)
+	hops := obs.HopSeconds("direct-hop")
 
 	for k := range rep.Deltas {
 		// Hops are the schedule edges of the §3.1 plan: cancellation and
@@ -153,6 +191,8 @@ func DirectHop(rep *Rep, cfg Config) (*Result, error) {
 		if err := checkpoint(cfg.Ctx, faults.CoreOverlayBuild); err != nil {
 			return nil, err
 		}
+		sp := cfg.Trace.StartChild("hop",
+			obs.Int("snapshot", k), obs.Int("batch", rep.Deltas[k].Len()))
 		t1 := time.Now()
 		ov := delta.NewOverlay(rep.N, rep.Deltas[k])
 		og := delta.NewOverlayGraph(rep.Base, ov)
@@ -163,14 +203,17 @@ func DirectHop(rep *Rep, cfg Config) (*Result, error) {
 		t3 := time.Now()
 		res.Cost.StateClone += t3.Sub(t2)
 
-		s := engine.IncrementalAdd(og, st, rep.Deltas[k].Edges(), cfg.Engine)
+		s := engine.IncrementalAdd(og, st, rep.Deltas[k].Edges(), cfg.Engine.WithSpan(sp))
 		t4 := time.Now()
 		res.Cost.IncrementalAdd += t4.Sub(t3)
+		sp.End()
 		// Hops are mutually independent, so the longest one estimates the
 		// wall time with a core per snapshot (Table 5); measuring it here,
 		// in the sequential loop, keeps hops from inflating each other on
 		// small machines.
-		if hop := t4.Sub(t1); hop > res.MaxHopTime {
+		hop := t4.Sub(t1)
+		hops.Observe(hop)
+		if hop > res.MaxHopTime {
 			res.MaxHopTime = hop
 		}
 		res.Work.Add(s)
@@ -190,9 +233,12 @@ func DirectHopParallel(rep *Rep, cfg Config) (*Result, error) {
 	}
 	res := &Result{}
 	t0 := time.Now()
-	baseState, stats := engine.Run(rep.Base, cfg.Algo, cfg.Source, cfg.Engine)
+	baseState, stats := solveCommon(rep.Base, cfg)
 	res.Cost.InitialCompute = time.Since(t0)
 	res.Work.Add(stats)
+	hops := obs.HopSeconds("direct-hop-parallel")
+	busy := obs.WorkersBusy()
+	ctx := executorCtx(cfg)
 
 	w := len(rep.Deltas)
 	res.Snapshots = make([]SnapshotResult, w)
@@ -217,18 +263,28 @@ func DirectHopParallel(rep *Rep, cfg Config) (*Result, error) {
 			defer recoverToError(&hopErr)
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			busy.Add(1)
+			defer busy.Add(-1)
 			// Cancellation and injected faults are observed at the hop
 			// boundary, before the hop's work starts.
 			if hopErr = checkpoint(cfg.Ctx, faults.CoreOverlayBuild); hopErr != nil {
 				return
 			}
-			start := time.Now()
-			ov := delta.NewOverlay(rep.N, rep.Deltas[k])
-			og := delta.NewOverlayGraph(rep.Base, ov)
-			st := baseState.Clone()
-			engine.IncrementalAdd(og, st, rep.Deltas[k].Edges(), cfg.Engine)
-			durations[k] = time.Since(start)       //cgvet:ignore lockdiscipline -- index-disjoint, one k per goroutine
-			res.Snapshots[k] = snapshotResult(k, st, cfg.KeepValues) //cgvet:ignore lockdiscipline -- index-disjoint, one k per goroutine
+			// Fork: each hop renders on its own trace track, so the
+			// Chrome view shows the hops' actual overlap.
+			sp := cfg.Trace.Fork("hop",
+				obs.Int("snapshot", k), obs.Int("batch", rep.Deltas[k].Len()))
+			pprof.Do(ctx, pprof.Labels("cg_executor", "direct-hop-parallel"), func(context.Context) {
+				start := time.Now()
+				ov := delta.NewOverlay(rep.N, rep.Deltas[k])
+				og := delta.NewOverlayGraph(rep.Base, ov)
+				st := baseState.Clone()
+				engine.IncrementalAdd(og, st, rep.Deltas[k].Edges(), cfg.Engine.WithSpan(sp))
+				durations[k] = time.Since(start)                         //cgvet:ignore lockdiscipline -- index-disjoint, one k per goroutine
+				res.Snapshots[k] = snapshotResult(k, st, cfg.KeepValues) //cgvet:ignore lockdiscipline -- index-disjoint, one k per goroutine
+			})
+			sp.End()
+			hops.Observe(durations[k])
 		}(k)
 	}
 	wg.Wait()
@@ -259,9 +315,10 @@ func WorkSharing(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result, error)
 	}
 	res := &Result{}
 	t0 := time.Now()
-	baseState, stats := engine.Run(rep.Base, cfg.Algo, cfg.Source, cfg.Engine)
+	baseState, stats := solveCommon(rep.Base, cfg)
 	res.Cost.InitialCompute = time.Since(t0)
 	res.Work.Add(stats)
+	hops := obs.HopSeconds("work-sharing")
 
 	if sched.Root.IsLeaf() {
 		// Single-snapshot window: the common graph is the snapshot.
@@ -295,6 +352,17 @@ func WorkSharing(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result, error)
 			if err := checkpoint(cfg.Ctx, faults.CoreSubtreeWalk); err != nil {
 				return err
 			}
+			// A root edge opens one of the independent subtrees — the
+			// Table 5 unit this strategy would parallelize — so its whole
+			// walk is timed for MaxHopTime and the hop histogram.
+			rootEdge := n == sched.Root
+			var subtreeStart time.Time
+			if rootEdge {
+				subtreeStart = time.Now()
+			}
+			sp := cfg.Trace.StartChild("schedule.edge",
+				obs.String("from", nodeRef(n)), obs.String("to", nodeRef(e.To)),
+				obs.Int("spans", len(e.Spans)))
 			// Gather the labels this edge spans (bypassed nodes contribute
 			// their batches here); they are disjoint by construction.
 			t1 := time.Now()
@@ -334,12 +402,21 @@ func WorkSharing(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result, error)
 			t3 := time.Now()
 			res.Cost.StateClone += t3.Sub(t2)
 
-			s := engine.IncrementalAddParts(og, child, edgeParts(spanLists), cfg.Engine)
+			s := engine.IncrementalAddParts(og, child, edgeParts(spanLists), cfg.Engine.WithSpan(sp))
 			res.Cost.IncrementalAdd += time.Since(t3)
+			sp.SetAttr(obs.Int("batch", batchLen))
+			sp.End()
 			res.Work.Add(s)
 			res.AdditionsProcessed += int64(batchLen)
 			if err := walk(e.To, child, childOverlays, childParts); err != nil {
 				return err
+			}
+			if rootEdge {
+				d := time.Since(subtreeStart)
+				hops.Observe(d)
+				if d > res.MaxHopTime {
+					res.MaxHopTime = d
+				}
 			}
 		}
 		return nil

@@ -6,6 +6,7 @@ import (
 	"commongraph/internal/engine"
 	"commongraph/internal/faults"
 	"commongraph/internal/graph"
+	"commongraph/internal/obs"
 )
 
 // Independent evaluates the query on every snapshot of the window from
@@ -19,6 +20,7 @@ func Independent(w Window, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
+	hops := obs.HopSeconds("independent")
 	for k := 0; k < w.Width(); k++ {
 		// Per-snapshot boundary: each from-scratch solve is this
 		// strategy's schedule edge, so cancellation is observed here.
@@ -29,6 +31,7 @@ func Independent(w Window, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := cfg.Trace.StartChild("hop", obs.Int("snapshot", k))
 		t0 := time.Now()
 		// Graph construction is part of this strategy's cost: nothing is
 		// shared between snapshots, including the representation.
@@ -36,10 +39,13 @@ func Independent(w Window, cfg Config) (*Result, error) {
 		t1 := time.Now()
 		res.Cost.OverlayBuild += t1.Sub(t0)
 
-		st, stats := engine.Run(pair, cfg.Algo, cfg.Source, cfg.Engine)
+		st, stats := engine.Run(pair, cfg.Algo, cfg.Source, cfg.Engine.WithSpan(sp))
 		t2 := time.Now()
 		res.Cost.InitialCompute += t2.Sub(t1)
-		if hop := t2.Sub(t0); hop > res.MaxHopTime {
+		sp.End()
+		hop := t2.Sub(t0)
+		hops.Observe(hop)
+		if hop > res.MaxHopTime {
 			res.MaxHopTime = hop
 		}
 		res.Work.Add(stats)

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"commongraph/internal/engine"
 	"commongraph/internal/faults"
 	"commongraph/internal/graph"
+	"commongraph/internal/obs"
 )
 
 // WorkSharingParallel executes a schedule with the root's child subtrees
@@ -40,9 +43,12 @@ func WorkSharingParallel(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result
 	}
 	res := &Result{}
 	t0 := time.Now()
-	baseState, stats := engine.Run(rep.Base, cfg.Algo, cfg.Source, cfg.Engine)
+	baseState, stats := solveCommon(rep.Base, cfg)
 	res.Cost.InitialCompute = time.Since(t0)
 	res.Work.Add(stats)
+	hops := obs.HopSeconds("work-sharing-parallel")
+	busy := obs.WorkersBusy()
+	ctx := executorCtx(cfg)
 
 	if sched.Root.IsLeaf() {
 		res.Snapshots = append(res.Snapshots, snapshotResult(0, baseState, cfg.KeepValues))
@@ -80,6 +86,8 @@ func WorkSharingParallel(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result
 			}()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			busy.Add(1)
+			defer busy.Add(-1)
 			// Short-circuit: once any subtree has failed fatally the whole
 			// evaluation is doomed, so skip the full walk (and the state
 			// clone it implies) instead of computing a result that would
@@ -92,7 +100,10 @@ func WorkSharingParallel(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result
 			}
 			start := time.Now()
 			sub := &Result{}
-			walkErr := runSubtree(rep, labels, e, baseState.Clone(), cfg, sub)
+			var walkErr error
+			pprof.Do(ctx, pprof.Labels("cg_executor", "work-sharing-parallel"), func(context.Context) {
+				walkErr = runSubtree(rep, labels, e, baseState.Clone(), cfg, sub)
+			})
 			degraded := false
 			if walkErr != nil && cfg.Degrade && !isCancellation(walkErr) {
 				// Graceful degradation: recompute this subtree's snapshots
@@ -104,9 +115,12 @@ func WorkSharingParallel(rep *Rep, tg *TG, sched *Schedule, cfg Config) (*Result
 					walkErr = errors.Join(walkErr, degErr)
 				} else {
 					degraded = true
+					obs.Degradations().Inc()
+					cfg.Trace.Tracer().Event("degrade", obs.String("subtree", nodeRef(e.To)))
 				}
 			}
 			elapsed := time.Since(start)
+			hops.Observe(elapsed)
 			mu.Lock()
 			defer mu.Unlock()
 			if walkErr != nil && !degraded {
@@ -159,11 +173,15 @@ func checkWidths(rep *Rep, tg *TG) error {
 
 // runSubtree is one root subtree's protected walk: a panic anywhere below
 // (the engine, the overlay algebra, or an armed Panic-mode fault) comes
-// back as a *PanicError the caller can degrade around.
+// back as a *PanicError the caller can degrade around. The subtree's
+// spans render on their own trace track (Fork), showing real overlap with
+// sibling subtrees.
 func runSubtree(rep *Rep, labels map[GridEdge]graph.EdgeList, e *ScheduleEdge,
 	st *engine.State, cfg Config, sub *Result) (err error) {
 	defer recoverToError(&err)
-	return walkSubtree(rep, labels, e, st, nil, nil, cfg, sub)
+	sp := cfg.Trace.Fork("subtree", obs.String("root", nodeRef(e.To)))
+	defer sp.End()
+	return walkSubtree(rep, labels, e, st, nil, nil, cfg, sp, sub)
 }
 
 // walkSubtree executes one schedule edge and the subtree below it,
@@ -173,11 +191,13 @@ func runSubtree(rep *Rep, labels map[GridEdge]graph.EdgeList, e *ScheduleEdge,
 // and armed faults are observed before the edge's batch is streamed.
 func walkSubtree(rep *Rep, labels map[GridEdge]graph.EdgeList, e *ScheduleEdge,
 	st *engine.State, overlays []*delta.Overlay, parts []graph.EdgeList,
-	cfg Config, sub *Result) error {
+	cfg Config, parent *obs.Span, sub *Result) error {
 
 	if err := checkpoint(cfg.Ctx, faults.CoreSubtreeWalk); err != nil {
 		return err
 	}
+	sp := parent.StartChild("schedule.edge",
+		obs.String("to", nodeRef(e.To)), obs.Int("spans", len(e.Spans)))
 	t1 := time.Now()
 	spanLists := make([]graph.EdgeList, 0, len(e.Spans))
 	batchLen := 0
@@ -204,8 +224,10 @@ func walkSubtree(rep *Rep, labels map[GridEdge]graph.EdgeList, e *ScheduleEdge,
 	t2 := time.Now()
 	sub.Cost.OverlayBuild += t2.Sub(t1)
 
-	s := engine.IncrementalAddParts(og, st, edgeParts(spanLists), cfg.Engine)
+	s := engine.IncrementalAddParts(og, st, edgeParts(spanLists), cfg.Engine.WithSpan(sp))
 	sub.Cost.IncrementalAdd += time.Since(t2)
+	sp.SetAttr(obs.Int("batch", batchLen))
+	sp.End()
 	sub.Work.Add(s)
 	sub.AdditionsProcessed += int64(batchLen)
 
@@ -220,7 +242,7 @@ func walkSubtree(rep *Rep, labels map[GridEdge]graph.EdgeList, e *ScheduleEdge,
 			next = st.Clone()
 			sub.Cost.StateClone += time.Since(tc)
 		}
-		if err := walkSubtree(rep, labels, child, next, childOverlays, childParts, cfg, sub); err != nil {
+		if err := walkSubtree(rep, labels, child, next, childOverlays, childParts, cfg, parent, sub); err != nil {
 			return err
 		}
 	}
@@ -235,10 +257,14 @@ func walkSubtree(rep *Rep, labels map[GridEdge]graph.EdgeList, e *ScheduleEdge,
 // the work sharing, never correctness.
 func degradeSubtree(rep *Rep, e *ScheduleEdge, base *engine.State, cfg Config, sub *Result) (err error) {
 	defer recoverToError(&err)
+	parent := cfg.Trace.Fork("subtree.degrade", obs.String("root", nodeRef(e.To)))
+	defer parent.End()
 	for _, k := range subtreeLeaves(e) {
 		if cerr := checkpoint(cfg.Ctx, faults.CoreOverlayBuild); cerr != nil {
 			return cerr
 		}
+		sp := parent.StartChild("hop.fallback",
+			obs.Int("snapshot", k), obs.Int("batch", rep.Deltas[k].Len()))
 		t1 := time.Now()
 		ov := delta.NewOverlay(rep.N, rep.Deltas[k])
 		og := delta.NewOverlayGraph(rep.Base, ov)
@@ -249,8 +275,9 @@ func degradeSubtree(rep *Rep, e *ScheduleEdge, base *engine.State, cfg Config, s
 		t3 := time.Now()
 		sub.Cost.StateClone += t3.Sub(t2)
 
-		s := engine.IncrementalAdd(og, st, rep.Deltas[k].Edges(), cfg.Engine)
+		s := engine.IncrementalAdd(og, st, rep.Deltas[k].Edges(), cfg.Engine.WithSpan(sp))
 		sub.Cost.IncrementalAdd += time.Since(t3)
+		sp.End()
 		sub.Work.Add(s)
 		sub.AdditionsProcessed += int64(rep.Deltas[k].Len())
 		sub.Snapshots = append(sub.Snapshots, snapshotResult(k, st, cfg.KeepValues))

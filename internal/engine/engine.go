@@ -8,6 +8,7 @@ import (
 	"commongraph/internal/algo"
 	"commongraph/internal/delta"
 	"commongraph/internal/graph"
+	"commongraph/internal/obs"
 )
 
 // Mode selects the scheduler policy of §4.3: synchronous level-barriered
@@ -36,6 +37,19 @@ type Options struct {
 	// AsyncThreshold is the seed-frontier size below which Auto chooses
 	// Async; 0 means DefaultAsyncThreshold.
 	AsyncThreshold int
+	// Span, when non-nil, is the caller's trace span: each Run /
+	// IncrementalAddParts emits one child span carrying its Stats. Spans
+	// are per engine pass, never per vertex — the hot loop stays
+	// untouched, and a nil Span costs one pointer test per pass.
+	Span *obs.Span
+}
+
+// WithSpan returns a copy of the options with the trace span replaced —
+// the executors stamp their current schedule-edge span onto the engine
+// pass they are about to run.
+func (o Options) WithSpan(s *obs.Span) Options {
+	o.Span = s
+	return o
 }
 
 // DefaultAsyncThreshold is the Auto-mode cutover point.
@@ -79,6 +93,7 @@ func (s *Stats) add(o Stats) { s.Add(o) }
 // resolves to Sync (level-synchronous parallel iterations) here; pass
 // Async explicitly to force the sequential worklist.
 func Run(g delta.Graph, a algo.Algorithm, src graph.VertexID, opt Options) (*State, Stats) {
+	sp := opt.Span.StartChild("engine.run", obs.String("algo", a.Name()))
 	st := NewState(g.NumVertices(), a, src)
 	seed := newFrontier(g.NumVertices())
 	seed.setSeq(src)
@@ -86,7 +101,18 @@ func Run(g delta.Graph, a algo.Algorithm, src graph.VertexID, opt Options) (*Sta
 		opt.Mode = Sync
 	}
 	stats := propagate(g, st, seed, opt)
+	sp.SetAttr(statAttrs(stats)...)
+	sp.End()
 	return st, stats
+}
+
+// statAttrs renders a pass's Stats as span attributes.
+func statAttrs(s Stats) []obs.Attr {
+	return []obs.Attr{
+		obs.Int("iterations", s.Iterations),
+		obs.Int64("edges_pushed", s.EdgesPushed),
+		obs.Int64("improved", s.Improved),
+	}
 }
 
 // Propagate drives an already-seeded frontier to fixpoint over g,

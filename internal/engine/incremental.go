@@ -3,6 +3,7 @@ package engine
 import (
 	"commongraph/internal/delta"
 	"commongraph/internal/graph"
+	"commongraph/internal/obs"
 )
 
 // IncrementalAdd updates st for a batch of edge additions (Algorithm 2 of
@@ -24,6 +25,11 @@ func IncrementalAdd(g delta.Graph, st *State, batch graph.EdgeList, opt Options)
 // pass runs to fixpoint.
 func IncrementalAddParts(g delta.Graph, st *State, parts [][]graph.Edge, opt Options) Stats {
 	var stats Stats
+	batchLen := 0
+	for _, batch := range parts {
+		batchLen += len(batch)
+	}
+	sp := opt.Span.StartChild("engine.incremental", obs.Int("batch", batchLen))
 	id := st.a.Identity()
 	var seeds []graph.VertexID
 	for _, batch := range parts {
@@ -44,5 +50,7 @@ func IncrementalAddParts(g delta.Graph, st *State, parts [][]graph.Edge, opt Opt
 		s := Propagate(g, st, seeds, opt)
 		stats.add(s)
 	}
+	sp.SetAttr(statAttrs(stats)...)
+	sp.End()
 	return stats
 }

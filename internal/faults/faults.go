@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"commongraph/internal/obs"
 )
 
 // Point names one injection site. The constants below are the registry's
@@ -225,14 +227,26 @@ func (r *registry) check(p Point) error {
 		firing = s
 		break
 	}
-	obs := plan.Observer
+	observer := plan.Observer
 	r.mu.Unlock()
-	if obs != nil {
-		obs(p, hit)
+	if observer != nil {
+		observer(p, hit)
 	}
 	if firing == nil {
 		return nil
 	}
+	// Every firing is observable: the canonical counter makes chaos runs
+	// scrapeable (commongraph_fault_injections_total{point=...}) and the
+	// process tracer — COMMONGRAPH_TRACE=log under `make chaos` — emits
+	// one inspectable event per injection.
+	obs.FaultFirings(string(p)).Inc()
+	mode := "error"
+	if firing.Mode == Panic {
+		mode = "panic"
+	}
+	obs.Env().Event("fault.injected",
+		obs.String("point", string(p)), obs.Int("hit", hit),
+		obs.String("mode", mode), obs.Bool("transient", firing.Transient))
 	if firing.Mode == Panic {
 		panic(&InjectedPanic{Point: p, Hit: hit})
 	}

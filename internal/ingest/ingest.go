@@ -11,6 +11,7 @@ import (
 
 	"commongraph/internal/faults"
 	"commongraph/internal/graph"
+	"commongraph/internal/obs"
 )
 
 // Op is an update's direction.
@@ -150,10 +151,16 @@ func (b *Batcher) emit(updates []Update) error {
 	if err := faults.Check(faults.IngestWindowClose); err != nil {
 		return fmt.Errorf("ingest: window close: %w", err)
 	}
+	sp := obs.Env().StartSpan("ingest.window", obs.Int("raw", len(updates)))
 	adds, dels, err := Compact(updates)
 	if err != nil {
+		sp.End()
 		return err
 	}
+	obs.IngestBatches().Inc()
+	obs.IngestUpdates().Add(int64(len(updates)))
+	sp.SetAttr(obs.Int("additions", len(adds)), obs.Int("deletions", len(dels)))
+	sp.End()
 	if len(adds) == 0 && len(dels) == 0 {
 		return nil // the window cancelled itself out entirely
 	}

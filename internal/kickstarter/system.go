@@ -6,6 +6,7 @@ import (
 	"commongraph/internal/algo"
 	"commongraph/internal/engine"
 	"commongraph/internal/graph"
+	"commongraph/internal/obs"
 )
 
 // CostBreakdown accumulates where a streaming run spends its time — the
@@ -47,6 +48,10 @@ type System struct {
 	opt  engine.Options
 	Cost CostBreakdown
 	Work engine.Stats
+	// Trace, when non-nil, is the parent span every ApplyTransition hangs
+	// a "kickstarter.transition" child off, with one grandchild per
+	// Figure-11 phase. Nil disables tracing at pointer-test cost.
+	Trace *obs.Span
 }
 
 // New builds the system on the initial snapshot and computes the query
@@ -72,21 +77,35 @@ func (s *System) Graph() *MutableGraph { return s.g }
 // and incremental addition to restore the query fixpoint. Each phase's
 // wall time is accumulated into Cost.
 func (s *System) ApplyTransition(additions, deletions graph.EdgeList) error {
+	sp := s.Trace.StartChild("kickstarter.transition",
+		obs.Int("additions", len(additions)),
+		obs.Int("deletions", len(deletions)))
+	defer sp.End()
+
 	t0 := time.Now()
+	ph := sp.StartChild("phase.mutate-add")
 	s.g.AddBatch(additions)
+	ph.End()
 	t1 := time.Now()
 	s.Cost.MutateAdd += t1.Sub(t0)
-	if err := s.g.DeleteBatch(deletions); err != nil {
+	ph = sp.StartChild("phase.mutate-delete")
+	err := s.g.DeleteBatch(deletions)
+	ph.End()
+	if err != nil {
 		return err
 	}
 	t2 := time.Now()
 	s.Cost.MutateDelete += t2.Sub(t1)
 
-	delStats := IncrementalDelete(s.g, s.st, deletions, s.opt)
+	ph = sp.StartChild("phase.incremental-delete")
+	delStats := IncrementalDelete(s.g, s.st, deletions, s.opt.WithSpan(ph))
+	ph.End()
 	t3 := time.Now()
 	s.Cost.IncrementalDelete += t3.Sub(t2)
 
-	addStats := engine.IncrementalAdd(s.g, s.st, additions, s.opt)
+	ph = sp.StartChild("phase.incremental-add")
+	addStats := engine.IncrementalAdd(s.g, s.st, additions, s.opt.WithSpan(ph))
+	ph.End()
 	s.Cost.IncrementalAdd += time.Since(t3)
 
 	s.Work.Add(delStats)

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Disabled-path micro-benchmarks — the regression guard behind the
+// "tracing off costs nothing" contract. The nil-tracer span chain must
+// stay allocation-free and in the very low single-digit nanoseconds per
+// site (it is a handful of predictable nil checks); a regression here
+// multiplies across every schedule edge of every query, so treat any
+// growth beyond ~2% in CI comparisons (benchstat old new) as a failed
+// acceptance criterion, not noise.
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("hop")
+		sp.End()
+	}
+}
+
+func BenchmarkDisabledSpanChain(b *testing.B) {
+	// The deepest chain an evaluation uses per schedule edge: span,
+	// sequential child, attr write, two ends, one instant event.
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("evaluate")
+		c := sp.StartChild("schedule.edge")
+		c.SetAttr(Attr{Key: "batch", Value: "0"})
+		c.End()
+		tr.Event("mark")
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpan bounds the traced path for context: one mutex'd
+// append plus a time.Now pair. Not a regression gate — tracing is opt-in.
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New(WithEventLimit(1 << 10))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("hop")
+		sp.End()
+		if i%1024 == 1023 {
+			tr.Reset()
+		}
+	}
+}
+
+// BenchmarkCounterAdd bounds the always-on metrics path: a single atomic
+// add on a pre-resolved handle.
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "b.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkHistogramObserve bounds the per-hop histogram cost: a small
+// binary search plus three atomic adds.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "b.", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+}

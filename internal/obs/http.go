@@ -1,0 +1,27 @@
+package obs
+
+import "net/http"
+
+// Handler serves the registry over HTTP: Prometheus text exposition by
+// default, expvar-style JSON with ?format=json (or an Accept header
+// preferring application/json). Watcher.ServeMetrics and the cmd/ tools
+// mount it.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if wantsJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	accept := req.Header.Get("Accept")
+	return accept == "application/json"
+}

@@ -1,0 +1,100 @@
+package obs
+
+// The canonical pipeline instruments, all on the Default registry. Their
+// names and labels are a stable contract documented in DESIGN.md
+// "Observability"; dashboards and the CI metrics smoke job depend on
+// them. Strategy label values are the slugs of evaluate.go's Strategy
+// (kickstarter, independent, direct-hop, direct-hop-parallel,
+// work-sharing, work-sharing-parallel); fault point label values are the
+// internal/faults Point names.
+//
+// Accessors take the label value and cache on the registry, so per-query
+// resolution is two map lookups; executors resolve once per query and
+// update handles lock-free.
+
+const (
+	helpQueries     = "Queries evaluated, by strategy."
+	helpQueryErrs   = "Queries that returned an error, by strategy."
+	helpAdds        = "Addition-batch edges streamed (the schedule cost), by strategy."
+	helpDels        = "Deletion-batch edges streamed (KickStarter only), by strategy."
+	helpSnaps       = "Snapshot results produced, by strategy."
+	helpHops        = "Latency of one schedule hop (a Direct-Hop hop, a Work-Sharing root subtree), by strategy."
+	helpDegraded    = "Schedule subtrees that failed and were recomputed via the Direct-Hop fallback."
+	helpFaults      = "Injected fault firings, by injection point (chaos/fault-injection runs only)."
+	helpWorkersBusy = "Executor goroutines currently running a hop or subtree."
+	helpRetries     = "Watcher maintenance retries after transient failures."
+	helpMaintOps    = "Watcher maintenance operations completed, by kind (append, advance, slide)."
+	helpMaintErrs   = "Watcher maintenance operations that ultimately failed, by kind."
+	helpIngBatches  = "Update windows the ingest batcher closed and handed to the store."
+	helpIngUpdates  = "Raw single-edge updates accepted by the ingest batcher."
+)
+
+// Queries counts evaluated queries for one strategy slug.
+func Queries(strategy string) *Counter {
+	return Default().Counter("commongraph_queries_total", helpQueries, "strategy", strategy)
+}
+
+// QueryErrors counts failed queries for one strategy slug.
+func QueryErrors(strategy string) *Counter {
+	return Default().Counter("commongraph_query_errors_total", helpQueryErrs, "strategy", strategy)
+}
+
+// AdditionsStreamed counts streamed addition-batch edges.
+func AdditionsStreamed(strategy string) *Counter {
+	return Default().Counter("commongraph_additions_streamed_total", helpAdds, "strategy", strategy)
+}
+
+// DeletionsStreamed counts streamed deletion-batch edges.
+func DeletionsStreamed(strategy string) *Counter {
+	return Default().Counter("commongraph_deletions_streamed_total", helpDels, "strategy", strategy)
+}
+
+// SnapshotsEvaluated counts produced snapshot results.
+func SnapshotsEvaluated(strategy string) *Counter {
+	return Default().Counter("commongraph_snapshots_evaluated_total", helpSnaps, "strategy", strategy)
+}
+
+// HopSeconds is the per-hop latency histogram.
+func HopSeconds(strategy string) *Histogram {
+	return Default().Histogram("commongraph_hop_seconds", helpHops, nil, "strategy", strategy)
+}
+
+// Degradations counts subtree fallbacks (Options.Degrade).
+func Degradations() *Counter {
+	return Default().Counter("commongraph_degradations_total", helpDegraded)
+}
+
+// FaultFirings counts injected-fault firings per point.
+func FaultFirings(point string) *Counter {
+	return Default().Counter("commongraph_fault_injections_total", helpFaults, "point", point)
+}
+
+// WorkersBusy is the live executor occupancy gauge.
+func WorkersBusy() *Gauge {
+	return Default().Gauge("commongraph_workers_busy", helpWorkersBusy)
+}
+
+// MaintenanceRetries counts watcher transient-failure retries.
+func MaintenanceRetries() *Counter {
+	return Default().Counter("commongraph_maintenance_retries_total", helpRetries)
+}
+
+// MaintenanceOps counts completed maintenance steps per kind.
+func MaintenanceOps(kind string) *Counter {
+	return Default().Counter("commongraph_maintenance_ops_total", helpMaintOps, "kind", kind)
+}
+
+// MaintenanceErrors counts ultimately-failed maintenance steps per kind.
+func MaintenanceErrors(kind string) *Counter {
+	return Default().Counter("commongraph_maintenance_errors_total", helpMaintErrs, "kind", kind)
+}
+
+// IngestBatches counts closed ingest windows.
+func IngestBatches() *Counter {
+	return Default().Counter("commongraph_ingest_batches_total", helpIngBatches)
+}
+
+// IngestUpdates counts accepted raw updates.
+func IngestUpdates() *Counter {
+	return Default().Counter("commongraph_ingest_updates_total", helpIngUpdates)
+}

@@ -1,0 +1,61 @@
+// Package obs is the observability layer of the evaluation pipeline:
+// structured tracing at schedule-edge granularity, always-on atomic
+// metrics, and profiling hooks — all zero-dependency (stdlib only) so it
+// can be imported from every layer, including internal/faults.
+//
+// The three facets, and their cost model:
+//
+//   - Tracing (Tracer/Span): disabled is the default and costs one nil
+//     check per span site — a nil *Tracer and a nil *Span are fully
+//     functional no-ops, so instrumented code never branches on "is
+//     tracing on". Enabled, spans buffer in memory and export as Chrome
+//     trace_event JSON (chrome://tracing, Perfetto) and/or stream to a
+//     *slog.Logger. The COMMONGRAPH_TRACE environment variable arms a
+//     process-wide tracer (see Env) without touching any API.
+//
+//   - Metrics (Registry): counters, gauges and histograms are plain
+//     atomics, registered once and updated lock-free, exposed in
+//     Prometheus text exposition format and as expvar-style JSON. The
+//     canonical pipeline instruments (instruments.go) live on the Default
+//     registry and are documented as a stable contract in DESIGN.md
+//     "Observability".
+//
+//   - Profiling: the executors wrap their goroutines in pprof.Do with
+//     strategy/subtree labels (see internal/core), so CPU profiles
+//     attribute samples to schedule structure; obs itself only provides
+//     the span/metric vocabulary those labels mirror.
+//
+// Update sites are schedule-edge/query granularity, never the engine's
+// per-vertex hot loop; the disabled-path micro-benchmarks in
+// bench_test.go guard that property.
+package obs
+
+import (
+	"strconv"
+	"time"
+)
+
+// Attr is one key/value annotation on a span or event. Values are
+// pre-rendered to strings at the call site: attribute construction is on
+// the traced path only, never the disabled path (span helpers are
+// nil-safe before their attrs are evaluated — keep heavy formatting out
+// of call arguments).
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+
+// Int64 builds a 64-bit integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Value: strconv.FormatInt(v, 10)} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: strconv.FormatBool(v)} }
+
+// Duration builds a duration attribute (human-readable form).
+func Duration(k string, d time.Duration) Attr { return Attr{Key: k, Value: d.String()} }

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultEventLimit bounds a tracer's in-memory event buffer; past it new
+// events are counted in Dropped instead of growing without bound in a
+// long-running service.
+const DefaultEventLimit = 1 << 20
+
+// Event is one recorded trace entry: a completed span (Dur > 0 or a span
+// that ended instantly) or an instant event (Instant true). Track is the
+// lane the event renders on in the Chrome trace view — concurrent
+// subtrees get distinct tracks, sequential children inherit their
+// parent's.
+type Event struct {
+	Name    string
+	Track   int64
+	Start   time.Time
+	Dur     time.Duration
+	Instant bool
+	Attrs   []Attr
+}
+
+// Attr returns the value of the named attribute, or "" when absent.
+func (e Event) Attr(key string) string {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Tracer records spans and events. A nil *Tracer is the disabled tracer:
+// every method is a no-op and StartSpan returns a nil *Span whose methods
+// are no-ops too, so call sites never test for enablement.
+type Tracer struct {
+	logger    *slog.Logger
+	limit     int
+	epoch     time.Time
+	nextTrack atomic.Int64
+	dropped   atomic.Int64
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// TracerOption configures New.
+type TracerOption func(*Tracer)
+
+// WithLogger streams every span end and instant event to l as structured
+// slog records, in addition to buffering them.
+func WithLogger(l *slog.Logger) TracerOption { return func(t *Tracer) { t.logger = l } }
+
+// WithEventLimit overrides DefaultEventLimit.
+func WithEventLimit(n int) TracerOption { return func(t *Tracer) { t.limit = n } }
+
+// New creates an enabled tracer.
+func New(opts ...TracerOption) *Tracer {
+	t := &Tracer{limit: DefaultEventLimit, epoch: time.Now()}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Span is an in-flight traced region. The zero of the API is nil: a nil
+// *Span ignores SetAttr/End and returns nil children, which is the whole
+// disabled fast path — one pointer test per call.
+type Span struct {
+	t     *Tracer
+	name  string
+	track int64
+	start time.Time
+	attrs []Attr
+}
+
+// StartSpan opens a root span on a fresh track. Use it for regions that
+// run concurrently with their siblings (subtrees, parallel hops); use
+// StartChild for sequential nesting.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, track: t.nextTrack.Add(1), start: time.Now(), attrs: attrs}
+}
+
+// StartChild opens a sequential child span on the parent's track.
+func (s *Span) StartChild(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{t: s.t, name: name, track: s.track, start: time.Now(), attrs: attrs}
+}
+
+// Fork opens a concurrent child span on a fresh track (a goroutine spawned
+// under this span).
+func (s *Span) Fork(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.StartSpan(name, attrs...)
+}
+
+// Tracer returns the span's tracer (nil for a nil span), for handing the
+// tracer itself further down a call chain.
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.t
+}
+
+// SetAttr appends attributes to the span (visible once it ends).
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End completes the span and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.record(Event{
+		Name:  s.name,
+		Track: s.track,
+		Start: s.start,
+		Dur:   time.Since(s.start),
+		Attrs: s.attrs,
+	})
+}
+
+// Event records an instant event (a point in time, not a region).
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.record(Event{Name: name, Start: time.Now(), Instant: true, Attrs: attrs})
+}
+
+func (t *Tracer) record(e Event) {
+	t.mu.Lock()
+	if len(t.events) < t.limit {
+		t.events = append(t.events, e)
+		t.mu.Unlock()
+	} else {
+		t.mu.Unlock()
+		t.dropped.Add(1)
+	}
+	if t.logger != nil {
+		logAttrs := make([]slog.Attr, 0, len(e.Attrs)+1)
+		if !e.Instant {
+			logAttrs = append(logAttrs, slog.Duration("dur", e.Dur))
+		}
+		for _, a := range e.Attrs {
+			logAttrs = append(logAttrs, slog.String(a.Key, a.Value))
+		}
+		t.logger.LogAttrs(context.Background(), slog.LevelInfo, e.Name, logAttrs...)
+	}
+}
+
+// Events returns a snapshot of the recorded events, in recording order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Dropped reports how many events the buffer limit discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Reset discards every buffered event (tests, or re-use between queries).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = nil
+	t.mu.Unlock()
+	t.dropped.Store(0)
+}
+
+// chromeEvent is one entry of the Chrome trace_event format, the
+// "JSON Array Format" every trace viewer (chrome://tracing, Perfetto,
+// speedscope) loads.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"` // microseconds from trace epoch
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int64             `json:"tid"`
+	Scope string            `json:"s,omitempty"` // instant-event scope
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the buffered events as Chrome trace_event JSON
+// ({"traceEvents": [...]}): spans become complete ("X") events, instants
+// become thread-scoped instant ("i") events.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	events := make([]Event, len(t.events))
+	copy(events, t.events)
+	epoch := t.epoch
+	t.mu.Unlock()
+
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events))}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name:  e.Name,
+			Cat:   "commongraph",
+			Phase: "X",
+			TS:    float64(e.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:   float64(e.Dur) / float64(time.Microsecond),
+			PID:   1,
+			TID:   e.Track,
+		}
+		if e.Instant {
+			ce.Phase = "i"
+			ce.Scope = "t"
+			ce.Dur = 0
+		}
+		if len(e.Attrs) > 0 {
+			ce.Args = make(map[string]string, len(e.Attrs))
+			for _, a := range e.Attrs {
+				ce.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// EnvVar is the environment variable that arms the process-wide tracer.
+//
+//	COMMONGRAPH_TRACE=log          stream spans to stderr as slog text
+//	COMMONGRAPH_TRACE=<path.json>  buffer spans; commands write the Chrome
+//	                               trace there on exit (WriteEnvTrace)
+const EnvVar = "COMMONGRAPH_TRACE"
+
+var (
+	envOnce   sync.Once
+	envTracer *Tracer
+	envPath   string
+)
+
+// Env returns the process-wide tracer configured by COMMONGRAPH_TRACE, or
+// nil (the disabled tracer) when the variable is unset. It is the default
+// every pipeline entry point falls back to when no explicit tracer is
+// passed, so `COMMONGRAPH_TRACE=log go test ...` or a traced cgquery run
+// needs no code changes.
+func Env() *Tracer {
+	envOnce.Do(func() {
+		v := os.Getenv(EnvVar)
+		switch v {
+		case "":
+			return
+		case "log", "1", "stderr":
+			envTracer = New(WithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil))))
+		default:
+			envPath = v
+			envTracer = New()
+		}
+	})
+	return envTracer
+}
+
+// WriteEnvTrace writes the env tracer's buffer to the path given in
+// COMMONGRAPH_TRACE, when the variable named a file. Commands defer it;
+// it is a no-op in the "log" and unset configurations.
+func WriteEnvTrace() error {
+	t := Env()
+	if t == nil || envPath == "" {
+		return nil
+	}
+	f, err := os.Create(envPath)
+	if err != nil {
+		return fmt.Errorf("obs: writing %s trace: %w", EnvVar, err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,233 @@
+package commongraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"commongraph/internal/obs"
+)
+
+// TestTimingsAttributionAllStrategies proves every strategy attributes
+// its wall time to the right phases. Workers and Parallelism are pinned
+// to 1 so the execution is fully serialized and the per-phase sum is a
+// set of disjoint subintervals of Total. Tracing is enabled so the
+// allocation deltas populate too.
+func TestTimingsAttributionAllStrategies(t *testing.T) {
+	g, _ := buildEvolving(t, 7007, 9, 120, 120)
+	q := Query{Algorithm: SSSP, Source: 0}
+
+	// Which phases each strategy is expected to exercise on a
+	// multi-snapshot window with churn. DirectHopParallel deliberately
+	// leaves its per-hop phases unattributed — summing CPU time across
+	// goroutines misstates a wall-time breakdown — so only its initial
+	// solve appears.
+	cases := []struct {
+		strategy             Strategy
+		add, del, mut, clone bool
+	}{
+		{KickStarter, true, true, true, false},
+		{Independent, false, false, true, false},
+		{DirectHop, true, false, true, true},
+		{DirectHopParallel, false, false, false, false},
+		{WorkSharing, true, false, true, false},
+		{WorkSharingParallel, true, false, true, false},
+	}
+	for _, c := range cases {
+		t.Run(c.strategy.String(), func(t *testing.T) {
+			res, err := g.Evaluate(q, 0, 9, c.strategy, Options{
+				Workers: 1, Parallelism: 1, Trace: NewTracer(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ti := res.Timings
+			if ti.Total <= 0 {
+				t.Fatal("Total not recorded")
+			}
+			if ti.InitialCompute <= 0 {
+				t.Error("InitialCompute not recorded")
+			}
+			check := func(name string, d time.Duration, want bool) {
+				if want && d <= 0 {
+					t.Errorf("%s = 0, expected non-zero", name)
+				}
+				if !want && d < 0 {
+					t.Errorf("%s negative: %v", name, d)
+				}
+			}
+			check("IncrementalAdd", ti.IncrementalAdd, c.add)
+			check("IncrementalDelete", ti.IncrementalDelete, c.del)
+			check("Mutation", ti.Mutation, c.mut)
+			check("StateClone", ti.StateClone, c.clone)
+			if !c.del && ti.IncrementalDelete != 0 {
+				t.Errorf("IncrementalDelete = %v for a deletion-free strategy", ti.IncrementalDelete)
+			}
+			sum := ti.InitialCompute + ti.IncrementalAdd + ti.IncrementalDelete + ti.Mutation + ti.StateClone
+			if sum > ti.Total+time.Millisecond {
+				t.Errorf("phase sum %v exceeds wall total %v on a serialized run", sum, ti.Total)
+			}
+			if ti.AllocBytes == 0 || ti.Mallocs == 0 {
+				t.Errorf("allocation deltas not populated under tracing: bytes=%d mallocs=%d",
+					ti.AllocBytes, ti.Mallocs)
+			}
+		})
+	}
+}
+
+// TestMaxHopTimeRecordedPerStrategy pins the contract on Result.MaxHopTime:
+// non-zero for every strategy with an independent unit (per-snapshot hops,
+// root schedule subtrees), zero only for the fully sequential KickStarter
+// plan.
+func TestMaxHopTimeRecordedPerStrategy(t *testing.T) {
+	g, _ := buildEvolving(t, 7009, 8, 100, 100)
+	q := Query{Algorithm: BFS, Source: 0}
+	for _, s := range []Strategy{Independent, DirectHop, DirectHopParallel, WorkSharing, WorkSharingParallel} {
+		res, err := g.Evaluate(q, 0, 8, s, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxHopTime <= 0 {
+			t.Errorf("%s: MaxHopTime not recorded", s)
+		}
+		if res.MaxHopTime > res.Timings.Total {
+			t.Errorf("%s: MaxHopTime %v exceeds total %v", s, res.MaxHopTime, res.Timings.Total)
+		}
+	}
+	res, err := g.Evaluate(q, 0, 8, KickStarter, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxHopTime != 0 {
+		t.Errorf("KickStarter: MaxHopTime = %v, want 0 (no independent units)", res.MaxHopTime)
+	}
+}
+
+// promValue extracts one sample's value from a Prometheus exposition.
+func promValue(t *testing.T, text, series string) int64 {
+	t.Helper()
+	re := regexp.MustCompile("(?m)^" + regexp.QuoteMeta(series) + " ([0-9]+)$")
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("series %s not in exposition:\n%s", series, text)
+	}
+	v, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestMetricsEndpointReflectsEvaluations runs real evaluations against a
+// watcher, scrapes its HTTP metrics endpoint like a Prometheus server
+// would, and asserts the scraped counters against the Result fields the
+// evaluations returned. The registry is process-global, so everything is
+// asserted as before/after deltas.
+func TestMetricsEndpointReflectsEvaluations(t *testing.T) {
+	g, _ := buildEvolving(t, 7011, 8, 80, 80)
+	w, err := g.Watch(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := w.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	const slug = "work-sharing"
+	scrape := func() string {
+		resp, err := http.Get(ms.URL())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.ValidateExposition(body); err != nil {
+			t.Fatalf("endpoint serves malformed exposition: %v", err)
+		}
+		return string(body)
+	}
+	queriesSeries := fmt.Sprintf(`commongraph_queries_total{strategy=%q}`, slug)
+	addsSeries := fmt.Sprintf(`commongraph_additions_streamed_total{strategy=%q}`, slug)
+	snapsSeries := fmt.Sprintf(`commongraph_snapshots_evaluated_total{strategy=%q}`, slug)
+
+	// Prime the series so the before-scrape has them even on a fresh
+	// registry, then measure the deltas of three more evaluations.
+	if _, err := w.Evaluate(Query{Algorithm: BFS, Source: 0}, WorkSharing, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := scrape()
+	var adds, snaps int64
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		res, err := w.Evaluate(Query{Algorithm: BFS, Source: 0}, WorkSharing, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		adds += res.AdditionsProcessed
+		snaps += int64(len(res.Snapshots))
+	}
+	after := scrape()
+
+	if got := promValue(t, after, queriesSeries) - promValue(t, before, queriesSeries); got != runs {
+		t.Errorf("queries counter delta = %d, want %d", got, runs)
+	}
+	if got := promValue(t, after, addsSeries) - promValue(t, before, addsSeries); got != adds {
+		t.Errorf("additions counter delta = %d, Result fields sum to %d", got, adds)
+	}
+	if got := promValue(t, after, snapsSeries) - promValue(t, before, snapsSeries); got != snaps {
+		t.Errorf("snapshots counter delta = %d, Result fields sum to %d", got, snaps)
+	}
+
+	// The JSON view of the same registry must agree with the text view.
+	resp, err := http.Get(ms.URL() + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var flat map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&flat); err != nil {
+		t.Fatalf("JSON metrics view does not parse: %v", err)
+	}
+	family, ok := flat["commongraph_queries_total"].(map[string]any)
+	if !ok {
+		t.Fatalf("JSON view missing commongraph_queries_total family: %v", flat["commongraph_queries_total"])
+	}
+	if v, ok := family[`strategy="`+slug+`"`]; !ok {
+		t.Errorf("JSON view missing the %s series of commongraph_queries_total", slug)
+	} else if int64(v.(float64)) != promValue(t, after, queriesSeries) {
+		t.Errorf("JSON view = %v, text view = %d", v, promValue(t, after, queriesSeries))
+	}
+
+	// The companion /window endpoint reports the live window.
+	wresp, err := http.Get("http://" + ms.Addr() + "/window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	var win struct {
+		From        int `json:"from"`
+		To          int `json:"to"`
+		Width       int `json:"width"`
+		CommonEdges int `json:"common_edges"`
+	}
+	if err := json.NewDecoder(wresp.Body).Decode(&win); err != nil {
+		t.Fatal(err)
+	}
+	from, to := w.Window()
+	if win.From != from || win.To != to || win.Width != to-from+1 {
+		t.Errorf("/window = %+v, watcher window [%d,%d]", win, from, to)
+	}
+	if win.CommonEdges != w.CommonEdges() {
+		t.Errorf("/window common_edges = %d, watcher reports %d", win.CommonEdges, w.CommonEdges())
+	}
+}

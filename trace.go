@@ -1,0 +1,71 @@
+package commongraph
+
+import (
+	"io"
+	"net/http"
+
+	"commongraph/internal/obs"
+)
+
+// Tracer is the structured tracing sink of the observability layer: an
+// in-memory span/event recorder whose buffer exports as Chrome
+// trace_event JSON (WriteChromeTrace — loadable in chrome://tracing,
+// Perfetto, or speedscope) and optionally streams every span to a
+// log/slog logger as it completes. A nil *Tracer is the disabled tracer:
+// every operation is a no-op costing one pointer test, so instrumented
+// code never branches on enablement.
+//
+// The span taxonomy the pipeline emits (evaluate, common.solve, hop,
+// schedule.edge, subtree, kickstarter.transition, engine.run, ...) is
+// documented in DESIGN.md "Observability" and is a stable contract.
+type Tracer = obs.Tracer
+
+// TracerOption configures NewTracer.
+type TracerOption = obs.TracerOption
+
+// NewTracer creates an enabled tracer. Options: WithTraceLogger streams
+// spans to a slog.Logger as they end; WithTraceEventLimit bounds the
+// in-memory buffer (default obs.DefaultEventLimit).
+func NewTracer(opts ...TracerOption) *Tracer { return obs.New(opts...) }
+
+// WithTraceLogger streams every completed span and instant event to the
+// logger, in addition to buffering them for export.
+var WithTraceLogger = obs.WithLogger
+
+// WithTraceEventLimit overrides the tracer's buffered-event cap.
+var WithTraceEventLimit = obs.WithEventLimit
+
+// TraceEnvVar is the environment variable that arms the process-wide
+// tracer without code changes: "log" (or "1"/"stderr") streams spans to
+// stderr via slog; any other value is a path the Chrome trace JSON is
+// written to by WriteEnvTrace.
+const TraceEnvVar = obs.EnvVar
+
+// EnvTracer returns the process-wide tracer configured by
+// COMMONGRAPH_TRACE, or nil when the variable is unset. Options.Trace
+// falls back to it, so exporting a trace from any command or test is
+// just setting the variable.
+func EnvTracer() *Tracer { return obs.Env() }
+
+// WriteEnvTrace writes the env tracer's buffer to the path named by
+// COMMONGRAPH_TRACE (no-op for the "log" and unset configurations).
+// Commands defer it before exit.
+func WriteEnvTrace() error { return obs.WriteEnvTrace() }
+
+// WriteChromeTrace exports a tracer's buffer as Chrome trace_event JSON.
+// Equivalent to t.WriteChromeTrace(w); provided so callers holding a nil
+// tracer can still produce a well-formed (empty) trace.
+func WriteChromeTrace(t *Tracer, w io.Writer) error { return t.WriteChromeTrace(w) }
+
+// MetricsHandler returns an http.Handler serving the process-wide metric
+// registry: Prometheus text exposition format by default,
+// expvar-style JSON with ?format=json (or Accept: application/json).
+// Every metric the pipeline maintains (commongraph_queries_total,
+// commongraph_hop_seconds, commongraph_fault_injections_total, ...) is
+// on this registry; DESIGN.md "Observability" lists them.
+func MetricsHandler() http.Handler { return obs.Default().Handler() }
+
+// WriteMetricsPrometheus writes the process-wide registry in Prometheus
+// text exposition format — the same bytes MetricsHandler serves —
+// for commands that dump metrics on exit instead of serving HTTP.
+func WriteMetricsPrometheus(w io.Writer) error { return obs.Default().WritePrometheus(w) }

@@ -1,12 +1,16 @@
 package commongraph
 
 import (
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"commongraph/internal/core"
 	"commongraph/internal/faults"
+	"commongraph/internal/obs"
 )
 
 // Watcher keeps the CommonGraph representation of a snapshot window alive
@@ -76,21 +80,27 @@ func (w *Watcher) CommonEdges() int {
 
 // Append extends the window to the next snapshot, which must already have
 // been created with ApplyUpdates.
-func (w *Watcher) Append() error { return w.maintain((*core.MaintainedRep).Append) }
+func (w *Watcher) Append() error { return w.maintain("append", (*core.MaintainedRep).Append) }
 
 // Advance drops the window's oldest snapshot.
-func (w *Watcher) Advance() error { return w.maintain((*core.MaintainedRep).Advance) }
+func (w *Watcher) Advance() error { return w.maintain("advance", (*core.MaintainedRep).Advance) }
 
 // Slide appends the next snapshot and drops the oldest, keeping the
 // window's width. Slide is atomic: a failure in its second half rolls the
 // maintained window back to its pre-Slide state.
-func (w *Watcher) Slide() error { return w.maintain((*core.MaintainedRep).Slide) }
+func (w *Watcher) Slide() error { return w.maintain("slide", (*core.MaintainedRep).Slide) }
 
 // maintain runs one maintenance step under the write lock, retrying
 // transient failures per the watcher's policy. Maintenance steps swap the
 // representation pointer only on success (Slide rolls back internally),
 // so a failed step leaves the previous window fully evaluable.
-func (w *Watcher) maintain(step func(*core.MaintainedRep) error) error {
+//
+// Each step is observable: one "watcher.<kind>" span on the process
+// tracer, the maintenance op/error counters by kind, and the retry
+// counter per transient re-attempt.
+func (w *Watcher) maintain(kind string, step func(*core.MaintainedRep) error) error {
+	sp := obs.Env().StartSpan("watcher." + kind)
+	defer sp.End()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	attempts := w.retry.Attempts
@@ -100,15 +110,29 @@ func (w *Watcher) maintain(step func(*core.MaintainedRep) error) error {
 	backoff := w.retry.Backoff
 	var err error
 	for try := 0; try < attempts; try++ {
-		if try > 0 && backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+		if try > 0 {
+			obs.MaintenanceRetries().Inc()
+			sp.SetAttr(obs.Int("retry", try))
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
 		}
 		err = step(w.m)
-		if err == nil || !faults.IsTransient(err) {
+		if err == nil {
+			obs.MaintenanceOps(kind).Inc()
+			win := w.m.Window()
+			sp.SetAttr(obs.Int("from", win.From), obs.Int("to", win.To))
+			return nil
+		}
+		if !faults.IsTransient(err) {
+			obs.MaintenanceErrors(kind).Inc()
+			sp.SetAttr(obs.String("error", err.Error()))
 			return err
 		}
 	}
+	obs.MaintenanceErrors(kind).Inc()
+	sp.SetAttr(obs.String("error", err.Error()))
 	return fmt.Errorf("commongraph: maintenance failed after %d attempts: %w", attempts, err)
 }
 
@@ -126,6 +150,12 @@ func (w *Watcher) Evaluate(q Query, strategy Strategy, opt Options) (*Result, er
 	w.mu.RLock()
 	rep := w.m.Rep()
 	w.mu.RUnlock()
+	slug := strategy.Slug()
+	sp := opt.tracer().StartSpan("evaluate",
+		obs.String("strategy", slug), obs.String("algo", q.Algorithm.Name()),
+		obs.Int("source", int(q.Source)), obs.String("origin", "watcher"),
+		obs.Int("from", rep.Window.From), obs.Int("to", rep.Window.To))
+	cfg.Trace = sp
 	var (
 		inner *core.Result
 		err   error
@@ -140,12 +170,71 @@ func (w *Watcher) Evaluate(q Query, strategy Strategy, opt Options) (*Result, er
 	case WorkSharingParallel:
 		inner, _, err = core.EvaluateWorkSharingParallel(rep, cfg)
 	default:
+		sp.End()
 		return nil, fmt.Errorf("commongraph: watcher supports only CommonGraph strategies, not %v", strategy)
 	}
+	obs.Queries(slug).Inc()
 	if err != nil {
+		obs.QueryErrors(slug).Inc()
+		sp.SetAttr(obs.String("error", err.Error()))
+		sp.End()
 		return nil, err
 	}
-	return convertResult(inner, rep.Window.From, strategy), nil
+	res := convertResult(inner, rep.Window.From, strategy)
+	obs.AdditionsStreamed(slug).Add(res.AdditionsProcessed)
+	obs.SnapshotsEvaluated(slug).Add(int64(len(res.Snapshots)))
+	sp.SetAttr(obs.Int64("additions_processed", res.AdditionsProcessed))
+	sp.End()
+	return res, nil
+}
+
+// MetricsServer is a running metrics endpoint started by
+// Watcher.ServeMetrics. Close shuts it down.
+type MetricsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// URL returns the metrics endpoint URL.
+func (m *MetricsServer) URL() string { return "http://" + m.Addr() + "/metrics" }
+
+// Close stops the server immediately.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// ServeMetrics starts an HTTP server on addr (e.g. ":9090", or ":0" for
+// an ephemeral port) exposing the watcher's observability surface:
+//
+//	/metrics  process-wide metric registry — Prometheus text exposition
+//	          by default, expvar-style JSON with ?format=json
+//	/window   the watcher's current window as JSON
+//	          {"from":F,"to":T,"width":W,"common_edges":E}
+//
+// The registry is process-wide (every watcher, evaluation, ingest batcher
+// and fault injection in the process feeds it); /window is this watcher's
+// live state. The server runs until Close.
+func (w *Watcher) ServeMetrics(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("commongraph: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler())
+	mux.HandleFunc("/window", func(rw http.ResponseWriter, _ *http.Request) {
+		from, to := w.Window()
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(map[string]int{
+			"from":         from,
+			"to":           to,
+			"width":        to - from + 1,
+			"common_edges": w.CommonEdges(),
+		})
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return &MetricsServer{srv: srv, ln: ln}, nil
 }
 
 // EvaluateMulti evaluates several queries over the same window with the
@@ -185,6 +274,7 @@ func convertResult(inner *core.Result, from int, strategy Strategy) *Result {
 			InitialCompute: inner.Cost.InitialCompute,
 			IncrementalAdd: inner.Cost.IncrementalAdd,
 			Mutation:       inner.Cost.OverlayBuild,
+			StateClone:     inner.Cost.StateClone,
 			Total:          inner.Cost.Total(),
 		},
 	}
