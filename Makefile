@@ -2,10 +2,15 @@ GO ?= go
 FUZZTIME ?= 10s
 # bench-json: which experiments to snapshot and where. CI commits one
 # BENCH_PR<n>.json per PR so the performance trajectory is diffable.
-BENCH_JSON_OUT ?= BENCH_PR3.json
+BENCH_JSON_OUT ?= BENCH_PR4.json
 BENCH_JSON_FLAGS ?= -exp all
+# perf-smoke: the committed engine-benchmark baseline of the previous PR
+# and where to write this run's numbers.
+PERF_BASELINE ?= bench/engine-PR3.txt
+PERF_OUT ?= /tmp/engine-perf.txt
+PERF_COUNT ?= 5
 
-.PHONY: all build test race vet fuzz-smoke chaos bench-json metrics-smoke obs-bench ci
+.PHONY: all build test race vet fuzz-smoke chaos bench-json metrics-smoke obs-bench perf-smoke ci
 
 all: build vet test
 
@@ -28,10 +33,13 @@ vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/cgvet ./...
 
-# Short deterministic fuzz of the graph ingest paths (text + binary).
+# Short deterministic fuzz of the graph ingest paths (text + binary) and
+# the engine differential oracle (every scheduler variant vs reference.go
+# on fuzzer-shaped random graphs and batches).
 fuzz-smoke:
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzParseEdgeList$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzLoadCSR$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzEngineDifferential$$' -fuzztime $(FUZZTIME)
 
 # Probabilistic fault injection under the race detector: seeded random
 # errors and panics (internal/faults) against the degraded parallel
@@ -62,5 +70,19 @@ metrics-smoke:
 obs-bench:
 	$(GO) test ./internal/obs -run '^$$' -bench 'Disabled|Counter|Histogram' -benchmem -count=5
 	$(GO) test ./internal/core -run '^$$' -bench 'TracingOverhead' -benchmem -count=3
+
+# Engine hot-path perf guard: rerun the BenchmarkEngine* suite and diff it
+# against the previous PR's committed baseline (bench/engine-PR<n>.txt).
+# Uses benchstat when present (CI installs it; `go install
+# golang.org/x/perf/cmd/benchstat@latest` locally); without it the target
+# still runs the suite and prints both files for eyeball comparison.
+perf-smoke:
+	$(GO) test ./internal/engine -run '^$$' -bench '^BenchmarkEngine' -benchmem -count=$(PERF_COUNT) | tee $(PERF_OUT)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(PERF_BASELINE) $(PERF_OUT); \
+	else \
+		echo "--- benchstat not installed; baseline $(PERF_BASELINE) below for manual comparison ---"; \
+		grep '^Benchmark' $(PERF_BASELINE); \
+	fi
 
 ci: build vet test race fuzz-smoke chaos metrics-smoke

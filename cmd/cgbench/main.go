@@ -13,12 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"commongraph"
 	"commongraph/internal/bench"
 	"commongraph/internal/obs"
 )
@@ -32,8 +34,17 @@ func main() {
 		csvDir    = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonPath  = flag.String("json", "", "write all results as one machine-readable JSON report to this file")
 		metrics   = flag.Bool("metrics", false, "dump the metric registry in Prometheus text format to stderr when done")
+		quick     = flag.String("quick", "", "skip the experiment tables: run one evaluation with this strategy (kickstarter | independent | direct-hop | direct-hop-parallel | work-sharing | work-sharing-parallel) on the default synthetic workload and print its timings")
 	)
 	flag.Parse()
+
+	if *quick != "" {
+		if err := runQuick(*quick, *snapshots, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -132,4 +143,48 @@ func finish(report *bench.Report, jsonPath string, metrics bool) {
 	if err := obs.WriteEnvTrace(); err != nil {
 		fmt.Fprintf(os.Stderr, "cgbench: %v\n", err)
 	}
+}
+
+// runQuick is the public-API smoke path: it builds the default LJ-sim
+// workload, evaluates one BFS query over the full window with the named
+// strategy through commongraph.Run, and prints the timing breakdown. It
+// exists to sanity-check a strategy end to end without the experiment
+// harness (and exercises the same Request plumbing services use).
+func runQuick(strategyName string, snapshots int, seed uint64) error {
+	strat, err := commongraph.ParseStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	p := bench.Default()
+	if snapshots > 1 {
+		p.Snapshots = snapshots
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+	half := p.Batch(75_000) / 2
+	w, err := bench.BuildWorkload("LJ-sim", p, p.Snapshots-1, half, half)
+	if err != nil {
+		return err
+	}
+	g := commongraph.FromStore(w.Store)
+	start := time.Now()
+	res, err := g.Run(context.Background(), commongraph.Request{
+		Query:    commongraph.Query{Algorithm: commongraph.BFS, Source: 0},
+		Window:   commongraph.Window{From: 0, To: g.NumSnapshots() - 1},
+		Strategy: strat,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on LJ-sim (%d vertices, %d snapshots): total %v (wall %v)\n",
+		strat, w.N, g.NumSnapshots(), res.Timings.Total, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  initial compute %v, incremental add %v, incremental delete %v, mutation/overlay %v\n",
+		res.Timings.InitialCompute, res.Timings.IncrementalAdd,
+		res.Timings.IncrementalDelete, res.Timings.Mutation)
+	fmt.Printf("  additions processed %d, deletions processed %d\n",
+		res.AdditionsProcessed, res.DeletionsProcessed)
+	last := res.Snapshots[len(res.Snapshots)-1]
+	fmt.Printf("  final snapshot: reached %d, checksum %016x\n", last.Reached, last.Checksum)
+	return nil
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -29,6 +30,7 @@ func main() {
 		strategy = flag.String("strategy", "direct-hop", "kickstarter | independent | direct-hop | direct-hop-parallel | work-sharing | work-sharing-parallel")
 		vertex   = flag.Int("vertex", -1, "also print this vertex's value at each snapshot")
 		plan     = flag.Bool("plan", false, "print the schedule comparison instead of evaluating")
+		optimal  = flag.Bool("optimal", false, "use the exact interval-DP Steiner schedule (work-sharing strategies and -plan)")
 		tracePth = flag.String("trace", "", "write a Chrome trace of the evaluation: a .json path, or 'log' to stream spans to stderr")
 		metrics  = flag.Bool("metrics", false, "dump the metric registry in Prometheus text format to stderr when done")
 	)
@@ -48,7 +50,7 @@ func main() {
 	}
 
 	if *plan {
-		p, err := g.Plan(*from, *to)
+		p, err := g.Plan(*from, *to, commongraph.Options{OptimalSchedule: *optimal})
 		if err != nil {
 			fail(err)
 		}
@@ -65,25 +67,12 @@ func main() {
 	if !ok {
 		fail(fmt.Errorf("unknown algorithm %q", *algoName))
 	}
-	var strat commongraph.Strategy
-	switch strings.ToLower(*strategy) {
-	case "kickstarter", "ks":
-		strat = commongraph.KickStarter
-	case "direct-hop", "dh":
-		strat = commongraph.DirectHop
-	case "direct-hop-parallel", "dhp":
-		strat = commongraph.DirectHopParallel
-	case "work-sharing", "ws":
-		strat = commongraph.WorkSharing
-	case "work-sharing-parallel", "wsp":
-		strat = commongraph.WorkSharingParallel
-	case "independent", "indep":
-		strat = commongraph.Independent
-	default:
-		fail(fmt.Errorf("unknown strategy %q", *strategy))
+	strat, err := commongraph.ParseStrategy(*strategy)
+	if err != nil {
+		fail(err)
 	}
 
-	opts := commongraph.Options{KeepValues: *vertex >= 0}
+	opts := commongraph.Options{KeepValues: *vertex >= 0, OptimalSchedule: *optimal}
 	var tracer *commongraph.Tracer
 	if *tracePth != "" {
 		switch strings.ToLower(*tracePth) {
@@ -95,10 +84,15 @@ func main() {
 		}
 		opts.Trace = tracer
 	}
-	res, err := g.Evaluate(commongraph.Query{
-		Algorithm: a,
-		Source:    commongraph.VertexID(*source),
-	}, *from, *to, strat, opts)
+	res, err := g.Run(context.Background(), commongraph.Request{
+		Query: commongraph.Query{
+			Algorithm: a,
+			Source:    commongraph.VertexID(*source),
+		},
+		Window:   commongraph.Window{From: *from, To: *to},
+		Strategy: strat,
+		Options:  opts,
+	})
 	if err != nil {
 		fail(err)
 	}

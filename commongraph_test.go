@@ -157,7 +157,7 @@ func TestStrategyString(t *testing.T) {
 
 func TestPlan(t *testing.T) {
 	g, _ := buildEvolving(t, 73, 8, 40, 40)
-	p, err := g.Plan(0, 8)
+	p, err := g.Plan(0, 8, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestPlan(t *testing.T) {
 	if p.Tree == "" {
 		t.Fatal("no tree rendering")
 	}
-	if _, err := g.Plan(5, 2); err == nil {
+	if _, err := g.Plan(5, 2, Options{}); err == nil {
 		t.Fatal("bad window accepted")
 	}
 }

@@ -24,9 +24,12 @@
 //	g := commongraph.New(4, []commongraph.Edge{{Src: 0, Dst: 1, W: 2}})
 //	g.ApplyUpdates(additions, deletions) // snapshot 1
 //	g.ApplyUpdates(more, gone)           // snapshot 2
-//	res, err := g.Evaluate(
-//		commongraph.Query{Algorithm: commongraph.SSSP, Source: 0},
-//		0, 2, commongraph.WorkSharing, commongraph.Options{KeepValues: true})
+//	res, err := g.Run(ctx, commongraph.Request{
+//		Query:    commongraph.Query{Algorithm: commongraph.SSSP, Source: 0},
+//		Window:   commongraph.Window{From: 0, To: 2},
+//		Strategy: commongraph.WorkSharing,
+//		Options:  commongraph.Options{KeepValues: true},
+//	})
 //	for _, s := range res.Snapshots {
 //		fmt.Println(s.Index, s.Values)
 //	}

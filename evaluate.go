@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"commongraph/internal/core"
@@ -83,6 +84,41 @@ func (s Strategy) Slug() string {
 	}
 }
 
+// ParseStrategy parses a strategy name: the Slug() form ("direct-hop"),
+// the paper's String() form ("Direct-Hop"), or a short alias (ks, indep,
+// dh, dhp, ws, wsp). Matching is case-insensitive, so every value either
+// method prints round-trips back to its Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToLower(s) {
+	case "kickstarter", "ks":
+		return KickStarter, nil
+	case "independent", "indep":
+		return Independent, nil
+	case "direct-hop", "dh":
+		return DirectHop, nil
+	case "direct-hop-parallel", "direct-hop(parallel)", "dhp":
+		return DirectHopParallel, nil
+	case "work-sharing", "ws":
+		return WorkSharing, nil
+	case "work-sharing-parallel", "work-sharing(parallel)", "wsp":
+		return WorkSharingParallel, nil
+	}
+	return 0, fmt.Errorf("commongraph: unknown strategy %q (want one of %s)", s, strategyNames())
+}
+
+// Strategies returns all evaluation strategies in declaration order.
+func Strategies() []Strategy {
+	return []Strategy{KickStarter, Independent, DirectHop, DirectHopParallel, WorkSharing, WorkSharingParallel}
+}
+
+func strategyNames() string {
+	names := make([]string, 0, 6)
+	for _, s := range Strategies() {
+		names = append(names, s.Slug())
+	}
+	return strings.Join(names, ", ")
+}
+
 // SchedulerMode mirrors the engine's §4.3 scheduler policy.
 type SchedulerMode = engine.Mode
 
@@ -99,6 +135,11 @@ type Options struct {
 	Workers int
 	// Scheduler selects the engine scheduling policy (default Auto).
 	Scheduler SchedulerMode
+	// AsyncWorkers bounds the parallel width of the engine's asynchronous
+	// worklist (the small-batch path). 0 or 1 keeps the sequential drain;
+	// larger values let incremental passes use cores. Values are exact
+	// either way — monotonic fixpoints are schedule-independent.
+	AsyncWorkers int
 	// KeepValues retains full per-snapshot value arrays in the result.
 	KeepValues bool
 	// Parallelism bounds concurrent hops for DirectHopParallel
@@ -114,6 +155,10 @@ type Options struct {
 	// disconnects are observed at every schedule-edge boundary, so the
 	// work stops within one edge of the cancellation. Nil means
 	// context.Background() — never cancelled.
+	//
+	// Deprecated: pass the context to Run instead. Run overwrites this
+	// field with its context parameter; only the deprecated Evaluate
+	// entry points still read it.
 	Context context.Context
 	// Degrade makes WorkSharingParallel survive a failed schedule
 	// subtree (an error or a contained panic): the subtree's snapshots
@@ -141,7 +186,7 @@ func (o Options) tracer() *obs.Tracer {
 }
 
 func (o Options) engine() engine.Options {
-	return engine.Options{Workers: o.Workers, Mode: o.Scheduler}
+	return engine.Options{Workers: o.Workers, Mode: o.Scheduler, AsyncWorkers: o.AsyncWorkers}
 }
 
 // context resolves the evaluation context uniformly: every entry point
@@ -244,9 +289,52 @@ type Result struct {
 	SnapshotErrors map[int]error
 }
 
+// Window selects the inclusive snapshot range [From, To] of an evolving
+// graph.
+type Window struct {
+	From, To int
+}
+
+// Width returns the number of snapshots in the window.
+func (w Window) Width() int { return w.To - w.From + 1 }
+
+// Request describes one evaluation: what to compute (Query), over which
+// snapshots (Window), how (Strategy), and the tuning knobs (Options). It
+// is the argument of Run, the primary entry point.
+type Request struct {
+	Query    Query
+	Window   Window
+	Strategy Strategy
+	// Options tunes the evaluation. Options.Context is ignored here: Run
+	// takes the context as a real parameter.
+	Options Options
+}
+
+// Run evaluates the request's query on every snapshot in its window using
+// its strategy and returns per-snapshot results in snapshot order. The
+// context cancels the evaluation cooperatively at every schedule-edge
+// boundary; pass context.Background() (or nil, which means the same) when
+// cancellation is not needed.
+func (g *EvolvingGraph) Run(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt := req.Options
+	opt.Context = ctx
+	return g.evaluate(req.Query, req.Window.From, req.Window.To, req.Strategy, opt)
+}
+
 // Evaluate runs the query on every snapshot in [from, to] using the given
 // strategy and returns per-snapshot results in snapshot order.
+// Cancellation comes from Options.Context.
+//
+// Deprecated: use Run, which takes the context as a parameter and groups
+// the window into a Request.
 func (g *EvolvingGraph) Evaluate(q Query, from, to int, strategy Strategy, opt Options) (*Result, error) {
+	return g.evaluate(q, from, to, strategy, opt)
+}
+
+func (g *EvolvingGraph) evaluate(q Query, from, to int, strategy Strategy, opt Options) (*Result, error) {
 	if q.Algorithm == nil {
 		return nil, fmt.Errorf("commongraph: query has no algorithm")
 	}
@@ -403,8 +491,16 @@ type Plan struct {
 	Tree string
 }
 
-// Plan computes the schedule comparison for [from, to].
-func (g *EvolvingGraph) Plan(from, to int) (*Plan, error) {
+// Plan computes the schedule comparison for [from, to]. It honors the
+// same Options the evaluation entry points do — in particular
+// Options.OptimalSchedule selects the exact interval-DP Steiner solver,
+// so the reported Work-Sharing cost is the cost Run would actually pay —
+// and records a "plan" span on the configured tracer.
+func (g *EvolvingGraph) Plan(from, to int, opt Options) (*Plan, error) {
+	sp := opt.tracer().StartSpan("plan",
+		obs.Int("from", from), obs.Int("to", to),
+		obs.Bool("optimal_schedule", opt.OptimalSchedule))
+	defer sp.End()
 	w := core.Window{Store: g.store, From: from, To: to}
 	rep, err := core.BuildRep(w)
 	if err != nil {
@@ -414,10 +510,18 @@ func (g *EvolvingGraph) Plan(from, to int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched, err := core.NewSchedule(tg, core.SteinerGreedy(tg))
+	tree := core.SteinerGreedy(tg)
+	if opt.OptimalSchedule {
+		tree = core.SteinerIntervalDP(tg)
+	}
+	sched, err := core.NewSchedule(tg, tree)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr(obs.Int("snapshots", w.Width()),
+		obs.Int("common_edges", len(rep.Common)),
+		obs.Int64("direct_hop_additions", rep.TotalDeltaEdges()),
+		obs.Int64("work_sharing_additions", sched.Cost))
 	return &Plan{
 		Snapshots:            w.Width(),
 		CommonEdges:          len(rep.Common),

@@ -57,7 +57,7 @@ func ExampleEvolvingGraph_Plan() {
 	); err != nil {
 		log.Fatal(err)
 	}
-	p, err := g.Plan(0, 2)
+	p, err := g.Plan(0, 2, commongraph.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

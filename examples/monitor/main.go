@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -73,13 +74,18 @@ func main() {
 	fmt.Println("arrival  window     common   min-bw(node 2047)  tier  queries  slides")
 
 	report := func(arrival int) {
-		bw, err := w.Evaluate(commongraph.Query{Algorithm: commongraph.SSWP, Source: origin},
-			commongraph.WorkSharing, commongraph.Options{KeepValues: true})
+		bw, err := w.Run(context.Background(), commongraph.Request{
+			Query:    commongraph.Query{Algorithm: commongraph.SSWP, Source: origin},
+			Strategy: commongraph.WorkSharing,
+			Options:  commongraph.Options{KeepValues: true},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		tier, err := w.Evaluate(commongraph.Query{Algorithm: algo.HopLimit{K: 3}, Source: origin},
-			commongraph.DirectHop, commongraph.Options{})
+		tier, err := w.Run(context.Background(), commongraph.Request{
+			Query:    commongraph.Query{Algorithm: algo.HopLimit{K: 3}, Source: origin},
+			Strategy: commongraph.DirectHop,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

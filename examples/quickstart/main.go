@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,12 +40,12 @@ func main() {
 
 	// How did the distance-from-0 landscape evolve? One call evaluates the
 	// query on all three snapshots, sharing the work they have in common.
-	res, err := g.Evaluate(
-		commongraph.Query{Algorithm: commongraph.SSSP, Source: 0},
-		0, g.NumSnapshots()-1,
-		commongraph.WorkSharing,
-		commongraph.Options{KeepValues: true},
-	)
+	res, err := g.Run(context.Background(), commongraph.Request{
+		Query:    commongraph.Query{Algorithm: commongraph.SSSP, Source: 0},
+		Window:   commongraph.Window{From: 0, To: g.NumSnapshots() - 1},
+		Strategy: commongraph.WorkSharing,
+		Options:  commongraph.Options{KeepValues: true},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func main() {
 
 	// The schedule comparison of §3: how many additions does each
 	// evaluation schedule stream?
-	plan, err := g.Plan(0, g.NumSnapshots()-1)
+	plan, err := g.Plan(0, g.NumSnapshots()-1, commongraph.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -120,15 +121,19 @@ func main() {
 
 	// Execute the winning schedule and confirm against independent
 	// per-snapshot evaluation.
-	res, err := g.Evaluate(
-		commongraph.Query{Algorithm: commongraph.BFS, Source: 1},
-		0, 2, commongraph.WorkSharing, commongraph.Options{})
+	res, err := g.Run(context.Background(), commongraph.Request{
+		Query:    commongraph.Query{Algorithm: commongraph.BFS, Source: 1},
+		Window:   commongraph.Window{From: 0, To: 2},
+		Strategy: commongraph.WorkSharing,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ks, err := g.Evaluate(
-		commongraph.Query{Algorithm: commongraph.BFS, Source: 1},
-		0, 2, commongraph.KickStarter, commongraph.Options{})
+	ks, err := g.Run(context.Background(), commongraph.Request{
+		Query:    commongraph.Query{Algorithm: commongraph.BFS, Source: 1},
+		Window:   commongraph.Window{From: 0, To: 2},
+		Strategy: commongraph.KickStarter,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,9 +45,11 @@ func main() {
 		n, edges, days, adds, dels)
 
 	// Reach of the seed account, day by day.
-	reach, err := g.Evaluate(
-		commongraph.Query{Algorithm: commongraph.BFS, Source: seed},
-		0, days-1, commongraph.WorkSharing, commongraph.Options{})
+	reach, err := g.Run(context.Background(), commongraph.Request{
+		Query:    commongraph.Query{Algorithm: commongraph.BFS, Source: seed},
+		Window:   commongraph.Window{From: 0, To: days - 1},
+		Strategy: commongraph.WorkSharing,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,9 +63,12 @@ func main() {
 	}
 
 	// Most-probable influence path to one target account across the month.
-	infl, err := g.Evaluate(
-		commongraph.Query{Algorithm: commongraph.Viterbi, Source: seed},
-		0, days-1, commongraph.DirectHop, commongraph.Options{KeepValues: true})
+	infl, err := g.Run(context.Background(), commongraph.Request{
+		Query:    commongraph.Query{Algorithm: commongraph.Viterbi, Source: seed},
+		Window:   commongraph.Window{From: 0, To: days - 1},
+		Strategy: commongraph.DirectHop,
+		Options:  commongraph.Options{KeepValues: true},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,8 +83,11 @@ func main() {
 	for _, strat := range []commongraph.Strategy{
 		commongraph.KickStarter, commongraph.DirectHop, commongraph.DirectHopParallel, commongraph.WorkSharing,
 	} {
-		res, err := g.Evaluate(commongraph.Query{Algorithm: commongraph.BFS, Source: seed},
-			0, days-1, strat, commongraph.Options{})
+		res, err := g.Run(context.Background(), commongraph.Request{
+			Query:    commongraph.Query{Algorithm: commongraph.BFS, Source: seed},
+			Window:   commongraph.Window{From: 0, To: days - 1},
+			Strategy: strat,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

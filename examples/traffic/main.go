@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,11 @@ func main() {
 	for _, strat := range []commongraph.Strategy{
 		commongraph.KickStarter, commongraph.DirectHop, commongraph.WorkSharing,
 	} {
-		res, err := g.Evaluate(query, 0, hours-1, strat, commongraph.Options{})
+		res, err := g.Run(context.Background(), commongraph.Request{
+			Query:    query,
+			Window:   commongraph.Window{From: 0, To: hours - 1},
+			Strategy: strat,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,8 +78,12 @@ func main() {
 	fmt.Println("\nall strategies agree at every hour ✓")
 
 	// Track how reachability from the depot moves across the day.
-	res, err := g.Evaluate(query, 0, hours-1, commongraph.WorkSharing,
-		commongraph.Options{KeepValues: true})
+	res, err := g.Run(context.Background(), commongraph.Request{
+		Query:    query,
+		Window:   commongraph.Window{From: 0, To: hours - 1},
+		Strategy: commongraph.WorkSharing,
+		Options:  commongraph.Options{KeepValues: true},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,10 +97,12 @@ func main() {
 	}
 
 	// Oversized loads: the widest-path query on the final rush-hour window.
-	wide, err := g.Evaluate(
-		commongraph.Query{Algorithm: commongraph.SSWP, Source: depot},
-		hours-4, hours-1, commongraph.DirectHop,
-		commongraph.Options{KeepValues: true})
+	wide, err := g.Run(context.Background(), commongraph.Request{
+		Query:    commongraph.Query{Algorithm: commongraph.SSWP, Source: depot},
+		Window:   commongraph.Window{From: hours - 4, To: hours - 1},
+		Strategy: commongraph.DirectHop,
+		Options:  commongraph.Options{KeepValues: true},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

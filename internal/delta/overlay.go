@@ -75,6 +75,18 @@ type Graph interface {
 	InEdges(v graph.VertexID, fn func(u graph.VertexID, w graph.Weight))
 }
 
+// FlatSource is the fused flat-traversal contract: a Graph whose
+// out-adjacency is a stack of immutable CSR layers (the base plus one per
+// overlay) exposes them here, and the engine's hot loops index the
+// layers' offset/neighbor slices directly — one bounds-checked slice walk
+// per row instead of a closure call per edge. The callback Graph
+// interface remains the fallback (and the only path for the mutable
+// KickStarter baseline); trimming and tests keep using it. The returned
+// layers alias live CSRs and are read-only (§4.1 immutability).
+type FlatSource interface {
+	OutCSRs() []*graph.CSR
+}
+
 // OverlayGraph presents base + overlays as one logical graph. The base is
 // never modified; pushing and popping overlays is how the CommonGraph
 // system "moves" between Triangular Grid nodes.
@@ -117,6 +129,19 @@ func (g *OverlayGraph) NumEdges() int {
 	return m
 }
 
+// OutCSRs returns the view's out-adjacency layers, base first, then each
+// overlay in push order — the FlatSource contract. The slice is freshly
+// allocated (the overlay stack may be pushed/popped between traversals)
+// but the layers alias the live CSRs.
+func (g *OverlayGraph) OutCSRs() []*graph.CSR {
+	layers := make([]*graph.CSR, 0, 1+len(g.overlays))
+	layers = append(layers, g.base.Out)
+	for _, o := range g.overlays {
+		layers = append(layers, o.out)
+	}
+	return layers
+}
+
 // OutEdges visits u's out-neighbours in the base and every overlay.
 func (g *OverlayGraph) OutEdges(u graph.VertexID, fn func(v graph.VertexID, w graph.Weight)) {
 	g.base.OutEdges(u, fn)
@@ -144,3 +169,5 @@ func (g *OverlayGraph) Edges() graph.EdgeList {
 
 var _ Graph = (*OverlayGraph)(nil)
 var _ Graph = (*graph.Pair)(nil)
+var _ FlatSource = (*OverlayGraph)(nil)
+var _ FlatSource = (*graph.Pair)(nil)

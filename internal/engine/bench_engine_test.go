@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"testing"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/delta"
+	"commongraph/internal/gen"
+	"commongraph/internal/graph"
+)
+
+// The BenchmarkEngine* family is the hot-path regression suite: it is
+// snapshotted per PR (bench/engine-PR<n>.txt) and compared with benchstat
+// by `make perf-smoke`. Names must stay stable across PRs.
+
+// benchSkewed is the power-law workload: R-MAT's skewed degree
+// distribution produces hub vertices whose rows dwarf the median, the
+// shape that breaks static frontier sharding.
+func benchSkewed(b *testing.B) (*graph.Pair, int) {
+	b.Helper()
+	n, edges := gen.RMAT(gen.DefaultRMAT(15, 400_000, 3))
+	return graph.NewPair(n, edges), n
+}
+
+// benchHub is the adversarial single-hub graph: a chain feeds one vertex
+// whose out-row spans almost the whole vertex set, so any scheduler that
+// assigns whole vertices statically serializes on it.
+func benchHub(b *testing.B) (*graph.Pair, int) {
+	b.Helper()
+	const n = 1 << 15
+	edges := make(graph.EdgeList, 0, 2*n)
+	// Short chain into the hub so the hub activates after a few levels.
+	for i := 0; i < 4; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), W: 1})
+	}
+	hub := graph.VertexID(4)
+	for v := 8; v < n; v++ {
+		edges = append(edges, graph.Edge{Src: hub, Dst: graph.VertexID(v), W: gen.WeightOf(hub, graph.VertexID(v))})
+	}
+	return graph.NewPair(n, edges.Canonicalize()), n
+}
+
+// BenchmarkEngineSyncPass measures the level-synchronous from-scratch
+// solve on the skewed workload — the sync-pass cost every strategy's
+// common-graph solve pays.
+func BenchmarkEngineSyncPass(b *testing.B) {
+	g, _ := benchSkewed(b)
+	for _, a := range []algo.Algorithm{algo.BFS{}, algo.SSSP{}} {
+		a := a
+		b.Run(a.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Run(g, a, 0, Options{Mode: Sync})
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSyncHub measures the sync pass on the single-hub graph:
+// the iteration where the hub is the whole frontier is the degenerate
+// load-balance case.
+func BenchmarkEngineSyncHub(b *testing.B) {
+	g, _ := benchHub(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, algo.SSSP{}, 0, Options{Mode: Sync})
+	}
+}
+
+// BenchmarkEngineSyncSmallFrontier forces Sync mode onto a tiny seed: the
+// cost here is dominated by frontier bookkeeping (scan + clear), not edge
+// work — the case the sparse representation exists for.
+func BenchmarkEngineSyncSmallFrontier(b *testing.B) {
+	g, _ := benchSkewed(b)
+	base, _ := Run(g, algo.SSSP{}, 0, Options{Mode: Sync})
+	seeds := []graph.VertexID{1, 17, 33}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := base.Clone()
+		b.StartTimer()
+		Propagate(g, st, seeds, Options{Mode: Sync})
+	}
+}
+
+// BenchmarkEngineAsyncWorklist measures the asynchronous worklist from
+// scratch on the skewed workload.
+func BenchmarkEngineAsyncWorklist(b *testing.B) {
+	g, _ := benchSkewed(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, algo.BFS{}, 0, Options{Mode: Async})
+	}
+}
+
+// BenchmarkEngineIncrementalAdd measures the incremental-addition
+// primitive under the Auto scheduler — the per-hop cost of the
+// CommonGraph strategies.
+func BenchmarkEngineIncrementalAdd(b *testing.B) {
+	g, n := benchSkewed(b)
+	trs, err := gen.Stream(n, g.Out.Edges(), gen.StreamConfig{Transitions: 1, Additions: 4000, Deletions: 0, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	add := trs[0].Additions
+	ov := delta.NewOverlay(n, delta.MustFromCanonical(add))
+	og := delta.NewOverlayGraph(g, ov)
+	base, _ := Run(g, algo.SSSP{}, 0, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := base.Clone()
+		b.StartTimer()
+		IncrementalAdd(og, st, add, Options{})
+	}
+}

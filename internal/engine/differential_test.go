@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/delta"
+	"commongraph/internal/gen"
+	"commongraph/internal/graph"
+)
+
+// engineVariants is the scheduler/parallelism matrix every differential
+// check runs against: sequential and parallel sync (hybrid frontier +
+// work stealing), sequential and bounded-parallel async worklist, and the
+// Auto policy. Small graphs exercise the sequential fast paths; the large
+// trials push iterations over the parallel cutoffs.
+func engineVariants() []Options {
+	return []Options{
+		{Mode: Sync, Workers: 1},
+		{Mode: Sync, Workers: 4},
+		{Mode: Async},
+		{Mode: Async, AsyncWorkers: 4},
+		{Mode: Auto, Workers: 4, AsyncWorkers: 2},
+	}
+}
+
+// randomGraphAndBatch builds a random base graph and a random addition
+// batch over the same vertex set.
+func randomGraphAndBatch(rng *rand.Rand, n, m, batch int) (*graph.Pair, graph.EdgeList) {
+	edges := make(graph.EdgeList, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, graph.Edge{
+			Src: graph.VertexID(rng.Intn(n)),
+			Dst: graph.VertexID(rng.Intn(n)),
+			W:   graph.Weight(1 + rng.Intn(8)),
+		})
+	}
+	edges = edges.Canonicalize()
+	add := make(graph.EdgeList, 0, batch)
+	for i := 0; i < batch; i++ {
+		add = append(add, graph.Edge{
+			Src: graph.VertexID(rng.Intn(n)),
+			Dst: graph.VertexID(rng.Intn(n)),
+			W:   graph.Weight(1 + rng.Intn(8)),
+		})
+	}
+	// Duplicates between add and base become parallel edges in the overlay
+	// view; the oracle traverses the same view, so they are harmless.
+	add = add.Canonicalize()
+	return graph.NewPair(n, edges), add
+}
+
+// checkAllVariants verifies every engine variant reproduces the oracle
+// from scratch, incrementally (sparse seeds), and from a dense full
+// reseed over the overlay view.
+func checkAllVariants(t *testing.T, g *graph.Pair, add graph.EdgeList, a algo.Algorithm, src graph.VertexID) {
+	t.Helper()
+	n := g.NumVertices()
+	refBase := Reference(g, a, src)
+	og := delta.NewOverlayGraph(g, delta.NewOverlay(n, delta.MustFromCanonical(add)))
+	refInc := Reference(og, a, src)
+	base, _ := Run(g, a, src, Options{Mode: Sync, Workers: 1})
+	if !ValuesEqual(base, refBase) {
+		t.Fatalf("%s: baseline sync run diverges from oracle", a.Name())
+	}
+	allSeeds := make([]graph.VertexID, n)
+	for i := range allSeeds {
+		allSeeds[i] = graph.VertexID(i)
+	}
+	for vi, opt := range engineVariants() {
+		// From scratch (sparse single-vertex seed growing to dense).
+		st, _ := Run(g, a, src, opt)
+		if !ValuesEqual(st, refBase) {
+			t.Fatalf("%s variant %d: from-scratch values diverge", a.Name(), vi)
+		}
+		// Incremental addition (sparse seeds = batch endpoints).
+		st = base.Clone()
+		IncrementalAdd(og, st, add, opt)
+		if !ValuesEqual(st, refInc) {
+			t.Fatalf("%s variant %d: incremental-add values diverge", a.Name(), vi)
+		}
+		// Dense reseed: every vertex seeded at once over the overlay view
+		// (the shape of a trim re-propagation that invalidated widely).
+		st = base.Clone()
+		Propagate(og, st, allSeeds, opt)
+		if !ValuesEqual(st, refInc) {
+			t.Fatalf("%s variant %d: dense-reseed values diverge", a.Name(), vi)
+		}
+	}
+}
+
+// TestDifferentialRandom cross-checks the hybrid engine against the
+// Reference oracle on random graphs and batches, every algorithm times
+// the full scheduler matrix. Runs under -race in CI (make race), which is
+// what pins the parallel sync chunking and the shared async worklist.
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xC0))
+	for trial := 0; trial < 5; trial++ {
+		n := 48 + rng.Intn(200)
+		m := n * (2 + rng.Intn(4))
+		g, add := randomGraphAndBatch(rng, n, m, 1+rng.Intn(n))
+		src := graph.VertexID(rng.Intn(n))
+		for _, a := range algo.All() {
+			checkAllVariants(t, g, add, a, src)
+		}
+	}
+}
+
+// TestDifferentialLarge runs the same cross-check on one power-law graph
+// big enough that sync iterations cross the parallel work-stealing
+// cutoffs (edge-space chunking, dense word chunking) rather than taking
+// the sequential fast path.
+func TestDifferentialLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large differential skipped in -short")
+	}
+	n, edges := gen.RMAT(gen.DefaultRMAT(13, 120_000, 11))
+	g := graph.NewPair(n, edges)
+	trs, err := gen.Stream(n, edges, gen.StreamConfig{Transitions: 1, Additions: 3000, Deletions: 0, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := trs[0].Additions
+	for _, a := range []algo.Algorithm{algo.BFS{}, algo.SSSP{}, algo.SSWP{}} {
+		checkAllVariants(t, g, add, a, 0)
+	}
+}
+
+// FuzzEngineDifferential is the native fuzz entry: the fuzzer picks the
+// shape bytes, the test derives a deterministic graph + batch from them
+// and requires every engine variant to match the oracle.
+func FuzzEngineDifferential(f *testing.F) {
+	f.Add(int64(1), uint8(64), uint8(3), uint8(10))
+	f.Add(int64(77), uint8(200), uint8(5), uint8(100))
+	f.Add(int64(0xBEEF), uint8(16), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nByte, degByte, batchByte uint8) {
+		n := 8 + int(nByte)
+		deg := 1 + int(degByte%6)
+		batch := 1 + int(batchByte)
+		rng := rand.New(rand.NewSource(seed))
+		g, add := randomGraphAndBatch(rng, n, n*deg, batch)
+		src := graph.VertexID(rng.Intn(n))
+		// One cheap and one weighted algorithm keep the fuzz iteration
+		// fast; the full five run in TestDifferentialRandom.
+		for _, a := range []algo.Algorithm{algo.BFS{}, algo.SSSP{}} {
+			checkAllVariants(t, g, add, a, src)
+		}
+	})
+}
+
+// TestParallelMatchesSequentialStats sanity-checks that the parallel
+// variants do the same logical work: EdgesPushed of a deterministic sync
+// pass is schedule-independent (each iteration pushes exactly the
+// frontier's out-edges).
+func TestParallelMatchesSequentialStats(t *testing.T) {
+	n, edges := gen.RMAT(gen.DefaultRMAT(12, 60_000, 9))
+	g := graph.NewPair(n, edges)
+	_, seq := Run(g, algo.BFS{}, 0, Options{Mode: Sync, Workers: 1})
+	_, par := Run(g, algo.BFS{}, 0, Options{Mode: Sync, Workers: 4})
+	if seq.Iterations != par.Iterations {
+		t.Fatalf("iterations differ: seq %d par %d", seq.Iterations, par.Iterations)
+	}
+	if seq.EdgesPushed == 0 {
+		t.Fatal("no edges pushed")
+	}
+}
+
+// TestChecksumEqualAcrossVariants pins determinism of final values (and
+// hence checksums) across the scheduler matrix on a skewed graph.
+func TestChecksumEqualAcrossVariants(t *testing.T) {
+	n, edges := gen.RMAT(gen.DefaultRMAT(12, 60_000, 4))
+	g := graph.NewPair(n, edges)
+	for _, a := range algo.All() {
+		var want string
+		for vi, opt := range engineVariants() {
+			st, _ := Run(g, a, 0, opt)
+			sum := fmt.Sprintf("%v", st.Values()[:64])
+			if vi == 0 {
+				want = sum
+			} else if sum != want {
+				t.Fatalf("%s variant %d: values differ from variant 0", a.Name(), vi)
+			}
+		}
+	}
+}

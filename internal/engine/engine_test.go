@@ -222,12 +222,15 @@ func TestFrontierOps(t *testing.T) {
 	if !f.empty() || f.count() != 0 {
 		t.Fatal("new frontier not empty")
 	}
-	f.set(0)
-	f.set(64)
-	f.set(129)
-	f.set(129) // idempotent
+	f.setSeq(0)
+	f.setSeq(64)
+	f.setSeq(129)
+	f.setSeq(129) // idempotent
 	if f.count() != 3 || f.empty() {
 		t.Fatalf("count=%d", f.count())
+	}
+	if !f.isSparse() || len(f.list()) != 3 {
+		t.Fatalf("expected exact sparse list, got dense=%v list=%v", !f.isSparse(), f.list())
 	}
 	if !f.has(64) || f.has(63) {
 		t.Fatal("membership wrong")
@@ -240,6 +243,67 @@ func TestFrontierOps(t *testing.T) {
 	f.clear()
 	if !f.empty() {
 		t.Fatal("clear failed")
+	}
+	// trySet maintains only the bitset; adopt publishes the list.
+	if !f.trySet(5) || f.trySet(5) {
+		t.Fatal("trySet not exactly-once")
+	}
+	f.adopt([]graph.VertexID{5})
+	if !f.isSparse() || f.count() != 1 || !f.has(5) {
+		t.Fatal("adopt failed")
+	}
+	f.clear()
+	if f.has(5) || !f.empty() {
+		t.Fatal("sparse clear failed")
+	}
+}
+
+// TestFrontierSwitchover pins the sparse→dense representation switch: past
+// n/sparseKeepDenom active vertices the exact list is dropped and the
+// frontier reports dense, while membership stays authoritative in the
+// bitset throughout.
+func TestFrontierSwitchover(t *testing.T) {
+	const n = 16 * 10 // threshold at 10 vertices
+	f := newFrontier(n)
+	limit := n / sparseKeepDenom
+	for v := 0; v < limit; v++ {
+		f.setSeq(graph.VertexID(v))
+		if !f.isSparse() {
+			t.Fatalf("dropped to dense at %d (limit %d)", v+1, limit)
+		}
+	}
+	f.setSeq(graph.VertexID(limit)) // crosses len*16 > n
+	if f.isSparse() {
+		t.Fatal("expected dense past threshold")
+	}
+	if f.count() != limit+1 {
+		t.Fatalf("dense count=%d want %d", f.count(), limit+1)
+	}
+	for v := 0; v <= limit; v++ {
+		if !f.has(graph.VertexID(v)) {
+			t.Fatalf("lost membership of %d after switchover", v)
+		}
+	}
+	f.setSeq(graph.VertexID(limit)) // idempotent while dense
+	if f.count() != limit+1 {
+		t.Fatal("dense setSeq not idempotent")
+	}
+	f.clear()
+	if !f.empty() || !f.isSparse() {
+		t.Fatal("clear must reset to sparse")
+	}
+	// adopt with an oversized list degrades to dense immediately.
+	big := make([]graph.VertexID, limit+1)
+	for i := range big {
+		big[i] = graph.VertexID(i)
+		f.trySet(big[i])
+	}
+	f.adopt(big)
+	if f.isSparse() {
+		t.Fatal("oversized adopt must drop to dense")
+	}
+	if f.count() != limit+1 {
+		t.Fatalf("count=%d", f.count())
 	}
 }
 

@@ -18,8 +18,11 @@ import (
 // parent) pairs packed into single 64-bit words so parallel updates keep
 // value and dependence parent consistent, plus the query's source.
 type State struct {
-	a     algo.Algorithm
-	src   graph.VertexID
+	a   algo.Algorithm
+	src graph.VertexID
+	// min caches a.Direction() == Minimize so the per-edge improvement
+	// test is a plain comparison, not an interface call.
+	min   bool
 	words []uint64 // hi 32 bits: value (int32 bit pattern); lo 32: parent
 }
 
@@ -34,7 +37,7 @@ func unpack(w uint64) (algo.Value, graph.VertexID) {
 // NewState allocates state for n vertices: every vertex holds the
 // algorithm's identity except the source, which holds its source value.
 func NewState(n int, a algo.Algorithm, src graph.VertexID) *State {
-	s := &State{a: a, src: src, words: make([]uint64, n)}
+	s := &State{a: a, src: src, min: a.Direction() == algo.Minimize, words: make([]uint64, n)}
 	id := pack(a.Identity(), graph.NoVertex)
 	for i := range s.words {
 		s.words[i] = id
@@ -77,7 +80,11 @@ func (s *State) TryImprove(v graph.VertexID, cand algo.Value, parent graph.Verte
 	for {
 		old := atomic.LoadUint64(&s.words[v])
 		cur, _ := unpack(old)
-		if !algo.Better(s.a, cand, cur) {
+		if s.min {
+			if cand >= cur {
+				return false
+			}
+		} else if cand <= cur {
 			return false
 		}
 		if atomic.CompareAndSwapUint64(&s.words[v], old, pack(cand, parent)) {
@@ -85,6 +92,22 @@ func (s *State) TryImprove(v graph.VertexID, cand algo.Value, parent graph.Verte
 		}
 	}
 }
+
+// Improves reports whether cand would improve v's value right now, given
+// the cached improvement direction (pass State.minimize). It is an
+// inlinable racy pre-filter for the hot loops: a true answer may go stale
+// before the CAS, so callers must still go through TryImprove — but the
+// common non-improving edge skips the function call entirely.
+func (s *State) Improves(v graph.VertexID, cand algo.Value, minimize bool) bool {
+	cur, _ := unpack(atomic.LoadUint64(&s.words[v]))
+	if minimize {
+		return cand < cur
+	}
+	return cand > cur
+}
+
+// minimize exposes the cached direction for hot-loop hoisting.
+func (s *State) minimize() bool { return s.min }
 
 // Reset forces v to (value, parent) unconditionally. Used by trimming to
 // invalidate vertices; not safe concurrently with TryImprove on v.
@@ -95,7 +118,7 @@ func (s *State) Reset(v graph.VertexID, val algo.Value, parent graph.VertexID) {
 // Clone returns an independent copy of the state. The receiver must be
 // quiescent (no concurrent writers).
 func (s *State) Clone() *State {
-	c := &State{a: s.a, src: s.src, words: make([]uint64, len(s.words))}
+	c := &State{a: s.a, src: s.src, min: s.min, words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
 	return c
 }

@@ -1,6 +1,7 @@
 package commongraph
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -136,10 +137,29 @@ func (w *Watcher) maintain(kind string, step func(*core.MaintainedRep) error) er
 	return fmt.Errorf("commongraph: maintenance failed after %d attempts: %w", attempts, err)
 }
 
-// Evaluate runs a query over the maintained window. Only the CommonGraph
-// strategies apply (the whole point of maintaining the representation);
-// KickStarter would stream from the store directly.
+// Run runs the request's query over the maintained window with its
+// strategy. The request's Window is ignored — the watcher's maintained
+// window is the whole point — and only the CommonGraph strategies apply;
+// KickStarter would stream from the store directly. The context cancels
+// the evaluation at schedule-edge boundaries, like EvolvingGraph.Run.
+func (w *Watcher) Run(ctx context.Context, req Request) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt := req.Options
+	opt.Context = ctx
+	return w.evaluate(req.Query, req.Strategy, opt)
+}
+
+// Evaluate runs a query over the maintained window. Cancellation comes
+// from Options.Context.
+//
+// Deprecated: use Run, which takes the context as a parameter.
 func (w *Watcher) Evaluate(q Query, strategy Strategy, opt Options) (*Result, error) {
+	return w.evaluate(q, strategy, opt)
+}
+
+func (w *Watcher) evaluate(q Query, strategy Strategy, opt Options) (*Result, error) {
 	if q.Algorithm == nil {
 		return nil, fmt.Errorf("commongraph: query has no algorithm")
 	}
@@ -237,9 +257,26 @@ func (w *Watcher) ServeMetrics(addr string) (*MetricsServer, error) {
 	return &MetricsServer{srv: srv, ln: ln}, nil
 }
 
+// RunMulti evaluates several queries over the same window with the
+// Work-Sharing schedule built once and shared across all of them. The
+// context cancels the evaluation like Run's.
+func (g *EvolvingGraph) RunMulti(ctx context.Context, queries []Query, win Window, opt Options) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt.Context = ctx
+	return g.evaluateMulti(queries, win.From, win.To, opt)
+}
+
 // EvaluateMulti evaluates several queries over the same window with the
 // Work-Sharing schedule built once and shared across all of them.
+//
+// Deprecated: use RunMulti, which takes the context as a parameter.
 func (g *EvolvingGraph) EvaluateMulti(queries []Query, from, to int, opt Options) ([]*Result, error) {
+	return g.evaluateMulti(queries, from, to, opt)
+}
+
+func (g *EvolvingGraph) evaluateMulti(queries []Query, from, to int, opt Options) ([]*Result, error) {
 	w := core.Window{Store: g.store, From: from, To: to}
 	rep, err := core.BuildRep(w)
 	if err != nil {
