@@ -2,15 +2,18 @@ GO ?= go
 FUZZTIME ?= 10s
 # bench-json: which experiments to snapshot and where. CI commits one
 # BENCH_PR<n>.json per PR so the performance trajectory is diffable.
-BENCH_JSON_OUT ?= BENCH_PR4.json
+BENCH_JSON_OUT ?= BENCH_PR5.json
 BENCH_JSON_FLAGS ?= -exp all
 # perf-smoke: the committed engine-benchmark baseline of the previous PR
-# and where to write this run's numbers.
-PERF_BASELINE ?= bench/engine-PR3.txt
+# and where to write this run's numbers. The store pair covers the durable
+# store's cold-open-vs-text-ingest gap and the WAL fsync cost.
+PERF_BASELINE ?= bench/engine-PR4.txt
 PERF_OUT ?= /tmp/engine-perf.txt
+PERF_STORE_BASELINE ?= bench/store-PR5.txt
+PERF_STORE_OUT ?= /tmp/store-perf.txt
 PERF_COUNT ?= 5
 
-.PHONY: all build test race vet fuzz-smoke chaos bench-json metrics-smoke obs-bench perf-smoke ci
+.PHONY: all build test race vet fuzz-smoke chaos bench-json metrics-smoke obs-bench perf-smoke store-crash ci
 
 all: build vet test
 
@@ -39,6 +42,7 @@ vet:
 fuzz-smoke:
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzParseEdgeList$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzLoadCSR$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzEdgeListIO$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/engine -run '^$$' -fuzz '^FuzzEngineDifferential$$' -fuzztime $(FUZZTIME)
 
 # Probabilistic fault injection under the race detector: seeded random
@@ -84,5 +88,21 @@ perf-smoke:
 		echo "--- benchstat not installed; baseline $(PERF_BASELINE) below for manual comparison ---"; \
 		grep '^Benchmark' $(PERF_BASELINE); \
 	fi
+	$(GO) test . -run '^$$' -bench '^BenchmarkColdOpen$$|^BenchmarkTextIngest$$|^BenchmarkWALAppend$$' -benchmem -count=$(PERF_COUNT) | tee $(PERF_STORE_OUT)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(PERF_STORE_BASELINE) $(PERF_STORE_OUT); \
+	else \
+		echo "--- benchstat not installed; baseline $(PERF_STORE_BASELINE) below for manual comparison ---"; \
+		grep '^Benchmark' $(PERF_STORE_BASELINE); \
+	fi
 
-ci: build vet test race fuzz-smoke chaos metrics-smoke
+# Durable-store crash matrix under the race detector: kill points injected
+# at every WAL/segment/manifest/compaction write boundary (internal/faults),
+# the byte-level torn-tail truncation sweep, and the end-to-end ingest
+# crash-replay that resumes from Acknowledged()+Recovered() and must land
+# byte-identical to the uncrashed run.
+store-crash:
+	$(GO) test -race ./internal/store -count=1 -run 'KillPoint|TornTail|Corrupt|Recovery'
+	$(GO) test -race . -count=1 -run 'TestDurableIngestCrashReplayMatrix|TestDurableIngestMatchesInMemory|TestPersistReopenDifferential|TestWatcherPersistCompaction'
+
+ci: build vet test race fuzz-smoke chaos metrics-smoke store-crash

@@ -135,3 +135,7 @@ func benchGraph(b *testing.B) *EvolvingGraph {
 // BenchmarkAblationBaselines lines up every strategy including the naive
 // Independent baseline (DESIGN.md ablation A5).
 func BenchmarkAblationBaselines(b *testing.B) { benchExperiment(b, "ablation-baselines") }
+
+// BenchmarkStorePersistence regenerates the Persistence table: durable
+// cold open vs text re-ingest and the WAL append cost (ISSUE 5).
+func BenchmarkStorePersistence(b *testing.B) { benchExperiment(b, "store") }

@@ -6,6 +6,7 @@
 //
 //	cggen -out /tmp/lj -graph LJ-sim -snapshots 10 -adds 500 -dels 500
 //	cggen -out /tmp/custom -scale 12 -edges 100000 -snapshots 5
+//	cggen -store /tmp/lj.cgstore -graph LJ-sim -snapshots 10
 //	COMMONGRAPH_TRACE=/tmp/gen.json cggen -out /tmp/lj -graph LJ-sim
 package main
 
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"commongraph"
 	"commongraph/internal/dataset"
 	"commongraph/internal/gen"
 	"commongraph/internal/graph"
@@ -23,7 +25,8 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "", "output directory (required)")
+		out       = flag.String("out", "", "dataset output directory (this and/or -store is required)")
+		storeDir  = flag.String("store", "", "also write a durable cgstore (binary segments + WAL) at this directory")
 		name      = flag.String("graph", "", "stand-in graph name (LJ-sim, DL-sim, Wen-sim, TTW-sim); empty = custom R-MAT")
 		scale     = flag.Int("scale", 12, "custom R-MAT scale (vertices = 1<<scale)")
 		edges     = flag.Int("edges", 100_000, "custom R-MAT edge count")
@@ -34,8 +37,8 @@ func main() {
 		format    = flag.String("format", "binary", "on-disk format: text or binary")
 	)
 	flag.Parse()
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "cggen: -out is required")
+	if *out == "" && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "cggen: -out and/or -store is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -76,17 +79,33 @@ func main() {
 		}
 	}
 	sp.End()
-	sp = obs.Env().StartSpan("gen.save", obs.String("format", *format))
-	err = dataset.Save(*out, store, dataset.Format(*format))
-	sp.End()
-	if err != nil {
-		fail(err)
+	if *out != "" {
+		sp = obs.Env().StartSpan("gen.save", obs.String("format", *format))
+		err = dataset.Save(*out, store, dataset.Format(*format))
+		sp.End()
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *storeDir != "" {
+		gs, perr := commongraph.FromStore(store).Persist(*storeDir)
+		if perr != nil {
+			fail(perr)
+		}
+		if cerr := gs.Close(); cerr != nil {
+			fail(cerr)
+		}
+		fmt.Printf("wrote durable store %s\n", *storeDir)
 	}
 	if err := obs.WriteEnvTrace(); err != nil {
 		fail(err)
 	}
+	dest := *out
+	if dest == "" {
+		dest = *storeDir
+	}
 	fmt.Printf("wrote %s: %d vertices, %d base edges, %d snapshots (+%d/-%d per transition)\n",
-		*out, n, len(base), *snapshots, *adds, *dels)
+		dest, n, len(base), *snapshots, *adds, *dels)
 }
 
 func fail(err error) {

@@ -6,6 +6,7 @@
 //	cgquery -data /tmp/lj -algo SSSP -source 0 -strategy work-sharing
 //	cgquery -data /tmp/lj -algo BFS -from 2 -to 8 -strategy kickstarter -vertex 17
 //	cgquery -data /tmp/lj -strategy work-sharing-parallel -trace /tmp/cg.trace.json -metrics
+//	cgquery -store /tmp/lj.cgstore -algo SSSP -strategy work-sharing
 package main
 
 import (
@@ -22,7 +23,8 @@ import (
 
 func main() {
 	var (
-		data     = flag.String("data", "", "dataset directory from cggen (required)")
+		data     = flag.String("data", "", "dataset directory from cggen (this or -store is required)")
+		storeDir = flag.String("store", "", "durable cgstore directory (cggen -store / EvolvingGraph.Persist)")
 		algoName = flag.String("algo", "SSSP", "algorithm: BFS, SSSP, SSWP, SSNP, Viterbi")
 		source   = flag.Uint("source", 0, "query source vertex")
 		from     = flag.Int("from", 0, "first snapshot of the window")
@@ -35,16 +37,24 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "dump the metric registry in Prometheus text format to stderr when done")
 	)
 	flag.Parse()
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "cgquery: -data is required")
+	if (*data == "") == (*storeDir == "") {
+		fmt.Fprintln(os.Stderr, "cgquery: exactly one of -data and -store is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	store, err := dataset.Load(*data)
-	if err != nil {
-		fail(err)
+	var g *commongraph.EvolvingGraph
+	if *storeDir != "" {
+		var err error
+		if g, err = commongraph.OpenEvolvingGraph(*storeDir); err != nil {
+			fail(err)
+		}
+	} else {
+		store, err := dataset.Load(*data)
+		if err != nil {
+			fail(err)
+		}
+		g = commongraph.FromStore(store)
 	}
-	g := commongraph.FromStore(store)
 	if *to < 0 {
 		*to = g.NumSnapshots() - 1
 	}

@@ -12,6 +12,9 @@ import (
 // not create a snapshot.
 type Ingestor struct {
 	b *ingest.Batcher
+	// release frees the durable store's single-ingestor slot on Close
+	// (nil for purely in-memory ingestors).
+	release func()
 }
 
 // Ingestor returns a stream front-end for the graph. Updates must be
@@ -41,6 +44,21 @@ func (i *Ingestor) Delete(e Edge) error {
 // Flush closes the current window early, creating a snapshot from
 // whatever updates are pending.
 func (i *Ingestor) Flush() error { return i.b.Flush() }
+
+// Close flushes the tail window and ends the stream; further updates
+// fail. On a durable ingestor a clean Close leaves nothing to replay,
+// distinguishing a finished stream from a crashed one, and releases the
+// store's ingestor slot so a new Ingestor may be created.
+func (i *Ingestor) Close() error {
+	if err := i.b.Close(); err != nil {
+		return err
+	}
+	if i.release != nil {
+		i.release()
+		i.release = nil
+	}
+	return nil
+}
 
 // Pending reports raw updates awaiting the next window boundary.
 func (i *Ingestor) Pending() int { return i.b.Pending() }

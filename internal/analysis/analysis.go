@@ -63,7 +63,7 @@ type Analyzer struct {
 }
 
 // All is the cgvet suite, in reporting order.
-var All = []*Analyzer{CSRImmutable, LockDiscipline, StateWrite, Determinism, GoPanic, ObsDiscipline}
+var All = []*Analyzer{CSRImmutable, LockDiscipline, StateWrite, Determinism, GoPanic, ObsDiscipline, CloseCheck}
 
 // ByName returns the analyzer with the given name, or nil.
 func ByName(name string) *Analyzer {

@@ -198,3 +198,19 @@ func TestSuppressionScopes(t *testing.T) {
 		}
 	}
 }
+
+func TestCloseCheckFixture(t *testing.T) {
+	runFixture(t, "closecheck", "commongraph/internal/store", CloseCheck)
+}
+
+// TestCloseCheckScopedToLibraries proves short-lived commands are out of
+// scope: the same leaks under a cmd/ path yield zero diagnostics.
+func TestCloseCheckScopedToLibraries(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "closecheck"), "commongraph/cmd/cgquery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := RunAnalyzers([]*Package{pkg}, []*Analyzer{CloseCheck}); len(diags) > 0 {
+		t.Fatalf("command package flagged: %v", diags)
+	}
+}

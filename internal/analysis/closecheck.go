@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseCheck keeps library packages from leaking file descriptors: a
+// long-running evolving-graph service opens segment, WAL and dataset
+// files on every maintenance cycle, so a handle that misses Close on one
+// error path exhausts the fd table days later. The analyzer tracks every
+// os.Open/os.Create/os.OpenFile/os.CreateTemp result inside library
+// packages and requires one of:
+//
+//   - a deferred Close (directly or inside a deferred func literal),
+//   - the handle escaping the function (returned, stored in a struct,
+//     slice, map or field, or passed to another function — the escapee's
+//     owner takes over the obligation), or
+//   - an explicit Close on every lexical path: no plain return may occur
+//     between the open and the first Close (the open's own err != nil
+//     check is exempt — the handle is nil there).
+//
+// The path rule is lexical, not a full CFG: it catches the canonical
+// "early error return leaks the file" bug without whole-function dataflow.
+// A genuinely fine site is suppressed with //cgvet:ignore closecheck.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "require a reachable Close for os.Open/os.Create handles in library packages",
+	Run:  runCloseCheck,
+}
+
+// openers are the os functions whose first result is a *os.File the
+// caller owns.
+var openers = map[string]bool{"Open": true, "Create": true, "OpenFile": true, "CreateTemp": true}
+
+func runCloseCheck(pass *Pass) {
+	for _, seg := range printAllowedSegments {
+		if hasSegment(pass.Path, seg) {
+			return // commands are short-lived; the kernel closes for them
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFuncBody(pass, fn.Body)
+				}
+				return false // nested FuncLits are visited by checkFuncBody
+			case *ast.FuncLit:
+				checkFuncBody(pass, fn.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// openSite is one tracked os.Open-family assignment.
+type openSite struct {
+	call   *ast.CallExpr
+	name   string       // os function name, for messages
+	file   types.Object // the *os.File variable
+	errVar types.Object // the error result variable, if any
+	pos    token.Pos
+}
+
+// checkFuncBody analyzes one function body in isolation; nested function
+// literals are separate bodies (their returns leave a different frame).
+func checkFuncBody(pass *Pass, body *ast.BlockStmt) {
+	var sites []openSite
+	walkSameFunc(body, func(n ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, ok := osOpener(pass, call)
+		if !ok {
+			return
+		}
+		site := openSite{call: call, name: name, pos: as.Pos()}
+		if len(as.Lhs) > 0 {
+			site.file = identObj(pass, as.Lhs[0])
+		}
+		if len(as.Lhs) > 1 {
+			site.errVar = identObj(pass, as.Lhs[1])
+		}
+		if site.file == nil {
+			// The handle is discarded (blank or not a simple variable):
+			// nothing can ever close it.
+			pass.Reportf(as.Pos(), "os.%s result is discarded and can never be closed", name)
+			return
+		}
+		sites = append(sites, site)
+	})
+	for _, site := range sites {
+		checkSite(pass, body, site)
+	}
+}
+
+func checkSite(pass *Pass, body *ast.BlockStmt, site openSite) {
+	var (
+		deferred   bool
+		escapes    bool
+		firstClose = token.NoPos
+		returns    []*ast.ReturnStmt
+	)
+	walkSameFunc(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if closesObj(pass, st.Call, site.file) || funcLitCloses(pass, st.Call, site.file) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if closesObj(pass, st, site.file) {
+				if !firstClose.IsValid() || st.Pos() < firstClose {
+					firstClose = st.Pos()
+				}
+				return
+			}
+			for _, arg := range st.Args {
+				if usesObj(pass, arg, site.file) {
+					escapes = true // the callee takes over the handle
+				}
+			}
+		case *ast.ReturnStmt:
+			closing := false
+			for _, res := range st.Results {
+				if usesObj(pass, res, site.file) {
+					escapes = true
+				}
+				ast.Inspect(res, func(n ast.Node) bool {
+					if c, ok := n.(*ast.CallExpr); ok && closesObj(pass, c, site.file) {
+						closing = true // return f.Close() closes on this path
+					}
+					return !closing
+				})
+			}
+			if st.Pos() > site.pos && !closing {
+				returns = append(returns, st)
+			}
+		case *ast.AssignStmt:
+			// f aliased or stored somewhere outliving the frame (h.f = f,
+			// m[k] = f, g := f). Only a bare identifier counts: method
+			// calls like f.Write(...) on the right-hand side use f without
+			// transferring ownership.
+			for i, rhs := range st.Rhs {
+				id, ok := rhs.(*ast.Ident)
+				if !ok || pass.Info.Uses[id] != site.file {
+					continue
+				}
+				if i < len(st.Lhs) {
+					if lid, ok := st.Lhs[i].(*ast.Ident); ok && lid.Name == "_" {
+						continue
+					}
+				}
+				escapes = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range st.Elts {
+				if usesObj(pass, el, site.file) {
+					escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(pass, st.Value, site.file) {
+				escapes = true
+			}
+		}
+	})
+	if deferred || escapes {
+		return
+	}
+	if !firstClose.IsValid() {
+		pass.Reportf(site.pos, "os.%s handle is never closed in this function and does not escape", site.name)
+		return
+	}
+	exempt := openErrCheckReturns(pass, body, site)
+	for _, r := range returns {
+		if r.Pos() >= firstClose || exempt[r] {
+			continue
+		}
+		pass.Reportf(r.Pos(), "return leaks the os.%s handle opened at line %d (no Close on this path)",
+			site.name, pass.Fset.Position(site.pos).Line)
+	}
+}
+
+// openErrCheckReturns finds the returns inside the open's own error
+// check — the if statement directly following the open whose condition
+// mentions the open's error variable. The handle is nil on that path.
+func openErrCheckReturns(pass *Pass, body *ast.BlockStmt, site openSite) map[*ast.ReturnStmt]bool {
+	exempt := make(map[*ast.ReturnStmt]bool)
+	if site.errVar == nil {
+		return exempt
+	}
+	var mark func(stmts []ast.Stmt)
+	mark = func(stmts []ast.Stmt) {
+		for i, st := range stmts {
+			switch s := st.(type) {
+			case *ast.AssignStmt:
+				if len(s.Rhs) == 1 && s.Rhs[0] == site.call && i+1 < len(stmts) {
+					ifst, ok := stmts[i+1].(*ast.IfStmt)
+					if !ok || !usesObj(pass, ifst.Cond, site.errVar) {
+						continue
+					}
+					walkSameFunc(ifst.Body, func(n ast.Node) {
+						if r, ok := n.(*ast.ReturnStmt); ok {
+							exempt[r] = true
+						}
+					})
+				}
+			case *ast.BlockStmt:
+				mark(s.List)
+			case *ast.IfStmt:
+				mark(s.Body.List)
+				if b, ok := s.Else.(*ast.BlockStmt); ok {
+					mark(b.List)
+				}
+			case *ast.ForStmt:
+				mark(s.Body.List)
+			case *ast.RangeStmt:
+				mark(s.Body.List)
+			case *ast.SwitchStmt:
+				mark(s.Body.List)
+			case *ast.CaseClause:
+				mark(s.Body)
+			}
+		}
+	}
+	mark(body.List)
+	return exempt
+}
+
+// walkSameFunc visits every node of body without descending into nested
+// function literals — their statements run in another frame.
+func walkSameFunc(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// osOpener reports whether call is os.Open/Create/OpenFile/CreateTemp.
+func osOpener(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "os" || !openers[f.Name()] {
+		return "", false
+	}
+	return f.Name(), true
+}
+
+// closesObj reports whether call is obj.Close().
+func closesObj(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// funcLitCloses reports whether call is an immediately-deferred func
+// literal whose body closes obj (defer func() { f.Close() }()).
+func funcLitCloses(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && closesObj(pass, c, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usesObj reports whether expr mentions obj, except as the receiver of a
+// Close call — `return f.Close()` relinquishes nothing.
+func usesObj(pass *Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && closesObj(pass, c, obj) {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// identObj resolves a simple identifier expression to its object; blank
+// identifiers and non-identifiers yield nil.
+func identObj(pass *Pass, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.Info.Uses[id]
+}

@@ -1,0 +1,119 @@
+// Fixture for the closecheck analyzer, loaded under a library import
+// path: handles that leak (never closed, or lost on an early error
+// return) are flagged; deferred closes, escaping handles, and the open's
+// own err != nil check stay silent; //cgvet:ignore suppresses a site.
+package store
+
+import (
+	"io"
+	"os"
+)
+
+func neverClosed(path string) error {
+	f, err := os.Open(path) // want `os\.Open handle is never closed`
+	if err != nil {
+		return err
+	}
+	_ = f
+	return nil
+}
+
+func discarded(path string) {
+	_, _ = os.Create(path) // want `os\.Create result is discarded`
+}
+
+func leakyEarlyReturn(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err // the handle is nil here: exempt
+	}
+	if _, err := f.Write(data); err != nil {
+		return err // want `return leaks the os\.Create handle`
+	}
+	return f.Close()
+}
+
+func deferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, rerr := f.Read(buf[:])
+	return rerr
+}
+
+func deferredInLiteral(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { f.Close() }()
+	return nil
+}
+
+func closedOnEveryPath(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func escapesByReturn(path string) (*os.File, error) {
+	return os.Open(path) // direct return: nothing to track
+}
+
+func escapesByReturnVar(path string) (*os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil // caller owns the handle now
+}
+
+type holder struct{ f *os.File }
+
+func escapesIntoStruct(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+func escapesIntoField(h *holder, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+
+func escapesAsArgument(path string, sink func(io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return sink(f) // the callee takes over the obligation
+}
+
+func suppressed(path string) error {
+	//cgvet:ignore closecheck -- intentionally held open for the process lifetime
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	_ = f
+	return nil
+}

@@ -31,6 +31,7 @@ func Experiments() []Experiment {
 		{Name: "ablation-representation", Paper: "Ablation A3", Run: AblationRepresentation},
 		{Name: "ablation-scale", Paper: "Ablation A4", Run: AblationScale},
 		{Name: "ablation-baselines", Paper: "Ablation A5", Run: AblationBaselines},
+		{Name: "store", Paper: "Persistence", Run: StorePersistence},
 	}
 }
 

@@ -50,6 +50,16 @@ const (
 	// IngestWindowClose gates Batcher's batch emission — the moment a raw
 	// update window compacts and hands off to the sink.
 	IngestWindowClose Point = "ingest.window-close"
+	// The durable-store write boundaries (internal/store), in protocol
+	// order: a raw-update journal append, an overlay/base segment write,
+	// the atomic manifest swap, the post-commit WAL rotation, and the
+	// background compaction fold. The crash-recovery matrix kills the
+	// store at each of these and reopens.
+	StoreWALAppend    Point = "store.wal-append"
+	StoreSegmentWrite Point = "store.segment-write"
+	StoreManifestSwap Point = "store.manifest-swap"
+	StoreWALRotate    Point = "store.wal-rotate"
+	StoreCompact      Point = "store.compact"
 )
 
 // Points returns every named injection point, in declaration order — the
@@ -58,6 +68,8 @@ func Points() []Point {
 	return []Point{
 		StoreNewVersion, CoreEngineRun, CoreOverlayBuild, CoreSubtreeWalk,
 		CoreMaintainAppend, CoreMaintainAdvance, IngestWindowClose,
+		StoreWALAppend, StoreSegmentWrite, StoreManifestSwap,
+		StoreWALRotate, StoreCompact,
 	}
 }
 

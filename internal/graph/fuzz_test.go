@@ -1,7 +1,10 @@
 package graph
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
+	"strings"
 	"testing"
 )
 
@@ -19,7 +22,7 @@ func FuzzParseEdgeList(f *testing.F) {
 		"",
 		"# a comment\n\n3 1 7\n",
 		"# vertices 3 edges 1\n0 2\n",
-		"# vertices 1 edges 1\n0 5\n",       // id out of declared range
+		"# vertices 1 edges 1\n0 5\n",          // id out of declared range
 		"# vertices 2 edges 1000000000\n0 1\n", // lying header count
 		"a b\n",
 		"1\n",
@@ -57,6 +60,77 @@ func FuzzParseEdgeList(f *testing.F) {
 		for i := range edges {
 			if edges[i] != edges2[i] {
 				t.Fatalf("round trip changed edge %d: %v -> %v", i, edges[i], edges2[i])
+			}
+		}
+	})
+}
+
+// FuzzEdgeListIO is the cross-codec oracle: any input the text reader
+// accepts must survive text→binary→text unchanged, and any input it
+// rejects for a content reason must be rejected with a typed *ParseError
+// carrying a plausible 1-based line number that appears in the message.
+func FuzzEdgeListIO(f *testing.F) {
+	seeds := []string{
+		"# vertices 4 edges 2\n0 1 5\n2 3 1\n",
+		"0 1\n1 2 3\n",
+		"",
+		"# vertices 3 edges 1\n\n0 2 -4\n",
+		"0 1 x\n",
+		"0\n",
+		"# vertices 1 edges 1\n0 5\n",
+		"9999999999 0\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, edges, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				// From an in-memory reader the only non-content failure is
+				// the scanner's token limit; everything else must be typed.
+				if !errors.Is(err, bufio.ErrTooLong) {
+					t.Fatalf("ReadText rejection is not a *ParseError: %v", err)
+				}
+				return
+			}
+			if pe.Line < 1 {
+				t.Fatalf("ParseError with non-positive line %d: %v", pe.Line, pe)
+			}
+			if lines := bytes.Count(data, []byte("\n")) + 1; pe.Line > lines {
+				t.Fatalf("ParseError line %d beyond input's %d lines", pe.Line, lines)
+			}
+			if !strings.Contains(pe.Error(), "line ") || !strings.Contains(pe.Error(), pe.Reason) {
+				t.Fatalf("ParseError message lost its context: %q", pe.Error())
+			}
+			return
+		}
+		if n > fuzzBound || len(edges) > fuzzBound {
+			t.Skip("valid but too large to round-trip affordably under fuzzing")
+		}
+		var bin bytes.Buffer
+		if err := WriteBinary(&bin, n, edges); err != nil {
+			t.Fatalf("WriteBinary on accepted input: %v", err)
+		}
+		bn, bedges, err := ReadBinary(&bin)
+		if err != nil {
+			t.Fatalf("binary round trip rejected: %v", err)
+		}
+		var txt bytes.Buffer
+		if err := WriteText(&txt, bn, bedges); err != nil {
+			t.Fatalf("WriteText after binary trip: %v", err)
+		}
+		tn, tedges, err := ReadText(&txt)
+		if err != nil {
+			t.Fatalf("text round trip after binary trip rejected: %v", err)
+		}
+		if tn != n || len(tedges) != len(edges) {
+			t.Fatalf("cross-codec trip changed shape: (%d,%d) -> (%d,%d)", n, len(edges), tn, len(tedges))
+		}
+		for i := range edges {
+			if edges[i] != tedges[i] {
+				t.Fatalf("cross-codec trip changed edge %d: %v -> %v", i, edges[i], tedges[i])
 			}
 		}
 	})

@@ -9,6 +9,21 @@ import (
 	"strings"
 )
 
+// ParseError is the typed rejection of the text edge-list reader: the
+// 1-based input line, the offending text, and what was wrong with it.
+// Tools surface it verbatim so a bad line in a million-edge file is
+// findable; callers distinguish malformed input from I/O failures with
+// errors.As.
+type ParseError struct {
+	Line   int    // 1-based line number in the input
+	Input  string // the offending line, trimmed
+	Reason string // what was expected
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("graph: line %d: %s in %q", e.Line, e.Reason, e.Input)
+}
+
 // WriteText writes edges as "src dst weight" lines, one per edge, preceded
 // by a header line "# vertices N edges M".
 func WriteText(w io.Writer, n int, edges EdgeList) error {
@@ -57,23 +72,24 @@ func ReadText(r io.Reader) (n int, edges EdgeList, err error) {
 		}
 		fields := strings.Fields(text)
 		if len(fields) < 2 || len(fields) > 3 {
-			return 0, nil, fmt.Errorf("graph: line %d: want 'src dst [w]', got %q", line, text)
+			return 0, nil, &ParseError{Line: line, Input: text, Reason: "want 'src dst [w]'"}
 		}
 		src, e1 := strconv.ParseUint(fields[0], 10, 32)
 		dst, e2 := strconv.ParseUint(fields[1], 10, 32)
 		if e1 != nil || e2 != nil {
-			return 0, nil, fmt.Errorf("graph: line %d: bad vertex id in %q", line, text)
+			return 0, nil, &ParseError{Line: line, Input: text, Reason: "bad vertex id"}
 		}
 		w := int64(1)
 		if len(fields) == 3 {
 			var e3 error
 			w, e3 = strconv.ParseInt(fields[2], 10, 32)
 			if e3 != nil {
-				return 0, nil, fmt.Errorf("graph: line %d: bad weight in %q", line, text)
+				return 0, nil, &ParseError{Line: line, Input: text, Reason: "bad weight"}
 			}
 		}
 		if n >= 0 && (src >= uint64(n) || dst >= uint64(n)) {
-			return 0, nil, fmt.Errorf("graph: line %d: vertex id out of range [0,%d) in %q", line, n, text)
+			return 0, nil, &ParseError{Line: line, Input: text,
+				Reason: fmt.Sprintf("vertex id out of range [0,%d)", n)}
 		}
 		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst), W: Weight(w)})
 	}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -77,6 +78,43 @@ func TestReadTextErrors(t *testing.T) {
 		if _, _, err := ReadText(strings.NewReader(in)); err == nil {
 			t.Fatalf("input %q: expected error", in)
 		}
+	}
+}
+
+// TestReadTextParseErrorLines pins the typed-error contract: every content
+// rejection is a *ParseError naming the exact 1-based line (blank and
+// comment lines count), the offending text, and the reason.
+func TestReadTextParseErrorLines(t *testing.T) {
+	cases := []struct {
+		name   string
+		in     string
+		line   int
+		input  string
+		reason string
+	}{
+		{"too few fields", "0 1\n7\n", 2, "7", "want 'src dst [w]'"},
+		{"too many fields", "0 1 2 3\n", 1, "0 1 2 3", "want 'src dst [w]'"},
+		{"bad vertex id", "# header comment\n\nx 1\n", 3, "x 1", "bad vertex id"},
+		{"bad weight", "0 1\n0 1\n0 1 zebra\n", 3, "0 1 zebra", "bad weight"},
+		{"out of range", "# vertices 2 edges 1\n0 5\n", 2, "0 5", "vertex id out of range [0,2)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadText(strings.NewReader(tc.in))
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is not a *ParseError: %v", err)
+			}
+			if pe.Line != tc.line || pe.Input != tc.input || pe.Reason != tc.reason {
+				t.Fatalf("got {line %d, input %q, reason %q}, want {line %d, input %q, reason %q}",
+					pe.Line, pe.Input, pe.Reason, tc.line, tc.input, tc.reason)
+			}
+			for _, frag := range []string{pe.Reason, pe.Input} {
+				if !strings.Contains(err.Error(), frag) {
+					t.Fatalf("message %q omits %q", err.Error(), frag)
+				}
+			}
+		})
 	}
 }
 

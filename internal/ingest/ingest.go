@@ -94,14 +94,38 @@ func Compact(updates []Update) (additions, deletions graph.EdgeList, err error) 
 // NewVersion has exactly this shape.
 type Sink func(additions, deletions graph.EdgeList) error
 
+// WindowSink is the journaled batcher's hand-off: the window's net
+// batches plus the journal sequence number of the window's last raw
+// update, so the sink can commit the batch and the journal's high-water
+// mark atomically. Unlike Sink it fires even for a window that cancelled
+// itself out entirely — the commit pointer must advance past the
+// cancelled records or recovery would replay them forever.
+type WindowSink func(additions, deletions graph.EdgeList, lastSeq uint64) error
+
+// Journal is the write-ahead hook of a durable batcher: Append must make
+// the raw updates replayable (fsynced) before they are accepted into the
+// in-memory window, assigning consecutive sequence numbers and returning
+// the last one. A crash after Append and before the window closes
+// replays exactly the pending window (Batcher.Seed).
+type Journal interface {
+	Append(updates []Update) (lastSeq uint64, err error)
+}
+
 // Batcher accumulates raw updates and emits one net batch to its sink
 // every batchSize raw updates (plus whatever remains on Flush). Streaming
 // systems batch updates to amortize incremental computation (§2.1); the
 // window size trades staleness for efficiency.
 type Batcher struct {
 	sink      Sink
+	wsink     WindowSink
+	journal   Journal
 	batchSize int
 	pending   []Update
+	// baseSeq is the journal sequence of pending[0]. Pending sequences
+	// are consecutive: only this batcher appends to its journal, and the
+	// journal numbers records monotonically.
+	baseSeq uint64
+	closed  bool
 }
 
 // NewBatcher creates a batcher emitting to sink every batchSize updates.
@@ -115,14 +139,79 @@ func NewBatcher(sink Sink, batchSize int) (*Batcher, error) {
 	return &Batcher{sink: sink, batchSize: batchSize}, nil
 }
 
-// Push appends raw updates, emitting batches as the window fills.
+// NewJournaledBatcher creates a batcher that journals every pushed update
+// through j before accepting it, and hands closed windows to sink along
+// with their journal high-water sequence.
+func NewJournaledBatcher(sink WindowSink, batchSize int, j Journal) (*Batcher, error) {
+	if batchSize <= 0 {
+		return nil, fmt.Errorf("ingest: batch size must be positive, got %d", batchSize)
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("ingest: nil sink")
+	}
+	if j == nil {
+		return nil, fmt.Errorf("ingest: nil journal")
+	}
+	return &Batcher{wsink: sink, journal: j, batchSize: batchSize}, nil
+}
+
+// Push appends raw updates, emitting batches as the window fills. On a
+// journaled batcher the updates are journaled (fsynced) first; a journal
+// failure rejects the whole push — nothing unacknowledged enters the
+// window.
 func (b *Batcher) Push(updates ...Update) error {
+	if b.closed {
+		return fmt.Errorf("ingest: batcher is closed")
+	}
+	if len(updates) == 0 {
+		return nil
+	}
+	if b.journal != nil {
+		lastSeq, err := b.journal.Append(updates)
+		if err != nil {
+			return fmt.Errorf("ingest: journal append: %w", err)
+		}
+		if len(b.pending) == 0 {
+			b.baseSeq = lastSeq - uint64(len(updates)) + 1
+		}
+	}
 	b.pending = append(b.pending, updates...)
+	return b.drain()
+}
+
+// Seed replays recovered updates — already journaled, with firstSeq the
+// sequence of updates[0] — through the normal window logic without
+// re-journaling them. Full windows re-close (regenerating their batches
+// deterministically); the tail stays pending, exactly the state the
+// batcher held when the journal was written. Seeding a batcher that has
+// already accepted updates would interleave two histories and is
+// rejected.
+func (b *Batcher) Seed(firstSeq uint64, updates ...Update) error {
+	if b.closed {
+		return fmt.Errorf("ingest: batcher is closed")
+	}
+	if b.journal == nil {
+		return fmt.Errorf("ingest: Seed requires a journaled batcher")
+	}
+	if len(b.pending) > 0 {
+		return fmt.Errorf("ingest: Seed into a batcher with %d pending updates", len(b.pending))
+	}
+	if len(updates) == 0 {
+		return nil
+	}
+	b.baseSeq = firstSeq
+	b.pending = append(b.pending, updates...)
+	return b.drain()
+}
+
+// drain closes full windows off the front of the pending queue.
+func (b *Batcher) drain() error {
 	for len(b.pending) >= b.batchSize {
 		if err := b.emit(b.pending[:b.batchSize]); err != nil {
 			return err
 		}
 		b.pending = b.pending[b.batchSize:]
+		b.baseSeq += uint64(b.batchSize)
 	}
 	return nil
 }
@@ -134,10 +223,28 @@ func (b *Batcher) Flush() error {
 	if len(b.pending) == 0 {
 		return nil
 	}
+	n := len(b.pending)
 	if err := b.emit(b.pending); err != nil {
 		return err
 	}
 	b.pending = nil
+	b.baseSeq += uint64(n)
+	return nil
+}
+
+// Close flushes the tail window and permanently closes the batcher:
+// further Push/Seed/Flush calls fail. A clean Close leaves nothing
+// pending, so a subsequent reopen of a journaled store replays nothing —
+// the end-of-stream contract distinguishing a finished stream from a
+// crashed one.
+func (b *Batcher) Close() error {
+	if b.closed {
+		return nil
+	}
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	b.closed = true
 	return nil
 }
 
@@ -161,6 +268,9 @@ func (b *Batcher) emit(updates []Update) error {
 	obs.IngestUpdates().Add(int64(len(updates)))
 	sp.SetAttr(obs.Int("additions", len(adds)), obs.Int("deletions", len(dels)))
 	sp.End()
+	if b.journal != nil {
+		return b.wsink(adds, dels, b.baseSeq+uint64(len(updates))-1)
+	}
 	if len(adds) == 0 && len(dels) == 0 {
 		return nil // the window cancelled itself out entirely
 	}

@@ -1,0 +1,220 @@
+package ingest
+
+import (
+	"errors"
+	"testing"
+
+	"commongraph/internal/graph"
+)
+
+// memJournal is an in-memory ingest.Journal assigning consecutive seqs.
+type memJournal struct {
+	next    uint64
+	records []Update
+	fail    error
+}
+
+func (j *memJournal) Append(us []Update) (uint64, error) {
+	if j.fail != nil {
+		return 0, j.fail
+	}
+	j.records = append(j.records, us...)
+	j.next += uint64(len(us))
+	return j.next, nil
+}
+
+// window records one WindowSink invocation.
+type window struct {
+	adds, dels graph.EdgeList
+	lastSeq    uint64
+}
+
+func collector(out *[]window) WindowSink {
+	return func(adds, dels graph.EdgeList, lastSeq uint64) error {
+		*out = append(*out, window{adds, dels, lastSeq})
+		return nil
+	}
+}
+
+// TestJournaledBatcherTable drives window shapes through a journaled
+// batcher and checks the emitted batches and their journal high-water
+// sequences — in particular that a fully cancelling window still reaches
+// the sink (with empty batches) so its WAL records get consumed.
+func TestJournaledBatcherTable(t *testing.T) {
+	add := func(s, d uint32) Update { return Update{Add, e(s, d, 1)} }
+	del := func(s, d uint32) Update { return Update{Delete, e(s, d, 1)} }
+	cases := []struct {
+		name    string
+		batch   int
+		updates []Update
+		flush   bool
+		want    []window // expected adds/dels lengths via lens below
+		lens    [][3]int // per window: len(adds), len(dels), lastSeq
+	}{
+		{
+			name:  "two full windows",
+			batch: 2,
+			updates: []Update{
+				add(0, 1), add(1, 2),
+				add(2, 3), add(3, 4),
+			},
+			lens: [][3]int{{2, 0, 2}, {2, 0, 4}},
+		},
+		{
+			name:  "net zero window still commits its sequence",
+			batch: 2,
+			updates: []Update{
+				add(0, 1), del(0, 1), // cancels entirely
+				add(1, 2), add(2, 3),
+			},
+			lens: [][3]int{{0, 0, 2}, {2, 0, 4}},
+		},
+		{
+			name:  "add then delete across flush boundary",
+			batch: 4,
+			updates: []Update{
+				add(0, 1), add(1, 2), del(1, 2),
+			},
+			flush: true,
+			lens:  [][3]int{{1, 0, 3}},
+		},
+		{
+			name:  "short tail flushed",
+			batch: 3,
+			updates: []Update{
+				add(0, 1), add(1, 2), add(2, 3),
+				add(3, 4),
+			},
+			flush: true,
+			lens:  [][3]int{{3, 0, 3}, {1, 0, 4}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var got []window
+			j := &memJournal{}
+			b, err := NewJournaledBatcher(collector(&got), tc.batch, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range tc.updates {
+				if err := b.Push(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if tc.flush {
+				if err := b.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if len(got) != len(tc.lens) {
+				t.Fatalf("%d windows emitted, want %d", len(got), len(tc.lens))
+			}
+			for i, w := range got {
+				want := tc.lens[i]
+				if len(w.adds) != want[0] || len(w.dels) != want[1] || w.lastSeq != uint64(want[2]) {
+					t.Fatalf("window %d: adds=%d dels=%d lastSeq=%d, want %v",
+						i, len(w.adds), len(w.dels), w.lastSeq, want)
+				}
+			}
+			if len(j.records) != len(tc.updates) {
+				t.Fatalf("journal holds %d records, want every pushed update (%d)", len(j.records), len(tc.updates))
+			}
+		})
+	}
+}
+
+func TestJournalFailureRejectsPush(t *testing.T) {
+	var got []window
+	boom := errors.New("disk full")
+	j := &memJournal{fail: boom}
+	b, err := NewJournaledBatcher(collector(&got), 2, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Push(Update{Add, e(0, 1, 1)}); !errors.Is(err, boom) {
+		t.Fatalf("push with failing journal: %v", err)
+	}
+	if b.Pending() != 0 {
+		t.Fatal("unjournaled update entered the window")
+	}
+	// Once the journal recovers, the stream continues with nothing lost
+	// or duplicated.
+	j.fail = nil
+	if err := b.Push(Update{Add, e(0, 1, 1)}, Update{Add, e(1, 2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].lastSeq != 2 {
+		t.Fatalf("windows after recovery: %+v", got)
+	}
+}
+
+func TestSeedReplaysWithoutRejournaling(t *testing.T) {
+	var got []window
+	j := &memJournal{next: 10} // journal already holds seqs 1..10
+	b, err := NewJournaledBatcher(collector(&got), 4, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recovered tail: seqs 9 and 10 were journaled but never committed.
+	if err := b.Seed(9, Update{Add, e(0, 1, 1)}, Update{Add, e(1, 2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.records) != 0 {
+		t.Fatal("Seed re-journaled recovered updates")
+	}
+	if b.Pending() != 2 {
+		t.Fatalf("pending=%d after short seed", b.Pending())
+	}
+	// Two live pushes complete the window; its lastSeq spans the seam.
+	if err := b.Push(Update{Add, e(2, 3, 1)}, Update{Add, e(3, 4, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].lastSeq != 12 || len(got[0].adds) != 4 {
+		t.Fatalf("window across recovery seam: %+v", got)
+	}
+
+	// Seeding after accepting updates is rejected: two histories.
+	if err := b.Push(Update{Add, e(4, 5, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Seed(20, Update{Add, e(5, 6, 1)}); err == nil {
+		t.Fatal("Seed into a non-empty batcher succeeded")
+	}
+}
+
+func TestSeedRequiresJournaledBatcher(t *testing.T) {
+	b, err := NewBatcher(func(_, _ graph.EdgeList) error { return nil }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Seed(1, Update{Add, e(0, 1, 1)}); err == nil {
+		t.Fatal("Seed on an unjournaled batcher succeeded")
+	}
+}
+
+func TestCloseFlushesTailAndSealsBatcher(t *testing.T) {
+	var got []window
+	b, err := NewJournaledBatcher(collector(&got), 4, &memJournal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Push(Update{Add, e(0, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].lastSeq != 1 {
+		t.Fatalf("close did not flush the tail: %+v", got)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := b.Push(Update{Add, e(1, 2, 1)}); err == nil {
+		t.Fatal("push after close succeeded")
+	}
+	if err := b.Seed(5, Update{Add, e(1, 2, 1)}); err == nil {
+		t.Fatal("seed after close succeeded")
+	}
+}

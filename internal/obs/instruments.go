@@ -27,6 +27,14 @@ const (
 	helpMaintErrs   = "Watcher maintenance operations that ultimately failed, by kind."
 	helpIngBatches  = "Update windows the ingest batcher closed and handed to the store."
 	helpIngUpdates  = "Raw single-edge updates accepted by the ingest batcher."
+	helpWALAppends  = "Durable-store WAL append calls (each is one fsync)."
+	helpWALBytes    = "Bytes appended to the durable-store WAL."
+	helpWALTrunc    = "WAL torn tails truncated during crash recovery."
+	helpSegWrites   = "Durable-store segments written (base + overlay)."
+	helpSegBytes    = "Bytes written into durable-store segments."
+	helpSegLoads    = "Durable-store segments loaded from disk."
+	helpCompactions = "Durable-store compactions (overlays folded into a new base generation)."
+	helpRecovered   = "Raw updates recovered from the WAL and re-seeded on open."
 )
 
 // Queries counts evaluated queries for one strategy slug.
@@ -97,4 +105,44 @@ func IngestBatches() *Counter {
 // IngestUpdates counts accepted raw updates.
 func IngestUpdates() *Counter {
 	return Default().Counter("commongraph_ingest_updates_total", helpIngUpdates)
+}
+
+// WALAppends counts durable-store WAL append (fsync) calls.
+func WALAppends() *Counter {
+	return Default().Counter("commongraph_store_wal_appends_total", helpWALAppends)
+}
+
+// WALBytes counts bytes appended to the durable-store WAL.
+func WALBytes() *Counter {
+	return Default().Counter("commongraph_store_wal_bytes_total", helpWALBytes)
+}
+
+// WALTruncations counts torn WAL tails dropped during recovery.
+func WALTruncations() *Counter {
+	return Default().Counter("commongraph_store_wal_truncations_total", helpWALTrunc)
+}
+
+// SegmentWrites counts durable-store segment files written.
+func SegmentWrites() *Counter {
+	return Default().Counter("commongraph_store_segment_writes_total", helpSegWrites)
+}
+
+// SegmentBytes counts bytes written into durable-store segments.
+func SegmentBytes() *Counter {
+	return Default().Counter("commongraph_store_segment_bytes_total", helpSegBytes)
+}
+
+// SegmentLoads counts durable-store segment files loaded.
+func SegmentLoads() *Counter {
+	return Default().Counter("commongraph_store_segment_loads_total", helpSegLoads)
+}
+
+// Compactions counts durable-store base-fold compactions.
+func Compactions() *Counter {
+	return Default().Counter("commongraph_store_compactions_total", helpCompactions)
+}
+
+// RecoveredUpdates counts WAL records re-seeded by crash recovery.
+func RecoveredUpdates() *Counter {
+	return Default().Counter("commongraph_store_recovered_updates_total", helpRecovered)
 }

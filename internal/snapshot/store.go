@@ -110,28 +110,46 @@ func (s *Store) NewVersion(additions, deletions graph.EdgeList) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	latest := len(s.adds)
-	cur := s.materializeLocked(latest)
 	add := delta.NewBatch(additions)
 	del := delta.NewBatch(deletions)
-	for _, e := range del.Edges() {
-		if !cur.Contains(e.Src, e.Dst) {
-			return 0, fmt.Errorf("snapshot: version %d does not contain deleted edge %v", latest, e)
-		}
-	}
-	for _, e := range add.Edges() {
-		if cur.Contains(e.Src, e.Dst) {
-			return 0, fmt.Errorf("snapshot: version %d already contains added edge %v", latest, e)
-		}
-		if int(e.Src) >= s.n || int(e.Dst) >= s.n {
-			return 0, fmt.Errorf("snapshot: edge %v out of vertex range %d", e, s.n)
-		}
-	}
-	if add.Intersect(del).Len() != 0 {
-		return 0, fmt.Errorf("snapshot: additions and deletions overlap")
+	if err := s.checkBatchLocked(add, del); err != nil {
+		return 0, err
 	}
 	s.adds = append(s.adds, add)
 	s.dels = append(s.dels, del)
 	return latest + 1, nil
+}
+
+// CheckBatch validates a prospective transition against the latest
+// snapshot without applying it — the dry-run half of NewVersion, for
+// callers that must commit the batch somewhere else (a durable store)
+// before mutating in-memory state.
+func (s *Store) CheckBatch(additions, deletions graph.EdgeList) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkBatchLocked(delta.NewBatch(additions), delta.NewBatch(deletions))
+}
+
+func (s *Store) checkBatchLocked(add, del *delta.Batch) error {
+	latest := len(s.adds)
+	cur := s.materializeLocked(latest)
+	for _, e := range del.Edges() {
+		if !cur.Contains(e.Src, e.Dst) {
+			return fmt.Errorf("snapshot: version %d does not contain deleted edge %v", latest, e)
+		}
+	}
+	for _, e := range add.Edges() {
+		if cur.Contains(e.Src, e.Dst) {
+			return fmt.Errorf("snapshot: version %d already contains added edge %v", latest, e)
+		}
+		if int(e.Src) >= s.n || int(e.Dst) >= s.n {
+			return fmt.Errorf("snapshot: edge %v out of vertex range %d", e, s.n)
+		}
+	}
+	if add.Intersect(del).Len() != 0 {
+		return fmt.Errorf("snapshot: additions and deletions overlap")
+	}
+	return nil
 }
 
 // GetVersion materializes snapshot i as a canonical edge list

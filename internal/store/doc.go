@@ -1,0 +1,33 @@
+// Package store is the durable half of the evolving-graph representation:
+// a directory of immutable binary segments (the base snapshot plus one
+// overlay per transition — the on-disk mirror of the paper's §5
+// mutation-free layout), a text manifest naming the live segments, and a
+// write-ahead log for the raw ingest stream.
+//
+// Layout of a store directory:
+//
+//	MANIFEST          current generation, base version, transition count,
+//	                  WAL high-water sequence — swapped atomically by rename
+//	base-<gen>.seg    the base snapshot's canonical edge list
+//	ovl-<t>.seg       transition t's Δ+/Δ− batches (absolute numbering)
+//	wal.log           raw add/delete updates not yet folded into an overlay
+//
+// Invariants:
+//
+//   - Segments are immutable once referenced by the manifest: compaction
+//     writes a new base generation and deletes the folded files, it never
+//     rewrites one in place (the paper's mutation-free invariant, on disk).
+//   - The manifest is the single source of truth. A file the manifest does
+//     not reference is garbage from an interrupted write and is deleted on
+//     Open; a file it does reference was fsynced before the manifest swap
+//     and therefore exists intact.
+//   - Every WAL record carries a monotonic sequence number; the manifest's
+//     wal-seq marks the last raw update folded into a durable overlay.
+//     Recovery replays exactly the records above that mark, so a crash
+//     mid-window reopens to the batcher's in-memory state.
+//
+// Crash recovery on Open truncates torn WAL tails (short or CRC-failing
+// records), drops unreferenced segment files, and surfaces the pending
+// raw updates for the ingest layer to re-seed. The kill-point matrix in
+// crash_test.go drives every write boundary.
+package store

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"commongraph/internal/faults"
+)
+
+// manifest is the store's root metadata. It is tiny and human-readable;
+// durability comes from the swap protocol, not the encoding: the new
+// manifest is written to MANIFEST.tmp, fsynced, renamed over MANIFEST,
+// and the directory fsynced — a reader sees the old manifest or the new
+// one, never a torn mix.
+type manifest struct {
+	vertices    int
+	generation  uint64 // names the live base segment
+	baseVersion int    // absolute snapshot version the base segment holds
+	transitions int    // absolute transition count; overlays span [baseVersion, transitions)
+	walSeq      uint64 // last raw-update sequence folded into a durable overlay
+}
+
+const (
+	manifestName    = "MANIFEST"
+	manifestTmpName = "MANIFEST.tmp"
+	manifestFormat  = 1
+)
+
+// encode renders the manifest with a trailing self-checksum line. The
+// checksum is defense in depth against bit rot; torn writes are already
+// excluded by the rename swap.
+func (m manifest) encode() []byte {
+	body := fmt.Sprintf("cgstore %d\nvertices %d\ngeneration %d\nbase-version %d\ntransitions %d\nwal-seq %d\n",
+		manifestFormat, m.vertices, m.generation, m.baseVersion, m.transitions, m.walSeq)
+	return []byte(fmt.Sprintf("%scrc %08x\n", body, crc32.ChecksumIEEE([]byte(body))))
+}
+
+func parseManifest(data []byte) (manifest, error) {
+	var m manifest
+	text := string(data)
+	i := strings.LastIndex(text, "crc ")
+	if i < 0 {
+		return m, fmt.Errorf("%w: manifest missing checksum line", ErrCorrupt)
+	}
+	body := text[:i]
+	var gotCRC uint32
+	if _, err := fmt.Sscanf(text[i:], "crc %08x", &gotCRC); err != nil {
+		return m, fmt.Errorf("%w: manifest checksum line: %v", ErrCorrupt, err)
+	}
+	if want := crc32.ChecksumIEEE([]byte(body)); want != gotCRC {
+		return m, fmt.Errorf("%w: manifest CRC %08x != recorded %08x", ErrCorrupt, want, gotCRC)
+	}
+	var format int
+	if _, err := fmt.Sscanf(body, "cgstore %d\nvertices %d\ngeneration %d\nbase-version %d\ntransitions %d\nwal-seq %d\n",
+		&format, &m.vertices, &m.generation, &m.baseVersion, &m.transitions, &m.walSeq); err != nil {
+		return m, fmt.Errorf("%w: manifest fields: %v", ErrCorrupt, err)
+	}
+	if format != manifestFormat {
+		return m, fmt.Errorf("store: unsupported manifest format %d", format)
+	}
+	if m.vertices < 0 || m.baseVersion < 0 || m.transitions < m.baseVersion {
+		return m, fmt.Errorf("%w: manifest ranges invalid (base %d, transitions %d)", ErrCorrupt, m.baseVersion, m.transitions)
+	}
+	return m, nil
+}
+
+// readManifest loads dir's manifest.
+func readManifest(dir string) (manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return manifest{}, err
+	}
+	m, err := parseManifest(data)
+	if err != nil {
+		return manifest{}, fmt.Errorf("store: %s: %w", manifestName, err)
+	}
+	return m, nil
+}
+
+// swapManifest atomically replaces dir's manifest: tmp write, fsync,
+// rename, directory fsync. Everything the new manifest references must
+// already be durable before calling (the segment-then-manifest ordering
+// the whole recovery story rests on).
+func swapManifest(dir string, m manifest) error {
+	if err := faults.Check(faults.StoreManifestSwap); err != nil {
+		return fmt.Errorf("store: manifest swap: %w", err)
+	}
+	tmp := filepath.Join(dir, manifestTmpName)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(m.encode()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}

@@ -1,0 +1,178 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"commongraph/internal/faults"
+	"commongraph/internal/graph"
+	"commongraph/internal/obs"
+)
+
+// Segment file layout (all little-endian):
+//
+//	header (24 bytes):
+//	  magic     u32  0xC6570001
+//	  version   u32  1
+//	  kind      u32  1 = base (one section), 2 = overlay (two sections)
+//	  vertices  u32
+//	  sections  u32
+//	  reserved  u32
+//	sections × { length u32, payload [length]byte }
+//	trailer: crc32 u32 (IEEE) over header + all sections
+//
+// Section payloads are edge records of 12 bytes (src u32, dst u32, w i32)
+// in canonical order, so a loaded section is directly viewable as a
+// graph.EdgeList (see view.go) and CSR construction takes the sorted-input
+// fast path.
+const (
+	segMagic   = uint32(0xC6570001)
+	segVersion = uint32(1)
+
+	kindBase    = uint32(1)
+	kindOverlay = uint32(2)
+
+	segHeaderLen = 24
+)
+
+// ErrCorrupt wraps every integrity failure (bad magic, torn section, CRC
+// mismatch) so callers can distinguish corruption from I/O errors.
+var ErrCorrupt = fmt.Errorf("store: corrupt file")
+
+func baseName(gen uint64) string      { return fmt.Sprintf("base-%06d.seg", gen) }
+func overlayName(t int) string        { return fmt.Sprintf("ovl-%06d.seg", t) }
+func segPath(dir, name string) string { return filepath.Join(dir, name) }
+
+// encodeSegment serializes sections into the segment wire format.
+func encodeSegment(kind uint32, vertices int, sections ...graph.EdgeList) []byte {
+	total := segHeaderLen
+	for _, s := range sections {
+		total += 4 + 12*len(s)
+	}
+	buf := make([]byte, 0, total+4)
+	var hdr [segHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], segMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], kind)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(vertices))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(sections)))
+	buf = append(buf, hdr[:]...)
+	for _, s := range sections {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(12*len(s)))
+		buf = append(buf, l[:]...)
+		buf = appendEdges(buf, s)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	return append(buf, crc[:]...)
+}
+
+// decodeSegment validates the wire format and returns the section
+// payloads as edge views over data (aliased: data must stay unmodified).
+func decodeSegment(data []byte, wantKind uint32) (vertices int, sections []graph.EdgeList, err error) {
+	if len(data) < segHeaderLen+4 {
+		return 0, nil, fmt.Errorf("%w: segment shorter than header (%d bytes)", ErrCorrupt, len(data))
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return 0, nil, fmt.Errorf("%w: segment CRC %08x != trailer %08x", ErrCorrupt, got, want)
+	}
+	if m := binary.LittleEndian.Uint32(body[0:]); m != segMagic {
+		return 0, nil, fmt.Errorf("%w: bad segment magic %#x", ErrCorrupt, m)
+	}
+	if v := binary.LittleEndian.Uint32(body[4:]); v != segVersion {
+		return 0, nil, fmt.Errorf("store: unsupported segment version %d", v)
+	}
+	if k := binary.LittleEndian.Uint32(body[8:]); k != wantKind {
+		return 0, nil, fmt.Errorf("%w: segment kind %d, want %d", ErrCorrupt, k, wantKind)
+	}
+	vertices = int(binary.LittleEndian.Uint32(body[12:]))
+	count := int(binary.LittleEndian.Uint32(body[16:]))
+	off := segHeaderLen
+	for i := 0; i < count; i++ {
+		if off+4 > len(body) {
+			return 0, nil, fmt.Errorf("%w: section %d header past end", ErrCorrupt, i)
+		}
+		l := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if l%12 != 0 || off+l > len(body) {
+			return 0, nil, fmt.Errorf("%w: section %d length %d invalid", ErrCorrupt, i, l)
+		}
+		el, verr := edgesView(body[off : off+l])
+		if verr != nil {
+			return 0, nil, verr
+		}
+		sections = append(sections, el)
+		off += l
+	}
+	if off != len(body) {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes after last section", ErrCorrupt, len(body)-off)
+	}
+	return vertices, sections, nil
+}
+
+// writeSegment writes a segment file durably: create, write, fsync file,
+// fsync directory. The file only becomes live when a later manifest swap
+// references it, so a torn write here is garbage-collected on Open.
+func writeSegment(dir, name string, kind uint32, vertices int, sections ...graph.EdgeList) error {
+	if err := faults.Check(faults.StoreSegmentWrite); err != nil {
+		return fmt.Errorf("store: segment %s: %w", name, err)
+	}
+	sp := obs.Env().StartSpan("store.segment_write", obs.String("segment", name))
+	defer sp.End()
+	data := encodeSegment(kind, vertices, sections...)
+	f, err := os.Create(segPath(dir, name))
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	obs.SegmentWrites().Inc()
+	obs.SegmentBytes().Add(int64(len(data)))
+	sp.SetAttr(obs.Int("bytes", len(data)))
+	return syncDir(dir)
+}
+
+// readSegment loads and validates a segment file. The returned edge lists
+// view the file's in-memory copy (see view.go); callers must treat them
+// as immutable, which they do throughout — canonical lists are read-only
+// by contract.
+func readSegment(dir, name string, wantKind uint32) (vertices int, sections []graph.EdgeList, err error) {
+	sp := obs.Env().StartSpan("store.segment_load", obs.String("segment", name))
+	defer sp.End()
+	data, err := os.ReadFile(segPath(dir, name))
+	if err != nil {
+		return 0, nil, err
+	}
+	obs.SegmentLoads().Inc()
+	sp.SetAttr(obs.Int("bytes", len(data)))
+	vertices, sections, err = decodeSegment(data, wantKind)
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: segment %s: %w", name, err)
+	}
+	return vertices, sections, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable before the caller proceeds to the next write in the protocol.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,402 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"commongraph/internal/faults"
+	"commongraph/internal/graph"
+	"commongraph/internal/obs"
+	"commongraph/internal/snapshot"
+)
+
+// Store is an open durable snapshot store. All methods are safe for
+// concurrent use; writers (AppendBatch, Journal, CompactTo) serialize on
+// an internal lock while loaded segments are immutable and shared.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	man     manifest
+	wal     *wal
+	origin  int // manifest base version at open time (window index anchor)
+	pending []RawUpdate
+
+	baseCache graph.EdgeList
+	ovlCache  map[int][2]graph.EdgeList
+
+	closed bool
+}
+
+// Create initializes dir (created if needed) as a new store whose base
+// snapshot is the given edge list. The directory must not already hold a
+// store.
+func Create(dir string, vertices int, base graph.EdgeList) (*Store, error) {
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
+		return nil, fmt.Errorf("store: %s already holds a store", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	canon := base.Clone().Canonicalize()
+	for _, e := range canon {
+		if int(e.Src) >= vertices || int(e.Dst) >= vertices {
+			return nil, fmt.Errorf("store: base edge %v out of vertex range %d", e, vertices)
+		}
+	}
+	man := manifest{vertices: vertices}
+	if err := writeSegment(dir, baseName(man.generation), kindBase, vertices, canon); err != nil {
+		return nil, err
+	}
+	w, err := createWAL(dir, vertices)
+	if err != nil {
+		return nil, err
+	}
+	// The manifest swap is the commit point: before it the directory is
+	// not a store and Create can simply be retried.
+	if err := swapManifest(dir, man); err != nil {
+		w.close()
+		return nil, err
+	}
+	return &Store{
+		dir:       dir,
+		man:       man,
+		wal:       w,
+		origin:    0,
+		baseCache: canon,
+		ovlCache:  make(map[int][2]graph.EdgeList),
+	}, nil
+}
+
+// Open opens an existing store, running crash recovery first: the WAL's
+// torn tail is truncated, records already folded into overlays are
+// dropped, interrupted segment writes are garbage-collected, and the raw
+// updates of the in-flight ingest window are surfaced via TakePending.
+// Open reads only the manifest and the WAL; segments load lazily.
+func Open(dir string) (*Store, error) {
+	sp := obs.Env().StartSpan("store.open", obs.String("dir", dir))
+	defer sp.End()
+	man, err := readManifest(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: %s is not a store (no %s): %w", dir, manifestName, err)
+		}
+		return nil, err
+	}
+	w, pending, err := openWAL(dir, man.vertices, man.walSeq)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:      dir,
+		man:      man,
+		wal:      w,
+		origin:   man.baseVersion,
+		pending:  pending,
+		ovlCache: make(map[int][2]graph.EdgeList),
+	}
+	if err := s.gc(); err != nil {
+		w.close()
+		return nil, err
+	}
+	if len(pending) > 0 {
+		obs.RecoveredUpdates().Add(int64(len(pending)))
+	}
+	sp.SetAttr(obs.Int("transitions", man.transitions-man.baseVersion),
+		obs.Int("pending", len(pending)))
+	return s, nil
+}
+
+// gc removes files an interrupted write left behind: anything matching
+// the store's naming patterns that the manifest does not reference. Live
+// segments were fsynced before the manifest swap that referenced them,
+// so everything unreferenced is garbage by construction.
+func (s *Store) gc() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	live := map[string]bool{
+		manifestName:               true,
+		walName:                    true,
+		baseName(s.man.generation): true,
+	}
+	for t := s.man.baseVersion; t < s.man.transitions; t++ {
+		live[overlayName(t)] = true
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if live[name] {
+			continue
+		}
+		stale := name == manifestTmpName || name == walTmpName ||
+			(strings.HasSuffix(name, ".seg") &&
+				(strings.HasPrefix(name, "base-") || strings.HasPrefix(name, "ovl-")))
+		if !stale {
+			continue // not ours; leave it alone
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return syncDir(s.dir)
+}
+
+// NumVertices returns the store's vertex-space size.
+func (s *Store) NumVertices() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.vertices
+}
+
+// BaseVersion returns the absolute snapshot version the base segment
+// currently holds (it advances with compaction).
+func (s *Store) BaseVersion() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.baseVersion
+}
+
+// Origin returns the base version as of Open — the absolute snapshot
+// that an in-memory mirror loaded at open time calls version 0.
+func (s *Store) Origin() int { return s.origin }
+
+// Transitions returns the absolute transition count: overlays cover
+// [BaseVersion, Transitions).
+func (s *Store) Transitions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.transitions
+}
+
+// WALSeq returns the last raw-update sequence folded into a durable
+// overlay (the manifest's commit pointer).
+func (s *Store) WALSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.walSeq
+}
+
+// TakePending returns and clears the raw updates crash recovery found
+// above the commit pointer — the in-flight ingest window, for the
+// ingest layer to re-seed exactly once.
+func (s *Store) TakePending() []RawUpdate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.pending
+	s.pending = nil
+	return p
+}
+
+// Base returns the base snapshot's canonical edge list, loading the base
+// segment on first use. The result is immutable.
+func (s *Store) Base() (graph.EdgeList, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.baseLocked()
+}
+
+func (s *Store) baseLocked() (graph.EdgeList, error) {
+	if s.baseCache != nil {
+		return s.baseCache, nil
+	}
+	vertices, sections, err := readSegment(s.dir, baseName(s.man.generation), kindBase)
+	if err != nil {
+		return nil, err
+	}
+	if vertices != s.man.vertices || len(sections) != 1 {
+		return nil, fmt.Errorf("%w: base segment shape (%d vertices, %d sections)", ErrCorrupt, vertices, len(sections))
+	}
+	s.baseCache = sections[0]
+	return s.baseCache, nil
+}
+
+// Overlay returns transition t's Δ+/Δ− batches (absolute numbering),
+// loading the overlay segment on first use. The results are immutable.
+func (s *Store) Overlay(t int) (adds, dels graph.EdgeList, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.overlayLocked(t)
+}
+
+func (s *Store) overlayLocked(t int) (adds, dels graph.EdgeList, err error) {
+	if t < s.man.baseVersion || t >= s.man.transitions {
+		return nil, nil, fmt.Errorf("store: overlay %d out of range [%d,%d)", t, s.man.baseVersion, s.man.transitions)
+	}
+	if c, ok := s.ovlCache[t]; ok {
+		return c[0], c[1], nil
+	}
+	vertices, sections, err := readSegment(s.dir, overlayName(t), kindOverlay)
+	if err != nil {
+		return nil, nil, err
+	}
+	if vertices != s.man.vertices || len(sections) != 2 {
+		return nil, nil, fmt.Errorf("%w: overlay %d shape (%d vertices, %d sections)", ErrCorrupt, t, vertices, len(sections))
+	}
+	s.ovlCache[t] = [2]graph.EdgeList{sections[0], sections[1]}
+	return sections[0], sections[1], nil
+}
+
+// AppendBatch durably appends one transition: the overlay segment is
+// written and fsynced, then the manifest swap commits it together with
+// the WAL high-water mark upToSeq (0 keeps the current mark — the
+// ApplyUpdates path, which bypasses the WAL), then the WAL drops the
+// folded records. An empty batch pair advances only the commit pointer —
+// an ingest window that cancelled itself out still consumes its WAL
+// records.
+func (s *Store) AppendBatch(adds, dels graph.EdgeList, upToSeq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if !adds.IsCanonical() || !dels.IsCanonical() {
+		return fmt.Errorf("store: append batch: %w", graph.ErrNotCanonical)
+	}
+	man := s.man
+	if upToSeq == 0 {
+		upToSeq = man.walSeq
+	} else if upToSeq < man.walSeq {
+		return fmt.Errorf("store: append batch: seq %d behind commit pointer %d", upToSeq, man.walSeq)
+	}
+	if len(adds) > 0 || len(dels) > 0 {
+		if err := writeSegment(s.dir, overlayName(man.transitions), kindOverlay, man.vertices, adds, dels); err != nil {
+			return err
+		}
+		man.transitions++
+	}
+	man.walSeq = upToSeq
+	if err := swapManifest(s.dir, man); err != nil {
+		return err
+	}
+	if man.transitions > s.man.transitions {
+		s.ovlCache[s.man.transitions] = [2]graph.EdgeList{adds, dels}
+	}
+	s.man = man
+	return s.wal.commit(man.walSeq, man.vertices)
+}
+
+// Journal appends raw updates to the WAL, assigning their sequence
+// numbers in place, and fsyncs before returning.
+func (s *Store) Journal(us []RawUpdate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.wal.append(us)
+}
+
+// Snapshot materializes the store as an in-memory snapshot store whose
+// version 0 is the current base version (Origin for a freshly opened
+// store). All segments load here; a canonical-on-disk list is wrapped,
+// never re-sorted.
+func (s *Store) Snapshot() (*snapshot.Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base, err := s.baseLocked()
+	if err != nil {
+		return nil, err
+	}
+	width := s.man.transitions - s.man.baseVersion
+	adds := make([]graph.EdgeList, width)
+	dels := make([]graph.EdgeList, width)
+	for i := 0; i < width; i++ {
+		if adds[i], dels[i], err = s.overlayLocked(s.man.baseVersion + i); err != nil {
+			return nil, err
+		}
+	}
+	return snapshot.NewStoreFromTransitions(s.man.vertices, base, adds, dels)
+}
+
+// CompactTo folds overlays below the absolute version v into a new base
+// generation — the slide compaction: once a maintained window has moved
+// past those snapshots no query will ask for them, so their batches
+// collapse into the base and the folded segments are deleted. Live
+// segments are never mutated; the new base is a new file and the swap is
+// atomic. Safe to run concurrently with reads; the fold itself happens
+// outside the lock against immutable inputs.
+func (s *Store) CompactTo(v int) error {
+	if err := faults.Check(faults.StoreCompact); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	sp := obs.Env().StartSpan("store.compaction", obs.Int("to", v))
+	defer sp.End()
+
+	s.mu.Lock()
+	man := s.man
+	if v <= man.baseVersion {
+		s.mu.Unlock()
+		return nil // nothing to fold
+	}
+	if v > man.transitions {
+		s.mu.Unlock()
+		return fmt.Errorf("store: compact to %d beyond transitions %d", v, man.transitions)
+	}
+	cur, err := s.baseLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	type ovl struct{ adds, dels graph.EdgeList }
+	fold := make([]ovl, 0, v-man.baseVersion)
+	for t := man.baseVersion; t < v; t++ {
+		a, d, oerr := s.overlayLocked(t)
+		if oerr != nil {
+			s.mu.Unlock()
+			return oerr
+		}
+		fold = append(fold, ovl{a, d})
+	}
+	s.mu.Unlock()
+
+	// Fold outside the lock: inputs are immutable, set algebra over
+	// canonical lists stays canonical.
+	for _, o := range fold {
+		cur = graph.Union(graph.Minus(cur, o.dels), o.adds)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.man.generation != man.generation || s.man.baseVersion != man.baseVersion {
+		return fmt.Errorf("store: compaction raced another compaction (generation %d -> %d)",
+			man.generation, s.man.generation)
+	}
+	newMan := s.man
+	newMan.generation++
+	newMan.baseVersion = v
+	if err := writeSegment(s.dir, baseName(newMan.generation), kindBase, newMan.vertices, cur); err != nil {
+		return err
+	}
+	if err := swapManifest(s.dir, newMan); err != nil {
+		return err
+	}
+	oldGen, oldBase := s.man.generation, s.man.baseVersion
+	s.man = newMan
+	s.baseCache = cur
+	for t := oldBase; t < v; t++ {
+		delete(s.ovlCache, t)
+		os.Remove(segPath(s.dir, overlayName(t))) // best-effort; gc on next open
+	}
+	os.Remove(segPath(s.dir, baseName(oldGen)))
+	obs.Compactions().Inc()
+	sp.SetAttr(obs.Int("folded", v-oldBase), obs.Int("base_edges", len(cur)))
+	return nil
+}
+
+// Close releases the WAL file handle. Segments need no teardown.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.close()
+}

@@ -1,0 +1,76 @@
+package store
+
+import (
+	"encoding/binary"
+	"unsafe"
+
+	"commongraph/internal/graph"
+)
+
+// An edge record is 12 little-endian bytes: src u32, dst u32, w i32 —
+// exactly the memory layout of graph.Edge on a little-endian machine
+// (uint32, uint32, int32; no padding). On such machines a loaded segment
+// section is reinterpreted in place as a graph.EdgeList: the cold-open
+// cost of a segment is one bulk read, not a per-edge decode. Other
+// layouts fall back to an explicit decode loop.
+const edgeRecordSize = 12
+
+// hostIsViewCompatible reports whether graph.Edge's in-memory layout
+// matches the wire format byte for byte.
+var hostIsViewCompatible = func() bool {
+	if unsafe.Sizeof(graph.Edge{}) != edgeRecordSize {
+		return false
+	}
+	e := graph.Edge{Src: 0x01020304, Dst: 0x11121314, W: -2}
+	b := (*[edgeRecordSize]byte)(unsafe.Pointer(&e))
+	return binary.LittleEndian.Uint32(b[0:]) == 0x01020304 &&
+		binary.LittleEndian.Uint32(b[4:]) == 0x11121314 &&
+		int32(binary.LittleEndian.Uint32(b[8:])) == -2
+}()
+
+// edgesView interprets a section payload as an edge list. When the host
+// layout matches the wire format and the payload is aligned, the result
+// aliases b without copying; the caller must never write through it (the
+// same read-only contract canonical lists carry everywhere else).
+func edgesView(b []byte) (graph.EdgeList, error) {
+	if len(b)%edgeRecordSize != 0 {
+		return nil, ErrCorrupt
+	}
+	m := len(b) / edgeRecordSize
+	if m == 0 {
+		return graph.EdgeList{}, nil
+	}
+	if hostIsViewCompatible && uintptr(unsafe.Pointer(&b[0]))%unsafe.Alignof(graph.Edge{}) == 0 {
+		return unsafe.Slice((*graph.Edge)(unsafe.Pointer(&b[0])), m), nil
+	}
+	out := make(graph.EdgeList, m)
+	for i := 0; i < m; i++ {
+		r := b[i*edgeRecordSize:]
+		out[i] = graph.Edge{
+			Src: graph.VertexID(binary.LittleEndian.Uint32(r[0:])),
+			Dst: graph.VertexID(binary.LittleEndian.Uint32(r[4:])),
+			W:   graph.Weight(int32(binary.LittleEndian.Uint32(r[8:]))),
+		}
+	}
+	return out, nil
+}
+
+// appendEdges serializes edges onto buf in the wire format. On
+// view-compatible hosts this is one bulk copy of the backing array.
+func appendEdges(buf []byte, edges graph.EdgeList) []byte {
+	if len(edges) == 0 {
+		return buf
+	}
+	if hostIsViewCompatible {
+		raw := unsafe.Slice((*byte)(unsafe.Pointer(&edges[0])), len(edges)*edgeRecordSize)
+		return append(buf, raw...)
+	}
+	for _, e := range edges {
+		var r [edgeRecordSize]byte
+		binary.LittleEndian.PutUint32(r[0:], uint32(e.Src))
+		binary.LittleEndian.PutUint32(r[4:], uint32(e.Dst))
+		binary.LittleEndian.PutUint32(r[8:], uint32(int32(e.W)))
+		buf = append(buf, r[:]...)
+	}
+	return buf
+}

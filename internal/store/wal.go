@@ -1,0 +1,278 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"commongraph/internal/faults"
+	"commongraph/internal/graph"
+	"commongraph/internal/obs"
+)
+
+// The write-ahead log holds the raw add/delete stream of the current
+// ingest window. Records are fixed-size and individually checksummed:
+//
+//	header (16 bytes): magic u32 0xC6570AA1, version u32, vertices u32,
+//	                   reserved u32
+//	record (28 bytes): seq u64, op u8, pad u8×3, src u32, dst u32, w i32,
+//	                   crc32 u32 over the record's first 24 bytes
+//
+// Sequence numbers are monotonic over the store's lifetime and never
+// reused. The manifest's wal-seq is the durable commit pointer: records
+// at or below it are folded into overlay segments; records above it are
+// the pending window recovery re-seeds. A torn tail (short or
+// CRC-failing record) is physically truncated on open — those updates
+// were never acknowledged, losing them is the contract.
+const (
+	walMagic     = uint32(0xC6570AA1)
+	walVersion   = uint32(1)
+	walName      = "wal.log"
+	walTmpName   = "wal.tmp"
+	walHeaderLen = 16
+	walRecordLen = 28
+)
+
+// Raw-update operations, the WAL's vocabulary.
+const (
+	RawAdd byte = iota
+	RawDelete
+)
+
+// RawUpdate is one journaled stream event.
+type RawUpdate struct {
+	Seq  uint64
+	Op   byte
+	Edge graph.Edge
+}
+
+type wal struct {
+	dir     string
+	f       *os.File
+	nextSeq uint64
+	// tail mirrors the records above the manifest's commit pointer, so a
+	// commit can rewrite the file without re-reading it.
+	tail []RawUpdate
+}
+
+func walPath(dir string) string { return filepath.Join(dir, walName) }
+
+func encodeWALHeader(vertices int) []byte {
+	var h [walHeaderLen]byte
+	binary.LittleEndian.PutUint32(h[0:], walMagic)
+	binary.LittleEndian.PutUint32(h[4:], walVersion)
+	binary.LittleEndian.PutUint32(h[8:], uint32(vertices))
+	return h[:]
+}
+
+func encodeWALRecord(buf []byte, r RawUpdate) []byte {
+	var rec [walRecordLen]byte
+	binary.LittleEndian.PutUint64(rec[0:], r.Seq)
+	rec[8] = r.Op
+	binary.LittleEndian.PutUint32(rec[12:], uint32(r.Edge.Src))
+	binary.LittleEndian.PutUint32(rec[16:], uint32(r.Edge.Dst))
+	binary.LittleEndian.PutUint32(rec[20:], uint32(int32(r.Edge.W)))
+	binary.LittleEndian.PutUint32(rec[24:], crc32.ChecksumIEEE(rec[:24]))
+	return append(buf, rec[:]...)
+}
+
+// decodeWALRecord validates one record; ok is false for a torn or
+// corrupt record (the truncation point).
+func decodeWALRecord(b []byte) (RawUpdate, bool) {
+	if len(b) < walRecordLen {
+		return RawUpdate{}, false
+	}
+	if crc32.ChecksumIEEE(b[:24]) != binary.LittleEndian.Uint32(b[24:]) {
+		return RawUpdate{}, false
+	}
+	return RawUpdate{
+		Seq: binary.LittleEndian.Uint64(b[0:]),
+		Op:  b[8],
+		Edge: graph.Edge{
+			Src: graph.VertexID(binary.LittleEndian.Uint32(b[12:])),
+			Dst: graph.VertexID(binary.LittleEndian.Uint32(b[16:])),
+			W:   graph.Weight(int32(binary.LittleEndian.Uint32(b[20:]))),
+		},
+	}, true
+}
+
+// createWAL writes a fresh empty log (header only, fsynced).
+func createWAL(dir string, vertices int) (*wal, error) {
+	f, err := os.Create(walPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(encodeWALHeader(vertices)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{dir: dir, f: f, nextSeq: 1}, nil
+}
+
+// openWAL reads dir's log, truncates any torn tail in place, and returns
+// the log positioned for appends plus the records above committedSeq —
+// the pending window a crash left behind. Records at or below
+// committedSeq are dropped by an immediate rotation so the file never
+// accretes committed history across restarts.
+func openWAL(dir string, vertices int, committedSeq uint64) (*wal, []RawUpdate, error) {
+	data, err := os.ReadFile(walPath(dir))
+	if os.IsNotExist(err) {
+		w, cerr := createWAL(dir, vertices)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		w.nextSeq = committedSeq + 1
+		return w, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < walHeaderLen || binary.LittleEndian.Uint32(data) != walMagic {
+		return nil, nil, fmt.Errorf("store: %s: %w: bad header", walName, ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != walVersion {
+		return nil, nil, fmt.Errorf("store: %s: unsupported version %d", walName, v)
+	}
+	valid := walHeaderLen
+	var records []RawUpdate
+	for off := walHeaderLen; off < len(data); off += walRecordLen {
+		rec, ok := decodeWALRecord(data[off:])
+		if !ok {
+			break // torn tail: everything from here is discarded
+		}
+		records = append(records, rec)
+		valid = off + walRecordLen
+	}
+	truncated := len(data) - valid
+
+	w := &wal{dir: dir}
+	w.nextSeq = committedSeq + 1
+	var pending []RawUpdate
+	for _, r := range records {
+		if r.Seq > committedSeq {
+			pending = append(pending, r)
+		}
+		if r.Seq >= w.nextSeq {
+			w.nextSeq = r.Seq + 1
+		}
+	}
+	w.tail = append([]RawUpdate(nil), pending...)
+	// Rewrite the log down to the pending window (also dropping the torn
+	// tail). Rotation is atomic: tmp, fsync, rename.
+	if err := w.rotate(vertices); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(walPath(dir), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.f = f
+	if truncated > 0 {
+		obs.WALTruncations().Inc()
+	}
+	return w, pending, nil
+}
+
+// append journals updates (assigning their sequence numbers in place)
+// and fsyncs before returning — the durability point the ingest contract
+// ("acknowledged means replayable") depends on.
+func (w *wal) append(us []RawUpdate) error {
+	if err := faults.Check(faults.StoreWALAppend); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	sp := obs.Env().StartSpan("store.wal_append", obs.Int("records", len(us)))
+	defer sp.End()
+	buf := make([]byte, 0, walRecordLen*len(us))
+	for i := range us {
+		us[i].Seq = w.nextSeq
+		w.nextSeq++
+		buf = encodeWALRecord(buf, us[i])
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.tail = append(w.tail, us...)
+	obs.WALAppends().Inc()
+	obs.WALBytes().Add(int64(len(buf)))
+	return nil
+}
+
+// commit drops records at or below seq from the in-memory tail and
+// rewrites the log to just the remainder. The caller has already moved
+// the manifest's wal-seq; a crash before the rewrite merely leaves
+// committed records in the file, which the next open drops.
+func (w *wal) commit(seq uint64, vertices int) error {
+	if err := faults.Check(faults.StoreWALRotate); err != nil {
+		return fmt.Errorf("store: wal rotate: %w", err)
+	}
+	keep := w.tail[:0]
+	for _, r := range w.tail {
+		if r.Seq > seq {
+			keep = append(keep, r)
+		}
+	}
+	w.tail = keep
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	if err := w.rotate(vertices); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(walPath(w.dir), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	return nil
+}
+
+// rotate rewrites the log file to header + tail, atomically.
+func (w *wal) rotate(vertices int) error {
+	buf := encodeWALHeader(vertices)
+	for _, r := range w.tail {
+		buf = encodeWALRecord(buf, r)
+	}
+	tmp := filepath.Join(w.dir, walTmpName)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, walPath(w.dir)); err != nil {
+		return err
+	}
+	return syncDir(w.dir)
+}
+
+func (w *wal) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -1,0 +1,237 @@
+package commongraph
+
+import (
+	"fmt"
+	"sync"
+
+	"commongraph/internal/graph"
+	"commongraph/internal/ingest"
+	"commongraph/internal/store"
+)
+
+// GraphStore binds an EvolvingGraph to a durable on-disk store: every
+// accepted transition is committed to disk (binary segments plus an
+// ingest write-ahead log) before the in-memory graph advances, so a
+// crash at any point reopens to a consistent prefix of the accepted
+// history. See DESIGN.md "Persistence" for the on-disk protocol.
+type GraphStore struct {
+	g *EvolvingGraph
+	s *store.Store
+
+	mu         sync.Mutex
+	pending    []ingest.Update // in-flight window recovered from the WAL
+	pendingSeq uint64          // journal sequence of pending[0]
+	ingesting  bool
+	// compactMu serializes background compactions so successive window
+	// slides fold in order instead of aborting each other.
+	compactMu sync.Mutex
+}
+
+// Persist writes the graph's entire current history (base snapshot plus
+// every transition) into dir as a new durable store and returns the
+// bound handle. The directory must not already hold a store. From then
+// on, mutations should go through the returned GraphStore so disk and
+// memory stay in lockstep.
+func (g *EvolvingGraph) Persist(dir string) (*GraphStore, error) {
+	base, err := g.store.GetVersion(0)
+	if err != nil {
+		return nil, err
+	}
+	s, err := store.Create(dir, g.NumVertices(), base)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < g.NumSnapshots()-1; t++ {
+		adds := g.store.Additions(t).Edges()
+		dels := g.store.Deletions(t).Edges()
+		if err := s.AppendBatch(adds, dels, 0); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("commongraph: persist transition %d: %w", t, err)
+		}
+	}
+	return &GraphStore{g: g, s: s}, nil
+}
+
+// OpenStore opens the durable store at dir, running crash recovery
+// (torn segment and WAL tails are discarded, the in-flight ingest
+// window is recovered), and materializes its snapshots as the bound
+// EvolvingGraph. The graph's snapshot 0 is the store's oldest retained
+// snapshot (compaction folds older ones away); Origin reports its
+// absolute version.
+func OpenStore(dir string) (*GraphStore, error) {
+	s, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	gs := &GraphStore{g: FromStore(snap), s: s}
+	if raw := s.TakePending(); len(raw) > 0 {
+		gs.pendingSeq = raw[0].Seq
+		gs.pending = make([]ingest.Update, len(raw))
+		for i, r := range raw {
+			op := ingest.Add
+			if r.Op == store.RawDelete {
+				op = ingest.Delete
+			}
+			gs.pending[i] = ingest.Update{Op: op, Edge: r.Edge}
+		}
+	}
+	return gs, nil
+}
+
+// OpenEvolvingGraph loads the store at dir read-only: the materialized
+// graph is returned and the store handle is closed. Updates applied to
+// the returned graph are not persisted; use OpenStore to keep writing.
+func OpenEvolvingGraph(dir string) (*EvolvingGraph, error) {
+	gs, err := OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	g := gs.Graph()
+	if err := gs.Close(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Graph returns the bound in-memory graph. Evaluations read it
+// directly; mutations must go through the GraphStore.
+func (gs *GraphStore) Graph() *EvolvingGraph { return gs.g }
+
+// Origin returns the absolute version number of the bound graph's
+// snapshot 0 — nonzero once compaction has folded old snapshots away.
+func (gs *GraphStore) Origin() int { return gs.s.Origin() }
+
+// Acknowledged returns the journal sequence of the last raw update
+// durably folded into a snapshot (the WAL commit pointer). Together with
+// Recovered it tells a resuming producer where to restart after a crash:
+// updates with sequence at or below Acknowledged are inside snapshots,
+// the next Recovered updates replay automatically into the first
+// Ingestor, and everything later was never acknowledged and must be
+// re-sent.
+func (gs *GraphStore) Acknowledged() uint64 { return gs.s.WALSeq() }
+
+// Recovered reports how many raw updates of an in-flight ingest window
+// crash recovery found; they replay into the first Ingestor created.
+func (gs *GraphStore) Recovered() int {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return len(gs.pending)
+}
+
+// ApplyUpdates is EvolvingGraph.ApplyUpdates with durability: the
+// transition is validated against the latest snapshot, committed to
+// disk, and only then applied in memory. The returned version is the
+// in-memory index; add Origin for the absolute version.
+func (gs *GraphStore) ApplyUpdates(additions, deletions []Edge) (version int, err error) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.commit(graph.EdgeList(additions).Clone().Canonicalize(),
+		graph.EdgeList(deletions).Clone().Canonicalize(), 0)
+}
+
+// commit is the single write path: dry-run validate against memory,
+// commit durably, then mutate memory. Disk leads memory, so an
+// acknowledged transition is always on disk, and a crash between the
+// two steps reopens with the transition present — never half-applied.
+// adds and dels must be canonical. A lastSeq > 0 also advances the WAL
+// commit pointer (the journaled ingest path); empty batches then still
+// commit, consuming a cancelled window's WAL records.
+func (gs *GraphStore) commit(adds, dels graph.EdgeList, lastSeq uint64) (int, error) {
+	if len(adds) == 0 && len(dels) == 0 {
+		if lastSeq > 0 {
+			return 0, gs.s.AppendBatch(nil, nil, lastSeq)
+		}
+		return 0, fmt.Errorf("commongraph: empty update batch")
+	}
+	if err := gs.g.store.CheckBatch(adds, dels); err != nil {
+		return 0, err
+	}
+	if err := gs.s.AppendBatch(adds, dels, lastSeq); err != nil {
+		return 0, err
+	}
+	return gs.g.store.NewVersion(adds, dels)
+}
+
+// Ingestor returns a durable stream front-end: every raw update is
+// appended to the store's WAL (fsynced) before it is acknowledged, and
+// each closed window commits as one transition. If crash recovery found
+// an in-flight window, it replays into this batcher first — the batcher
+// resumes exactly where the crashed process stopped. At most one
+// Ingestor may be active per GraphStore.
+func (gs *GraphStore) Ingestor(batchSize int) (*Ingestor, error) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.ingesting {
+		return nil, fmt.Errorf("commongraph: store already has an active ingestor")
+	}
+	b, err := ingest.NewJournaledBatcher(func(adds, dels graph.EdgeList, lastSeq uint64) error {
+		gs.mu.Lock()
+		defer gs.mu.Unlock()
+		_, err := gs.commit(adds, dels, lastSeq)
+		return err
+	}, batchSize, journal{gs.s})
+	if err != nil {
+		return nil, err
+	}
+	if len(gs.pending) > 0 {
+		pending, seq := gs.pending, gs.pendingSeq
+		gs.pending, gs.pendingSeq = nil, 0
+		// Seed without holding gs.mu: a recovered window that closes
+		// immediately commits through the sink above.
+		gs.mu.Unlock()
+		err := b.Seed(seq, pending...)
+		gs.mu.Lock()
+		if err != nil {
+			return nil, fmt.Errorf("commongraph: replay recovered window: %w", err)
+		}
+	}
+	gs.ingesting = true
+	return &Ingestor{b: b, release: func() {
+		gs.mu.Lock()
+		gs.ingesting = false
+		gs.mu.Unlock()
+	}}, nil
+}
+
+// journal adapts the durable store's WAL to the ingest.Journal hook.
+type journal struct{ s *store.Store }
+
+func (j journal) Append(updates []ingest.Update) (uint64, error) {
+	raw := make([]store.RawUpdate, len(updates))
+	for i, u := range updates {
+		op := store.RawAdd
+		if u.Op == ingest.Delete {
+			op = store.RawDelete
+		}
+		raw[i] = store.RawUpdate{Op: op, Edge: u.Edge}
+	}
+	if err := j.s.Journal(raw); err != nil {
+		return 0, err
+	}
+	return raw[len(raw)-1].Seq, nil
+}
+
+// Compact folds all snapshots below the given in-memory version into
+// the store's base segment — the slide compaction: once a maintained
+// window has moved past those snapshots, no query will ask for them.
+// The in-memory graph keeps its full loaded history (its indices do not
+// shift); the fold takes effect at the next OpenStore. Live segments
+// are never mutated; a crash mid-compaction reopens on the old base.
+func (gs *GraphStore) Compact(beforeVersion int) error {
+	gs.compactMu.Lock()
+	defer gs.compactMu.Unlock()
+	return gs.s.CompactTo(gs.s.Origin() + beforeVersion)
+}
+
+// Close releases the store's file handles. The in-memory graph remains
+// usable for evaluation.
+func (gs *GraphStore) Close() error {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.s.Close()
+}

@@ -30,6 +30,14 @@ type Watcher struct {
 	mu    sync.RWMutex
 	m     *core.MaintainedRep
 	retry RetryPolicy
+
+	// Slide persistence (PersistMaintenance): after the window moves
+	// forward, snapshots behind it fold into the durable store's base
+	// segment in the background.
+	persist        *GraphStore
+	bg             sync.WaitGroup
+	compactErrMu   sync.Mutex
+	lastCompactErr error
 }
 
 // RetryPolicy bounds the watcher's automatic retry of transient
@@ -91,6 +99,30 @@ func (w *Watcher) Advance() error { return w.maintain("advance", (*core.Maintain
 // maintained window back to its pre-Slide state.
 func (w *Watcher) Slide() error { return w.maintain("slide", (*core.MaintainedRep).Slide) }
 
+// PersistMaintenance ties the watcher's window to a durable store: each
+// time Advance or Slide moves the window start forward, the snapshots
+// the window left behind are folded into the store's base segment by a
+// background compaction (no query will ask for them again — the slide
+// compaction of DESIGN.md "Persistence"). The watcher's graph should be
+// the store's bound graph. WaitCompaction blocks until queued folds
+// finish and reports the most recent failure.
+func (w *Watcher) PersistMaintenance(gs *GraphStore) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.persist = gs
+}
+
+// WaitCompaction blocks until all background slide compactions queued so
+// far complete, returning the most recent compaction error (compaction
+// failures never affect the in-memory window, so maintenance itself does
+// not surface them).
+func (w *Watcher) WaitCompaction() error {
+	w.bg.Wait()
+	w.compactErrMu.Lock()
+	defer w.compactErrMu.Unlock()
+	return w.lastCompactErr
+}
+
 // maintain runs one maintenance step under the write lock, retrying
 // transient failures per the watcher's policy. Maintenance steps swap the
 // representation pointer only on success (Slide rolls back internally),
@@ -124,6 +156,17 @@ func (w *Watcher) maintain(kind string, step func(*core.MaintainedRep) error) er
 			obs.MaintenanceOps(kind).Inc()
 			win := w.m.Window()
 			sp.SetAttr(obs.Int("from", win.From), obs.Int("to", win.To))
+			if w.persist != nil && (kind == "advance" || kind == "slide") {
+				w.bg.Add(1)
+				go func(gs *GraphStore, before int) {
+					defer w.bg.Done()
+					if cerr := gs.Compact(before); cerr != nil {
+						w.compactErrMu.Lock()
+						w.lastCompactErr = cerr
+						w.compactErrMu.Unlock()
+					}
+				}(w.persist, win.From)
+			}
 			return nil
 		}
 		if !faults.IsTransient(err) {
