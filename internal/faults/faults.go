@@ -51,11 +51,14 @@ const (
 	// update window compacts and hands off to the sink.
 	IngestWindowClose Point = "ingest.window-close"
 	// The durable-store write boundaries (internal/store), in protocol
-	// order: a raw-update journal append, an overlay/base segment write,
-	// the atomic manifest swap, the post-commit WAL rotation, and the
-	// background compaction fold. The crash-recovery matrix kills the
-	// store at each of these and reopens.
+	// order: a raw-update journal append (before the write), the fsync of
+	// that write (after bytes are in the file but before they are
+	// acknowledged), an overlay/base segment write, the atomic manifest
+	// swap, the post-commit WAL rotation, and the background compaction
+	// fold. The crash-recovery matrix kills the store at each of these
+	// and reopens.
 	StoreWALAppend    Point = "store.wal-append"
+	StoreWALSync      Point = "store.wal-sync"
 	StoreSegmentWrite Point = "store.segment-write"
 	StoreManifestSwap Point = "store.manifest-swap"
 	StoreWALRotate    Point = "store.wal-rotate"
@@ -68,7 +71,7 @@ func Points() []Point {
 	return []Point{
 		StoreNewVersion, CoreEngineRun, CoreOverlayBuild, CoreSubtreeWalk,
 		CoreMaintainAppend, CoreMaintainAdvance, IngestWindowClose,
-		StoreWALAppend, StoreSegmentWrite, StoreManifestSwap,
+		StoreWALAppend, StoreWALSync, StoreSegmentWrite, StoreManifestSwap,
 		StoreWALRotate, StoreCompact,
 	}
 }

@@ -251,6 +251,18 @@ func (b *Batcher) Close() error {
 // Pending reports how many raw updates await the next batch boundary.
 func (b *Batcher) Pending() int { return len(b.pending) }
 
+// PendingWindow returns the journal sequence of the first pending update
+// and a copy of the pending window — updates that were journaled
+// (accepted) but not yet emitted. The batcher retains the window across
+// emit failures, so after a failed Seed or Flush the owner can capture
+// exactly what still needs replaying and seed a fresh batcher with it.
+func (b *Batcher) PendingWindow() (firstSeq uint64, updates []Update) {
+	if len(b.pending) == 0 {
+		return 0, nil
+	}
+	return b.baseSeq, append([]Update(nil), b.pending...)
+}
+
 func (b *Batcher) emit(updates []Update) error {
 	// Fault-injection point: window close is the batcher's hand-off
 	// boundary. It fires before compaction, so a failed close leaves the

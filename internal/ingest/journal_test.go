@@ -183,6 +183,55 @@ func TestSeedReplaysWithoutRejournaling(t *testing.T) {
 	}
 }
 
+// TestPendingWindowExposesRetainedTail: PendingWindow must hand back
+// exactly the journaled-but-unemitted window (and its first sequence) so
+// an owner can restore replay state after a failed Seed — including after
+// a sink failure, when the batcher retains the failed window.
+func TestPendingWindowExposesRetainedTail(t *testing.T) {
+	sinkErr := errors.New("sink down")
+	fail := true
+	sink := func(adds, dels graph.EdgeList, lastSeq uint64) error {
+		if fail {
+			return sinkErr
+		}
+		return nil
+	}
+	b, err := NewJournaledBatcher(sink, 2, &memJournal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, us := b.PendingWindow(); seq != 0 || us != nil {
+		t.Fatalf("empty batcher PendingWindow = (%d, %v)", seq, us)
+	}
+	if err := b.Push(Update{Add, e(0, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if seq, us := b.PendingWindow(); seq != 1 || len(us) != 1 {
+		t.Fatalf("PendingWindow = (%d, %d updates), want (1, 1)", seq, len(us))
+	}
+	// The second push fills the window; the sink failure retains it.
+	if err := b.Push(Update{Add, e(1, 2, 1)}); !errors.Is(err, sinkErr) {
+		t.Fatalf("push with failing sink = %v", err)
+	}
+	seq, us := b.PendingWindow()
+	if seq != 1 || len(us) != 2 {
+		t.Fatalf("retained window = (%d, %d updates), want (1, 2)", seq, len(us))
+	}
+	// A fresh batcher seeded with the captured window replays it.
+	fail = false
+	var got []window
+	b2, err := NewJournaledBatcher(collector(&got), 2, &memJournal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Seed(seq, us...); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].lastSeq != 2 || len(got[0].adds) != 2 {
+		t.Fatalf("replayed window = %+v", got)
+	}
+}
+
 func TestSeedRequiresJournaledBatcher(t *testing.T) {
 	b, err := NewBatcher(func(_, _ graph.EdgeList) error { return nil }, 2)
 	if err != nil {

@@ -30,6 +30,7 @@ const (
 	helpWALAppends  = "Durable-store WAL append calls (each is one fsync)."
 	helpWALBytes    = "Bytes appended to the durable-store WAL."
 	helpWALTrunc    = "WAL torn tails truncated during crash recovery."
+	helpWALTrimFail = "Post-commit WAL rotations that failed after the manifest swap (tolerated; stale records drop on the next rotation or open)."
 	helpSegWrites   = "Durable-store segments written (base + overlay)."
 	helpSegBytes    = "Bytes written into durable-store segments."
 	helpSegLoads    = "Durable-store segments loaded from disk."
@@ -120,6 +121,13 @@ func WALBytes() *Counter {
 // WALTruncations counts torn WAL tails dropped during recovery.
 func WALTruncations() *Counter {
 	return Default().Counter("commongraph_store_wal_truncations_total", helpWALTrunc)
+}
+
+// WALTrimFailures counts post-commit WAL rotations that failed after the
+// manifest swap already committed the transition — tolerated, but a
+// signal the log is accreting until the next successful rotation or open.
+func WALTrimFailures() *Counter {
+	return Default().Counter("commongraph_store_wal_trim_failures_total", helpWALTrimFail)
 }
 
 // SegmentWrites counts durable-store segment files written.

@@ -276,7 +276,18 @@ func (s *Store) AppendBatch(adds, dels graph.EdgeList, upToSeq uint64) error {
 		s.ovlCache[s.man.transitions] = [2]graph.EdgeList{adds, dels}
 	}
 	s.man = man
-	return s.wal.commit(man.walSeq, man.vertices)
+	if err := s.wal.commit(man.walSeq, man.vertices); err != nil {
+		// The manifest swap above was the durable commit point; the batch
+		// IS committed, so this must not surface as an AppendBatch error —
+		// a caller treating it as a failed append would retry and commit
+		// the same transition twice. The rotation is only space
+		// reclamation: records at or below the commit pointer are dropped
+		// by the next rotation or open regardless. Count it and move on;
+		// if the log became unusable, the next Journal call reports it.
+		obs.WALTrimFailures().Inc()
+		obs.Env().Event("store.wal_trim_failed", obs.String("error", err.Error()))
+	}
+	return nil
 }
 
 // Journal appends raw updates to the WAL, assigning their sequence

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -55,6 +56,18 @@ type wal struct {
 	// tail mirrors the records above the manifest's commit pointer, so a
 	// commit can rewrite the file without re-reading it.
 	tail []RawUpdate
+	// poisoned is set when a failed write could not be rolled back: the
+	// file no longer provably matches the in-memory state, so every
+	// further write is refused until a reopen re-reads the file.
+	poisoned error
+}
+
+// check refuses writes on a poisoned log.
+func (w *wal) check() error {
+	if w.poisoned == nil {
+		return nil
+	}
+	return fmt.Errorf("store: wal unusable after earlier write failure (reopen the store to resume): %w", w.poisoned)
 }
 
 func walPath(dir string) string { return filepath.Join(dir, walName) }
@@ -143,6 +156,13 @@ func openWAL(dir string, vertices int, committedSeq uint64) (*wal, []RawUpdate, 
 	if v := binary.LittleEndian.Uint32(data[4:]); v != walVersion {
 		return nil, nil, fmt.Errorf("store: %s: unsupported version %d", walName, v)
 	}
+	if got := binary.LittleEndian.Uint32(data[8:]); got != uint32(vertices) {
+		// A structurally valid log from a different store (wrong vertex
+		// space) would replay edges against the wrong graph; reject it
+		// here rather than letting out-of-range edges surface later.
+		return nil, nil, fmt.Errorf("store: %s: %w: header vertices %d, manifest has %d",
+			walName, ErrCorrupt, got, vertices)
+	}
 	valid := walHeaderLen
 	var records []RawUpdate
 	for off := walHeaderLen; off < len(data); off += walRecordLen {
@@ -185,13 +205,26 @@ func openWAL(dir string, vertices int, committedSeq uint64) (*wal, []RawUpdate, 
 
 // append journals updates (assigning their sequence numbers in place)
 // and fsyncs before returning — the durability point the ingest contract
-// ("acknowledged means replayable") depends on.
+// ("acknowledged means replayable") depends on. Append is all-or-nothing:
+// a failed write or sync rolls the log back to its pre-append state (the
+// file is truncated to its prior length, the sequence counter rewinds),
+// so a retried append reissues the same sequences instead of leaving a
+// gap, and no partially-written or unacknowledged record survives to be
+// replayed. If the rollback itself fails the log is poisoned (see check).
 func (w *wal) append(us []RawUpdate) error {
+	if err := w.check(); err != nil {
+		return err
+	}
 	if err := faults.Check(faults.StoreWALAppend); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	sp := obs.Env().StartSpan("store.wal_append", obs.Int("records", len(us)))
 	defer sp.End()
+	st, err := w.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	preSize, preSeq := st.Size(), w.nextSeq
 	buf := make([]byte, 0, walRecordLen*len(us))
 	for i := range us {
 		us[i].Seq = w.nextSeq
@@ -199,10 +232,16 @@ func (w *wal) append(us []RawUpdate) error {
 		buf = encodeWALRecord(buf, us[i])
 	}
 	if _, err := w.f.Write(buf); err != nil {
-		return err
+		return w.undoAppend(preSize, preSeq, err)
+	}
+	// Kill point between write and fsync: bytes may already be in the
+	// file but the records were never acknowledged — the rollback below
+	// must remove them just like a short write.
+	if err := faults.Check(faults.StoreWALSync); err != nil {
+		return w.undoAppend(preSize, preSeq, fmt.Errorf("store: wal sync: %w", err))
 	}
 	if err := w.f.Sync(); err != nil {
-		return err
+		return w.undoAppend(preSize, preSeq, err)
 	}
 	w.tail = append(w.tail, us...)
 	obs.WALAppends().Inc()
@@ -210,11 +249,41 @@ func (w *wal) append(us []RawUpdate) error {
 	return nil
 }
 
+// undoAppend restores the log after a failed append: the file shrinks
+// back to its pre-append length (removing partial or synced-but-unacked
+// bytes of the failed batch) and the sequence counter rewinds. It returns
+// cause — the original failure — and poisons the log if the restore
+// cannot be completed.
+func (w *wal) undoAppend(preSize int64, preSeq uint64, cause error) error {
+	w.nextSeq = preSeq
+	if err := w.f.Truncate(preSize); err != nil {
+		w.poisoned = fmt.Errorf("append failed (%v); rollback truncate failed: %w", cause, err)
+		return cause
+	}
+	// Not every handle is O_APPEND (createWAL's is not); reset the offset
+	// so the next write lands at the restored end instead of past it.
+	if _, err := w.f.Seek(preSize, io.SeekStart); err != nil {
+		w.poisoned = fmt.Errorf("append failed (%v); rollback seek failed: %w", cause, err)
+		return cause
+	}
+	if err := w.f.Sync(); err != nil {
+		w.poisoned = fmt.Errorf("append failed (%v); rollback sync failed: %w", cause, err)
+	}
+	return cause
+}
+
 // commit drops records at or below seq from the in-memory tail and
 // rewrites the log to just the remainder. The caller has already moved
-// the manifest's wal-seq; a crash before the rewrite merely leaves
-// committed records in the file, which the next open drops.
+// the manifest's wal-seq — the durable commit point — so the rewrite is
+// space reclamation, not correctness: a crash (or failure) before it
+// merely leaves committed records in the file, which the next rotation
+// or open drops by sequence. On a failed rewrite commit therefore falls
+// back to reopening the existing file for append, keeping journaling
+// alive; only if that too fails is the log poisoned.
 func (w *wal) commit(seq uint64, vertices int) error {
+	if err := w.check(); err != nil {
+		return err
+	}
 	if err := faults.Check(faults.StoreWALRotate); err != nil {
 		return fmt.Errorf("store: wal rotate: %w", err)
 	}
@@ -229,15 +298,17 @@ func (w *wal) commit(seq uint64, vertices int) error {
 		w.f.Close()
 		w.f = nil
 	}
-	if err := w.rotate(vertices); err != nil {
-		return err
-	}
+	rerr := w.rotate(vertices)
 	f, err := os.OpenFile(walPath(w.dir), os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
-		return err
+		if rerr == nil {
+			rerr = err
+		}
+		w.poisoned = fmt.Errorf("post-commit rotation failed: %w", rerr)
+		return rerr
 	}
 	w.f = f
-	return nil
+	return rerr
 }
 
 // rotate rewrites the log file to header + tail, atomically.

@@ -1,9 +1,12 @@
 package store
 
 import (
+	"errors"
 	"os"
+	"strings"
 	"testing"
 
+	"commongraph/internal/faults"
 	"commongraph/internal/graph"
 )
 
@@ -135,6 +138,114 @@ func TestWALTornTailMatrix(t *testing.T) {
 			t.Fatalf("cut at %d bytes: second open sees %d records, want %d", cut, len(pending2), wantRecs+1)
 		}
 		again.close()
+	}
+}
+
+// TestWALAppendFailureRollsBack kills an append between its write and
+// its fsync: the failed batch's bytes (already in the file) must be
+// truncated away and the sequence counter rewound, so the retried append
+// reissues the same sequences and the log never holds a gap or an
+// unacknowledged record.
+func TestWALAppendFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	w, err := createWAL(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(walRecords(2)); err != nil {
+		t.Fatal(err)
+	}
+	disarm := faults.Arm(&faults.Plan{Specs: []faults.Spec{{Point: faults.StoreWALSync, Times: 1}}})
+	failed := walRecords(3)
+	err = w.append(failed)
+	disarm()
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("append did not fail with the injected fault: %v", err)
+	}
+	if st, serr := w.f.Stat(); serr != nil || st.Size() != int64(walHeaderLen+2*walRecordLen) {
+		t.Fatalf("failed batch's bytes survived in the file (size %d, err %v)", st.Size(), serr)
+	}
+	// The retry reuses the failed batch's sequences.
+	retry := walRecords(3)
+	if err := w.append(retry); err != nil {
+		t.Fatal(err)
+	}
+	if retry[0].Seq != 3 || retry[2].Seq != 5 {
+		t.Fatalf("retried append got seqs %d..%d, want 3..5", retry[0].Seq, retry[2].Seq)
+	}
+	w.close()
+	r, pending, err := openWAL(dir, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	if len(pending) != 5 {
+		t.Fatalf("reopen sees %d records, want 5", len(pending))
+	}
+	for i, p := range pending {
+		if p.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d; the rollback left a gap or duplicate", i, p.Seq)
+		}
+	}
+}
+
+// TestWALPoisonedAfterFailedRollback forces both the append and its
+// rollback to fail (the handle is read-only, so write and truncate both
+// error): the log must refuse every further write until a reopen.
+func TestWALPoisonedAfterFailedRollback(t *testing.T) {
+	dir := t.TempDir()
+	w, err := createWAL(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(walRecords(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.f.Close()
+	ro, err := os.Open(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.f = ro
+	if err := w.append(walRecords(1)); err == nil {
+		t.Fatal("append through a read-only handle succeeded")
+	}
+	if w.poisoned == nil {
+		t.Fatal("failed rollback did not poison the log")
+	}
+	if err := w.append(walRecords(1)); err == nil || !strings.Contains(err.Error(), "reopen") {
+		t.Fatalf("poisoned append error = %v, want a reopen hint", err)
+	}
+	if err := w.commit(1, 16); err == nil {
+		t.Fatal("poisoned commit succeeded")
+	}
+	w.close()
+	// A reopen re-reads the file and recovers: record 1 is intact.
+	r, pending, err := openWAL(dir, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+	if len(pending) != 1 || pending[0].Seq != 1 {
+		t.Fatalf("reopen after poison recovered %+v, want just record 1", pending)
+	}
+}
+
+// TestWALVertexMismatchRejected: a structurally valid log copied in from
+// a store with a different vertex space must be rejected at open, not
+// replayed against the wrong graph.
+func TestWALVertexMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := createWAL(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append(walRecords(2)); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	if _, _, err := openWAL(dir, 32, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open with mismatched vertex count = %v, want ErrCorrupt", err)
 	}
 }
 

@@ -178,6 +178,10 @@ func (gs *GraphStore) Ingestor(batchSize int) (*Ingestor, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Reserve the slot before dropping the lock for Seed, so a concurrent
+	// Ingestor call cannot slip in mid-replay and hand out a second
+	// active ingestor.
+	gs.ingesting = true
 	if len(gs.pending) > 0 {
 		pending, seq := gs.pending, gs.pendingSeq
 		gs.pending, gs.pendingSeq = nil, 0
@@ -187,10 +191,14 @@ func (gs *GraphStore) Ingestor(batchSize int) (*Ingestor, error) {
 		err := b.Seed(seq, pending...)
 		gs.mu.Lock()
 		if err != nil {
+			// The batcher retains whatever it could not commit; copy that
+			// back so a retried Ingestor replays it instead of durably
+			// losing updates Recovered() promised were replayable.
+			gs.pendingSeq, gs.pending = b.PendingWindow()
+			gs.ingesting = false
 			return nil, fmt.Errorf("commongraph: replay recovered window: %w", err)
 		}
 	}
-	gs.ingesting = true
 	return &Ingestor{b: b, release: func() {
 		gs.mu.Lock()
 		gs.ingesting = false

@@ -206,6 +206,7 @@ func TestDurableIngestCrashReplayMatrix(t *testing.T) {
 	want := referenceGraph(t, 4)
 	after := map[faults.Point]int{
 		faults.StoreWALAppend:    13, // mid-stream push (one append per push)
+		faults.StoreWALSync:      13, // post-write fsync of the same append
 		faults.StoreSegmentWrite: 4,  // segment writes: one per non-empty window
 		faults.StoreManifestSwap: 3,  // swaps: one per committed window
 		faults.StoreWALRotate:    5,  // rotations: one per committed window
@@ -233,9 +234,31 @@ func TestDurableIngestCrashReplayMatrix(t *testing.T) {
 					break
 				}
 			}
+			fired := faults.Hits(p) > skip
 			disarm()
 			if failedAt < 0 {
-				t.Fatalf("point %s never fired", p)
+				// The post-commit WAL rotation is the one boundary whose
+				// failure never surfaces: the manifest swap had already
+				// durably committed the window, so the push succeeds and
+				// the stream runs to completion.
+				if p != faults.StoreWALRotate || !fired {
+					t.Fatalf("point %s never fired", p)
+				}
+				if err := in.Close(); err != nil {
+					t.Fatal(err)
+				}
+				sameFinalSnapshot(t, gs.Graph(), want, "live graph after tolerated trim failure")
+				gs.Close()
+				r, err := OpenStore(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Close()
+				if got := int(r.Acknowledged()) + r.Recovered(); got != len(script()) {
+					t.Fatalf("resume position %d after tolerated trim failure, want %d", got, len(script()))
+				}
+				sameFinalSnapshot(t, r.Graph(), want, "reopened graph after tolerated trim failure")
+				return
 			}
 			gs.Close() // the crash: only the directory survives
 
@@ -278,6 +301,70 @@ func TestDurableIngestCrashReplayMatrix(t *testing.T) {
 			}
 			sameFinalSnapshot(t, final, want, "final reopen")
 		})
+	}
+}
+
+// TestIngestorSeedFailureRetainsRecovered: if replaying the recovered
+// window into a fresh ingestor fails (here: the segment write of the
+// window's commit), the recovered updates must survive in the GraphStore
+// so a retried Ingestor replays them — Recovered() promised they were
+// replayable, and dropping them would durably lose acknowledged updates.
+func TestIngestorSeedFailureRetainsRecovered(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	gs, err := New(64, nil).Persist(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := gs.Ingestor(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Edge{Src: 0, Dst: 1, W: 1}
+	b := Edge{Src: 1, Dst: 2, W: 2}
+	if err := in.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	gs.Close() // crash mid-window: both updates are journaled, not committed
+
+	r, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Recovered() != 2 {
+		t.Fatalf("recovered %d updates, want 2", r.Recovered())
+	}
+	// Batch size 2 closes the recovered window inside Seed; the injected
+	// segment-write failure aborts its commit.
+	disarm := faults.Arm(&faults.Plan{Specs: []faults.Spec{{Point: faults.StoreSegmentWrite, Times: 1}}})
+	_, err = r.Ingestor(2)
+	disarm()
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Ingestor with failing seed = %v, want the injected fault", err)
+	}
+	if r.Recovered() != 2 {
+		t.Fatalf("failed seed dropped the recovered window: Recovered() = %d, want 2", r.Recovered())
+	}
+	// The failed attempt released the slot; the retry replays the window.
+	rin, err := r.Ingestor(2)
+	if err != nil {
+		t.Fatalf("retried Ingestor: %v", err)
+	}
+	if err := rin.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Recovered() != 0 || r.Acknowledged() != 2 {
+		t.Fatalf("after retry: Recovered()=%d Acknowledged()=%d, want 0 and 2", r.Recovered(), r.Acknowledged())
+	}
+	last, err := r.Graph().Snapshot(r.Graph().NumSnapshots() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(last) != 2 || last[0] != a || last[1] != b {
+		t.Fatalf("replayed snapshot %v, want [%v %v]", last, a, b)
 	}
 }
 
