@@ -13,7 +13,7 @@ PERF_STORE_BASELINE ?= bench/store-PR5.txt
 PERF_STORE_OUT ?= /tmp/store-perf.txt
 PERF_COUNT ?= 5
 
-.PHONY: all build test race vet fuzz-smoke chaos bench-json metrics-smoke obs-bench perf-smoke store-crash ci
+.PHONY: all build test race vet check sarif fuzz-smoke chaos bench-json metrics-smoke obs-bench perf-smoke store-crash ci
 
 all: build vet test
 
@@ -30,11 +30,23 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # vet = the standard toolchain vet plus cgvet, the repo's own
-# invariant-checking analyzers (CSR immutability, lock discipline,
-# engine-state write sites, determinism). Both must be clean.
+# invariant-checking analyzers (seven syntactic + the v2 flow tier:
+# goleak, ctxflow, atomicguard, errflow, plus ignore hygiene). Both must
+# be clean; cgvet gates on .cgvet.baseline.json, so only *fresh*
+# findings fail.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/cgvet ./...
+
+# check = the full static gate: compile, toolchain vet, cgvet. This is
+# what the dedicated CI cgvet job runs before producing the SARIF report.
+check: build vet
+
+# sarif renders the cgvet findings as SARIF 2.1.0 (cgvet.sarif) for
+# GitHub code-scanning upload. The file is written even when findings
+# exist — the exit status still reflects them.
+sarif:
+	$(GO) run ./cmd/cgvet -sarif ./... > cgvet.sarif
 
 # Short deterministic fuzz of the graph ingest paths (text + binary) and
 # the engine differential oracle (every scheduler variant vs reference.go
@@ -105,4 +117,4 @@ store-crash:
 	$(GO) test -race ./internal/store -count=1 -run 'KillPoint|TornTail|Corrupt|Recovery'
 	$(GO) test -race . -count=1 -run 'TestDurableIngestCrashReplayMatrix|TestDurableIngestMatchesInMemory|TestPersistReopenDifferential|TestWatcherPersistCompaction'
 
-ci: build vet test race fuzz-smoke chaos metrics-smoke store-crash
+ci: check test race fuzz-smoke chaos metrics-smoke store-crash

@@ -1,19 +1,25 @@
 // Command cgvet runs CommonGraph's invariant-checking static-analysis
-// suite (internal/analysis) over the module: the mutation-free CSR
-// contract, engine-state monotonicity, goroutine lock discipline,
-// determinism of the algorithm/representation layers, and observability
-// discipline (library packages report through internal/obs, never by
-// printing to the terminal).
+// suite (internal/analysis) over the module: the syntactic tier (the
+// mutation-free CSR contract, engine-state monotonicity, lock
+// discipline, determinism, observability discipline) and the flow tier
+// (goroutine termination, context propagation, atomic/plain access
+// contracts, durability error flow), plus an auditor that rejects
+// unjustified //cgvet:ignore suppressions.
 //
 // Usage:
 //
 //	go run ./cmd/cgvet ./...              # whole module (what CI runs)
 //	go run ./cmd/cgvet ./internal/core    # one package
 //	go run ./cmd/cgvet -json ./...        # machine-readable findings
+//	go run ./cmd/cgvet -sarif ./...       # SARIF 2.1.0 for code scanning
 //	go run ./cmd/cgvet -list              # describe the analyzers
 //
-// Exit status: 0 when clean, 1 when any analyzer reported a finding,
-// 2 on load/internal errors — the shape CI gates expect.
+// Findings present in the baseline ledger (.cgvet.baseline.json at the
+// module root; override with -baseline) are reported as accepted and do
+// not fail the run; -write-baseline regenerates the ledger from the
+// current findings. Exit status: 0 when clean (or all findings
+// baselined), 1 on any new finding, 2 on load/internal errors — the
+// shape CI gates expect.
 package main
 
 import (
@@ -27,16 +33,21 @@ import (
 	"commongraph/internal/analysis"
 )
 
+const baselineName = ".cgvet.baseline.json"
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit new findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit new findings as SARIF 2.1.0")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	baselinePath := flag.String("baseline", "", "baseline ledger path (default <module root>/"+baselineName+")")
+	writeBaseline := flag.Bool("write-baseline", false, "accept all current findings into the baseline and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cgvet [-json] [-list] [packages]\n\n"+
+		fmt.Fprintf(os.Stderr, "usage: cgvet [-json|-sarif] [-baseline file] [-write-baseline] [-list] [packages]\n\n"+
 			"Runs CommonGraph's repo-specific analyzers. Package patterns are\n"+
 			"module-relative (./..., ./internal/graph, ./internal/...); with no\n"+
 			"pattern the whole module is checked.\n\nAnalyzers:\n")
 		for _, a := range analysis.All {
-			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-15s [%-7s] %s\n", a.Name, sevOf(a), a.Doc)
 		}
 		flag.PrintDefaults()
 	}
@@ -44,9 +55,13 @@ func main() {
 
 	if *list {
 		for _, a := range analysis.All {
-			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %-7s %s\n", a.Name, sevOf(a), a.Doc)
 		}
 		return
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "cgvet: -json and -sarif are mutually exclusive")
+		os.Exit(2)
 	}
 
 	root, err := findModuleRoot()
@@ -66,25 +81,64 @@ func main() {
 	}
 
 	diags := analysis.RunAnalyzers(pkgs, analysis.All)
-	relativize(diags)
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []analysis.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+
+	bpath := *baselinePath
+	if bpath == "" {
+		bpath = filepath.Join(root, baselineName)
+	}
+	if *writeBaseline {
+		if err := analysis.WriteBaseline(bpath, diags, root); err != nil {
 			fmt.Fprintln(os.Stderr, "cgvet:", err)
 			os.Exit(2)
 		}
-	} else {
-		for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "cgvet: wrote %d finding(s) to %s\n", len(diags), bpath)
+		return
+	}
+	baseline, err := analysis.LoadBaseline(bpath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgvet:", err)
+		os.Exit(2)
+	}
+	fresh, accepted := baseline.Filter(diags, root)
+
+	switch {
+	case *sarifOut:
+		out, err := analysis.SARIF(fresh, analysis.All, root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cgvet:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(append(out, '\n'))
+	case *jsonOut:
+		relativize(fresh)
+		if fresh == nil {
+			fresh = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "cgvet:", err)
+			os.Exit(2)
+		}
+	default:
+		relativize(fresh)
+		for _, d := range fresh {
 			fmt.Println(d)
 		}
 	}
-	if len(diags) > 0 {
+	if len(accepted) > 0 {
+		fmt.Fprintf(os.Stderr, "cgvet: %d baselined finding(s) suppressed (see %s)\n", len(accepted), bpath)
+	}
+	if len(fresh) > 0 {
 		os.Exit(1)
 	}
+}
+
+func sevOf(a *analysis.Analyzer) analysis.Severity {
+	if a.Severity == "" {
+		return analysis.SevError
+	}
+	return a.Severity
 }
 
 // findModuleRoot walks up from the working directory to the nearest

@@ -195,7 +195,7 @@ func (o Options) engine() engine.Options {
 // dereference somewhere down the stack.
 func (o Options) context() context.Context {
 	if o.Context == nil {
-		return context.Background()
+		return context.Background() //cgvet:ignore ctxflow -- the documented nil-Options.Context meaning is "never cancelled"; this helper is the single place that decision lives
 	}
 	return o.Context
 }
@@ -317,7 +317,7 @@ type Request struct {
 // cancellation is not needed.
 func (g *EvolvingGraph) Run(ctx context.Context, req Request) (*Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //cgvet:ignore ctxflow -- nil-ctx compatibility shim; callers with a real context pass it through
 	}
 	opt := req.Options
 	opt.Context = ctx

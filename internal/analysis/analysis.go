@@ -10,8 +10,10 @@
 //
 //	//cgvet:ignore lockdiscipline -- index-disjoint writes, one k per goroutine
 //
-// Omitting the analyzer list suppresses every analyzer on that line; a
-// trailing "-- reason" is encouraged and ignored by the parser.
+// Omitting the analyzer list suppresses every analyzer on that line. The
+// trailing "-- reason" (an em dash "—" works too) is mandatory: the
+// ignorehygiene analyzer turns a bare ignore into a finding that no
+// suppression can silence.
 package analysis
 
 import (
@@ -23,11 +25,23 @@ import (
 	"strings"
 )
 
+// Severity classifies a finding: errors are invariant violations that
+// must be fixed or justified; warnings flag contract drift worth a look
+// but tolerable in a pinch. Both fail cgvet unless baselined — severity
+// feeds reporting (SARIF level, sorted output), not the exit code.
+type Severity string
+
+const (
+	SevError   Severity = "error"
+	SevWarning Severity = "warning"
+)
+
 // Diagnostic is one finding: a position, the analyzer that produced it,
-// and a human-readable message.
+// its severity, and a human-readable message.
 type Diagnostic struct {
 	Pos      token.Position `json:"pos"`
 	Analyzer string         `json:"analyzer"`
+	Severity Severity       `json:"severity"`
 	Message  string         `json:"message"`
 }
 
@@ -48,22 +62,34 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	sev := p.Analyzer.Severity
+	if sev == "" {
+		sev = SevError
+	}
 	p.report(Diagnostic{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
+		Severity: sev,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
 // Analyzer is one named invariant check.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name     string
+	Doc      string
+	Severity Severity // default SevError
+	Run      func(*Pass)
 }
 
-// All is the cgvet suite, in reporting order.
-var All = []*Analyzer{CSRImmutable, LockDiscipline, StateWrite, Determinism, GoPanic, ObsDiscipline, CloseCheck}
+// All is the cgvet suite, in reporting order: the syntactic tier first,
+// then the flow tier (goleak, ctxflow, atomicguard, errflow — built on
+// the CFG in flow.go), then the suppression auditor.
+var All = []*Analyzer{
+	CSRImmutable, LockDiscipline, StateWrite, Determinism, GoPanic, ObsDiscipline, CloseCheck,
+	GoLeak, CtxFlow, AtomicGuard, ErrFlow,
+	IgnoreHygiene,
+}
 
 // ByName returns the analyzer with the given name, or nil.
 func ByName(name string) *Analyzer {
@@ -91,7 +117,9 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Info:     pkg.Info,
 				Pkg:      pkg.Types,
 				report: func(d Diagnostic) {
-					if !sup.suppresses(d) {
+					// ignorehygiene audits the suppressions themselves; a bare
+					// ignore must not be able to silence it.
+					if d.Analyzer == IgnoreHygiene.Name || !sup.suppresses(d) {
 						diags = append(diags, d)
 					}
 				},
@@ -148,10 +176,11 @@ func collectSuppressions(pkg *Package) suppressions {
 				if text == strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) {
 					continue // directive absent
 				}
-				// Drop an optional "-- reason" tail, then split names.
-				if i := strings.Index(text, "--"); i >= 0 {
-					text = text[:i]
-				}
+				// Drop the "-- reason" tail ("—" accepted too), then split
+				// names. The reason is mandatory — ignorehygiene flags bare
+				// directives — but this parser stays lenient so a bare ignore
+				// still suppresses while its own finding surfaces.
+				text, _ = splitIgnoreReason(text)
 				pos := pkg.Fset.Position(c.Pos())
 				lines := sup[pos.Filename]
 				if lines == nil {

@@ -21,13 +21,13 @@ func collectWants(pkg *Package) map[wantKey][]*regexp.Regexp {
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+				// A comment may hold several expectations: want `a` want `b`
+				// (analyzers can report twice on one line).
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					k := wantKey{file: pos.Filename, line: pos.Line}
+					wants[k] = append(wants[k], regexp.MustCompile(m[1]))
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				k := wantKey{file: pos.Filename, line: pos.Line}
-				wants[k] = append(wants[k], regexp.MustCompile(m[1]))
 			}
 		}
 	}

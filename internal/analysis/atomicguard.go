@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicGuard polices the engine's mixed-access contracts: a word that is
+// CASed by concurrent workers in one function and read or written plainly
+// in another is either a data race or a carefully phase-separated design
+// (the frontier's trySet/adopt contract, State's quiescent clone). The
+// analyzer cannot tell which — but it can force the design to say so.
+//
+// Per package it collects every location accessed through sync/atomic
+// (atomic.LoadUint64(&s.f[i]), atomic.AddUint32(&s.g), including through
+// a local alias w := &s.f[i]) and every plain element access of the same
+// location (s.f[i] reads/writes, `for _, w := range s.f`, copy(dst, s.f)).
+// A location with both kinds gets one diagnostic at its declaration,
+// naming the functions on each side; the fix is either making the plain
+// side atomic or documenting the phase contract on the declaration with
+// //cgvet:ignore atomicguard -- <the contract>.
+//
+// Tracked locations are struct fields and defined slice types (methods on
+// `type bitset []uint64`). The typed atomics (atomic.Int64 & friends)
+// need no guard: their plain accesses do not compile.
+var AtomicGuard = &Analyzer{
+	Name:     "atomicguard",
+	Doc:      "flag words accessed both through sync/atomic and plainly; mixed access needs a documented phase contract",
+	Severity: SevError,
+	Run:      runAtomicGuard,
+}
+
+// atomicTarget is one trackable location: a struct field or a defined
+// slice type whose elements are the shared words.
+type atomicTarget struct {
+	obj  types.Object // *types.Var (field) or *types.TypeName (defined slice)
+	decl token.Pos    // where to report and where the ignore lives
+}
+
+type accessRecord struct {
+	target  atomicTarget
+	atomics map[string]bool // function names with atomic access
+	plains  map[string]bool // function names with plain element access
+}
+
+func runAtomicGuard(pass *Pass) {
+	records := make(map[types.Object]*accessRecord)
+	rec := func(t atomicTarget, fn string, atomic bool) {
+		r := records[t.obj]
+		if r == nil {
+			r = &accessRecord{target: t, atomics: make(map[string]bool), plains: make(map[string]bool)}
+			records[t.obj] = r
+		}
+		if atomic {
+			r.atomics[fn] = true
+		} else {
+			r.plains[fn] = true
+		}
+	}
+	forEachFunc(pass.Files, func(fd *ast.FuncDecl) {
+		scanFuncAccesses(pass, fd, rec)
+	})
+	for _, r := range records {
+		if len(r.atomics) == 0 || len(r.plains) == 0 {
+			continue
+		}
+		pass.Reportf(r.target.decl,
+			"%s accessed through sync/atomic in [%s] but plainly in [%s]; make the plain side atomic or document the phase contract with //cgvet:ignore atomicguard -- <contract>",
+			targetName(r.target.obj), funcNames(r.atomics, 4), funcNames(r.plains, 4))
+	}
+}
+
+// scanFuncAccesses classifies every access in one function. Aliases are
+// resolved first (w := &s.f[i] makes w stand for s.f's elements), then
+// each expression is attributed.
+func scanFuncAccesses(pass *Pass, fd *ast.FuncDecl, rec func(atomicTarget, string, bool)) {
+	fn := fd.Name.Name
+	aliases, aliasExprs := collectAliases(pass, fd.Body)
+
+	// Pass 1: atomic accesses — arguments of sync/atomic calls.
+	atomicArgs := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSyncAtomicCall(pass.Info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			arg = ast.Unparen(arg)
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				atomicArgs[u.X] = true
+				if t, ok := resolveTarget(pass, u.X); ok {
+					rec(t, fn, true)
+				}
+				continue
+			}
+			if id, ok := arg.(*ast.Ident); ok {
+				if base, ok := aliases[identObj(pass, id)]; ok {
+					rec(base, fn, true)
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: plain element accesses — index reads/writes, element-wise
+	// range, copy, and dereference of a tracked alias.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.IndexExpr:
+			if atomicArgs[st] || aliasExprs[st] || withinAtomicArg(atomicArgs, st) {
+				return true
+			}
+			if t, ok := resolveTarget(pass, st); ok {
+				rec(t, fn, false)
+			}
+		case *ast.StarExpr:
+			if id, ok := ast.Unparen(st.X).(*ast.Ident); ok {
+				if base, ok := aliases[identObj(pass, id)]; ok {
+					rec(base, fn, false)
+				}
+			}
+		case *ast.RangeStmt:
+			if st.Value != nil && st.Value.(*ast.Ident).Name != "_" {
+				if t, ok := resolveSliceTarget(pass, st.X); ok {
+					rec(t, fn, false)
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass.Info, st, "copy") {
+				for _, arg := range st.Args {
+					if t, ok := resolveSliceTarget(pass, arg); ok {
+						rec(t, fn, false)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// collectAliases maps local pointer variables to the target they alias
+// (w := &s.f[i] or w := &s.f), and records the aliased expressions so
+// the plain-access scan does not count the definition itself.
+func collectAliases(pass *Pass, body *ast.BlockStmt) (map[types.Object]atomicTarget, map[ast.Expr]bool) {
+	aliases := make(map[types.Object]atomicTarget)
+	aliasExprs := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			u, ok := ast.Unparen(rhs).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			t, ok := resolveTarget(pass, u.X)
+			if !ok {
+				continue
+			}
+			if obj := identObj(pass, as.Lhs[i]); obj != nil {
+				aliases[obj] = t
+				aliasExprs[u.X] = true
+			}
+		}
+		return true
+	})
+	return aliases, aliasExprs
+}
+
+// withinAtomicArg reports whether e sits inside an expression already
+// attributed as an atomic argument (&s.f[i] contains the IndexExpr
+// s.f[i]; counting it again as plain would always self-flag).
+func withinAtomicArg(atomicArgs map[ast.Expr]bool, e ast.Expr) bool {
+	for arg := range atomicArgs {
+		if arg.Pos() <= e.Pos() && e.End() <= arg.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveTarget maps an lvalue expression to its tracked location:
+// s.f[i] / s.f → field f; b[i] where b has a defined slice type → that
+// type.
+func resolveTarget(pass *Pass, e ast.Expr) (atomicTarget, bool) {
+	e = ast.Unparen(e)
+	if idx, ok := e.(*ast.IndexExpr); ok {
+		if sel, ok := ast.Unparen(idx.X).(*ast.SelectorExpr); ok {
+			if f := fieldSel(pass.Info, sel); f != nil && f.Pkg() == pass.Pkg {
+				return atomicTarget{obj: f, decl: f.Pos()}, true
+			}
+		}
+		return namedSliceTarget(pass, idx.X)
+	}
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if f := fieldSel(pass.Info, sel); f != nil && f.Pkg() == pass.Pkg {
+			return atomicTarget{obj: f, decl: f.Pos()}, true
+		}
+	}
+	return atomicTarget{}, false
+}
+
+// resolveSliceTarget maps a slice-valued expression (range/copy operand)
+// to a tracked location.
+func resolveSliceTarget(pass *Pass, e ast.Expr) (atomicTarget, bool) {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if f := fieldSel(pass.Info, sel); f != nil && f.Pkg() == pass.Pkg {
+			return atomicTarget{obj: f, decl: f.Pos()}, true
+		}
+	}
+	return namedSliceTarget(pass, e)
+}
+
+// namedSliceTarget resolves an expression of a package-local defined
+// slice type to that type's object.
+func namedSliceTarget(pass *Pass, e ast.Expr) (atomicTarget, bool) {
+	tv, ok := pass.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return atomicTarget{}, false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return atomicTarget{}, false
+	}
+	if _, isSlice := named.Underlying().(*types.Slice); !isSlice {
+		return atomicTarget{}, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() != pass.Pkg {
+		return atomicTarget{}, false
+	}
+	return atomicTarget{obj: obj, decl: obj.Pos()}, true
+}
+
+// isSyncAtomicCall matches top-level sync/atomic functions (the typed
+// atomics are methods and inherently guarded).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// targetName renders a target (with its verb) for messages.
+func targetName(obj types.Object) string {
+	switch obj.(type) {
+	case *types.TypeName:
+		return "elements of type " + obj.Name() + " are"
+	default:
+		return "field " + obj.Name() + " is"
+	}
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the checked-in ledger of accepted findings: CI fails only
+// on findings *not* in the ledger, so a new analyzer (or a newly
+// sharpened one) can land without blocking on a flag day. Entries are
+// keyed by analyzer + module-relative file + message — deliberately not
+// by line, so unrelated edits above a baselined site do not resurrect
+// it. Every entry is a debt: the PR adding one justifies it, and the
+// repo's goal state is an empty ledger.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // module-relative, slash-separated
+	Message  string `json:"message"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline, not an error (the common case for a clean repo).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// Filter splits diagnostics into the ones absent from the baseline (new,
+// actionable) and the ones it accepts. root anchors module-relative file
+// keys.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (fresh, accepted []Diagnostic) {
+	known := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		known[e.key()] = true
+	}
+	for _, d := range diags {
+		if known[diagEntry(d, root).key()] {
+			accepted = append(accepted, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, accepted
+}
+
+// WriteBaseline persists the given findings as the new ledger, sorted
+// and deduplicated for stable diffs.
+func WriteBaseline(path string, diags []Diagnostic, root string) error {
+	seen := make(map[string]bool)
+	b := Baseline{Version: 1, Findings: []BaselineEntry{}}
+	for _, d := range diags {
+		e := diagEntry(d, root)
+		if !seen[e.key()] {
+			seen[e.key()] = true
+			b.Findings = append(b.Findings, e)
+		}
+	}
+	sort.Slice(b.Findings, func(i, j int) bool { return b.Findings[i].key() < b.Findings[j].key() })
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func diagEntry(d Diagnostic, root string) BaselineEntry {
+	return BaselineEntry{
+		Analyzer: d.Analyzer,
+		File:     moduleRel(root, d.Pos.Filename),
+		Message:  d.Message,
+	}
+}
+
+// moduleRel renders filename relative to the module root with forward
+// slashes — the stable, machine-independent spelling baselines and SARIF
+// share.
+func moduleRel(root, filename string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the cancellation contract PR2 threaded through the
+// evaluators: once a context reaches a function, it must keep flowing —
+// a callee that accepts a context gets the caller's ctx (possibly
+// derived), never a fresh context.Background()/TODO() or a nil that
+// silently severs the cancellation chain. And the chain must start
+// somewhere real: library packages may not mint root contexts at all;
+// only commands, examples, and explicitly justified lifecycle roots
+// (//cgvet:ignore ctxflow -- <why this is a root>) may call
+// context.Background()/TODO().
+//
+// Checks, in order of the message they produce:
+//
+//  1. root contexts: context.Background()/context.TODO() in a library
+//     package;
+//  2. severed flow: a call argument in ctx-accepting position that is
+//     context.Background(), context.TODO(), or nil while a ctx parameter
+//     is in scope;
+//  3. unchecked spin: an unconditional `for {}` inside a function with a
+//     ctx parameter whose loop body never consults ctx (no Done/Err, no
+//     forwarding call) — cancellation can never interrupt it.
+var CtxFlow = &Analyzer{
+	Name:     "ctxflow",
+	Doc:      "contexts must flow: no Background()/TODO() in libraries, no severing an in-scope ctx, no ctx-blind spin loops",
+	Severity: SevWarning,
+	Run:      runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	library := true
+	for _, seg := range printAllowedSegments {
+		if hasSegment(pass.Path, seg) {
+			library = false
+		}
+	}
+	for _, file := range pass.Files {
+		if library {
+			reportRootContexts(pass, file)
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObj := ctxParam(pass, fd.Type)
+			if ctxObj == nil {
+				continue
+			}
+			checkCtxFlowBody(pass, fd.Body, ctxObj)
+		}
+	}
+}
+
+// reportRootContexts flags every context.Background()/TODO() call in the
+// file (rule 1).
+func reportRootContexts(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := rootContextCall(pass.Info, call); ok {
+			pass.Reportf(call.Pos(),
+				"context.%s() mints a root context in library package %s; accept a ctx from the caller (a justified lifecycle root uses //cgvet:ignore ctxflow -- <why>)",
+				name, pass.Path)
+		}
+		return true
+	})
+}
+
+// checkCtxFlowBody applies rules 2 and 3 inside one ctx-taking function.
+// Nested function literals are included: they capture ctx and run on the
+// same request path.
+func checkCtxFlowBody(pass *Pass, body *ast.BlockStmt, ctxObj types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			checkCtxArgs(pass, st)
+		case *ast.ForStmt:
+			if st.Cond == nil && !mentionsObjOrCtxCall(pass, st.Body, ctxObj) {
+				pass.Reportf(st.Pos(),
+					"unbounded loop in a ctx-taking function never consults ctx; check ctx.Err() (or select on ctx.Done()) so cancellation can interrupt it")
+			}
+		}
+		return true
+	})
+}
+
+// checkCtxArgs flags Background/TODO/nil passed where the callee accepts
+// a context (rule 2). The ctx parameter being in scope is the caller's
+// whole point: the severed chain is always a bug or needs a reason.
+func checkCtxArgs(pass *Pass, call *ast.CallExpr) {
+	sig := calleeSignature(pass.Info, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break // variadic tail cannot be a context in practice
+		}
+		if !isContextType(sig.Params().At(i).Type()) {
+			continue
+		}
+		if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			if name, isRoot := rootContextCall(pass.Info, inner); isRoot {
+				pass.Reportf(arg.Pos(),
+					"ctx is in scope but context.%s() is passed to %s; forward ctx (or derive with context.With*)",
+					name, calleeName(pass.Info, call))
+			}
+			continue
+		}
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && id.Name == "nil" {
+			if _, isNil := pass.Info.Uses[id].(*types.Nil); isNil {
+				pass.Reportf(arg.Pos(),
+					"ctx is in scope but nil is passed as the context to %s; forward ctx",
+					calleeName(pass.Info, call))
+			}
+		}
+	}
+}
+
+// ctxParam returns the object of the function's context.Context
+// parameter, or nil.
+func ctxParam(pass *Pass, ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// mentionsObjOrCtxCall reports whether the node references the ctx object
+// at all — a Done/Err check, a forwarding call, even a derived context
+// all count as "cancellation can reach this loop".
+func mentionsObjOrCtxCall(pass *Pass, n ast.Node, ctxObj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == ctxObj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rootContextCall matches context.Background() / context.TODO().
+func rootContextCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "context" {
+		return "", false
+	}
+	if f.Name() == "Background" || f.Name() == "TODO" {
+		return f.Name(), true
+	}
+	return "", false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// calleeSignature resolves the static signature of a call, nil for
+// builtins and type conversions.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// calleeName renders the callee for messages ("core.DirectHop", "run").
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "the callee"
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// flowSrc is a dependency-free package exercising the CFG builder and
+// its two queries directly.
+const flowSrc = `package flowtest
+
+func produce() (int, error) { return 0, nil }
+func sink(err error)        {}
+
+func deadAssign() error {
+	_, err := produce()
+	_, err = produce()
+	return err
+}
+
+func liveAssign() error {
+	_, err := produce()
+	sink(err)
+	_, err = produce()
+	return err
+}
+
+func branchRead(use bool) error {
+	_, err := produce()
+	if use {
+		sink(err)
+	}
+	_, err = produce()
+	return err
+}
+
+func closureRead() error {
+	_, err := produce()
+	f := func() { sink(err) }
+	f()
+	_, err = produce()
+	return err
+}
+
+func spin() {
+	for {
+	}
+}
+
+func spinWithBreak(stop bool) {
+	for {
+		if stop {
+			break
+		}
+	}
+}
+
+func spinWithSelect(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		}
+	}
+}
+
+func condLoop(n int) {
+	for i := 0; i < n; i++ {
+	}
+}
+
+func earlyReturn(fail bool) {
+	if fail {
+		return
+	}
+	sink(nil)
+}
+
+func allPaths(fail bool) {
+	if fail {
+		sink(nil)
+		return
+	}
+	sink(nil)
+}
+
+func panicPath(fail bool) {
+	if fail {
+		panic("boom")
+	}
+	sink(nil)
+}
+`
+
+func parseFlowSrc(t *testing.T) (map[string]*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flowtest.go", flowSrc, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("flowtest", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	fns := make(map[string]*ast.FuncDecl)
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fns[fd.Name.Name] = fd
+		}
+	}
+	return fns, info
+}
+
+// firstErrAssign returns the function's first assignment statement and
+// the object its `err` target resolves to.
+func firstErrAssign(t *testing.T, info *types.Info, fd *ast.FuncDecl) (*ast.AssignStmt, types.Object) {
+	t.Helper()
+	var as *ast.AssignStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as != nil {
+			return false
+		}
+		if a, ok := n.(*ast.AssignStmt); ok {
+			as = a
+			return false
+		}
+		return true
+	})
+	if as == nil {
+		t.Fatal("no assignment found")
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "err" {
+			if obj := info.Defs[id]; obj != nil {
+				return as, obj
+			}
+			if obj := info.Uses[id]; obj != nil {
+				return as, obj
+			}
+		}
+	}
+	t.Fatal("no err target in first assignment")
+	return nil, nil
+}
+
+func TestValueReaches(t *testing.T) {
+	fns, info := parseFlowSrc(t)
+	cases := []struct {
+		fn   string
+		want bool
+	}{
+		{"deadAssign", false}, // overwritten before any read
+		{"liveAssign", true},  // read by sink before the overwrite
+		{"branchRead", true},  // read on one branch is enough
+		{"closureRead", true}, // capture by a func literal counts
+	}
+	for _, c := range cases {
+		fd := fns[c.fn]
+		g := buildFlow(fd.Body, info)
+		as, obj := firstErrAssign(t, info, fd)
+		if got := g.valueReaches(as, obj); got != c.want {
+			t.Errorf("%s: valueReaches = %v, want %v", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestLoopExits(t *testing.T) {
+	fns, info := parseFlowSrc(t)
+	cases := []struct {
+		fn   string
+		want bool
+	}{
+		{"spin", false},
+		{"spinWithBreak", true},
+		{"spinWithSelect", true}, // return inside a select case leaves the loop
+		{"condLoop", true},       // a condition can become false
+	}
+	for _, c := range cases {
+		fd := fns[c.fn]
+		g := buildFlow(fd.Body, info)
+		var loop ast.Stmt
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				if loop == nil {
+					loop = n.(ast.Stmt)
+				}
+			}
+			return true
+		})
+		if loop == nil {
+			t.Fatalf("%s: no loop found", c.fn)
+		}
+		if got := g.loopExits[loop]; got != c.want {
+			t.Errorf("%s: loopExits = %v, want %v", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestAllPathsHit(t *testing.T) {
+	fns, info := parseFlowSrc(t)
+	callsSink := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "sink" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	cases := []struct {
+		fn   string
+		want bool
+	}{
+		{"earlyReturn", false}, // the fail branch returns without sink
+		{"allPaths", true},
+		{"panicPath", false}, // the panic path leaves without sink (a panic unwind skips it)
+	}
+	for _, c := range cases {
+		fd := fns[c.fn]
+		g := buildFlow(fd.Body, info)
+		if got := g.allPathsHit(callsSink); got != c.want {
+			t.Errorf("%s: allPathsHit = %v, want %v", c.fn, got, c.want)
+		}
+	}
+}

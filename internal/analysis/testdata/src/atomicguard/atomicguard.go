@@ -1,0 +1,62 @@
+// Fixture for the atomicguard analyzer: words reached both through
+// sync/atomic and by plain access must be flagged at their declaration;
+// all-atomic and all-plain locations stay quiet.
+package atomicguard
+
+import "sync/atomic"
+
+type frontier struct {
+	bits []uint64 // want `field bits is accessed through sync/atomic in \[trySet\] but plainly in \[setSeq\]`
+	seen []uint64
+	hits []uint64
+}
+
+// trySet publishes through CAS, via a local alias of the word.
+func (f *frontier) trySet(v uint32) bool {
+	w := &f.bits[v>>6]
+	mask := uint64(1) << (v & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// setSeq writes the same words plainly — the mixed access under test.
+func (f *frontier) setSeq(v uint32) {
+	f.bits[v>>6] |= uint64(1) << (v & 63)
+}
+
+// seen is atomic on both sides: clean.
+func (f *frontier) mark(v uint32) {
+	atomic.StoreUint64(&f.seen[v>>6], 1)
+}
+
+func (f *frontier) marked(v uint32) bool {
+	return atomic.LoadUint64(&f.seen[v>>6]) != 0
+}
+
+// hits is plain on both sides: clean.
+func (f *frontier) hit(v uint32) {
+	f.hits[v>>6]++
+}
+
+func (f *frontier) hitCount(v uint32) uint64 {
+	return f.hits[v>>6]
+}
+
+type words []uint64 // want `elements of type words are accessed through sync/atomic in \[load\] but plainly in \[reset\]`
+
+func (ws words) load(i int) uint64 {
+	return atomic.LoadUint64(&ws[i])
+}
+
+func (ws words) reset() {
+	for i := range ws {
+		ws[i] = 0
+	}
+}

@@ -1,0 +1,54 @@
+// Fixture for the ctxflow analyzer: root contexts minted in a library,
+// in-scope contexts severed by Background/TODO/nil, and ctx-blind spin
+// loops. Loaded under a library path by the test; under cmd/ the
+// root-context rule goes quiet while the flow rules stay on.
+package ctxflow
+
+import "context"
+
+func use(ctx context.Context)         { _ = ctx }
+func pair(n int, ctx context.Context) { _, _ = n, ctx }
+
+func mint() {
+	ctx := context.Background() // want `mints a root context`
+	use(ctx)
+}
+
+func forward(ctx context.Context) {
+	use(ctx)
+}
+
+func derive(ctx context.Context) {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	use(c)
+}
+
+func sever(ctx context.Context) {
+	use(context.Background()) // want `mints a root context` want `is passed to use`
+}
+
+func severTODO(ctx context.Context) {
+	pair(1, context.TODO()) // want `mints a root context` want `is passed to pair`
+}
+
+func severNil(ctx context.Context) {
+	use(nil) // want `nil is passed as the context to use`
+}
+
+func spin(ctx context.Context) {
+	for { // want `never consults ctx`
+		step()
+	}
+}
+
+func checkpointed(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		step()
+	}
+}
+
+func step() {}

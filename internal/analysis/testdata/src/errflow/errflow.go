@@ -1,0 +1,79 @@
+// Fixture for the errflow analyzer: durability errors (write, sync,
+// truncate, close, rename) must reach a return, a poison/rollback path,
+// or a metric. Error-branch cleanup closes, read-only defer-closes, and
+// named-result assignments are the sanctioned quiet shapes.
+package errflow
+
+import "os"
+
+func drop(f *os.File) {
+	f.Sync() // want `error from f.Sync is silently dropped`
+}
+
+func blank(f *os.File) {
+	_ = f.Close() // want `error from f.Close is discarded with _`
+}
+
+func cleanup(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // quiet: cleanup on the error path; the write error propagates
+		return err
+	}
+	return f.Close()
+}
+
+func dead(f *os.File) error {
+	err := f.Sync() // want `assigned to err but never consulted`
+	err = f.Close()
+	return err
+}
+
+func deferOnWritten(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close on f loses the close error`
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func deferOnReadOnly(path string) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close() // quiet: read-only handle, the close error carries nothing
+	return f.Seek(0, 2)
+}
+
+func deferPlusChecked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // quiet: panic-safety only, the success path checks Close below
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func namedResult(f *os.File) (err error) {
+	err = f.Sync() // quiet: named result rides out on any return
+	return
+}
+
+func renameAndPrune(dir string) error {
+	if err := os.Rename(dir+"/a", dir+"/b"); err != nil {
+		return err
+	}
+	os.Remove(dir + "/tmp") // want `error from os.Remove is silently dropped`
+	return nil
+}

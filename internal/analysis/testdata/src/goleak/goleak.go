@@ -1,0 +1,128 @@
+// Fixture for the goleak analyzer: goroutine spawns with and without a
+// provable termination path. Loaded under a library import path by the
+// test; the same file under cmd/ must produce nothing.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func spinForever() {
+	go func() {
+		for { // want `goroutine loops forever`
+		}
+	}()
+}
+
+func loopWithExit(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func rangeOverData(ch chan int) {
+	go func() {
+		for v := range ch { // want `ranges over a channel`
+			_ = v
+		}
+	}()
+}
+
+func rangeOverDone(done chan struct{}) {
+	go func() {
+		for range done {
+		}
+	}()
+}
+
+func sendUnbounded(ch chan int) {
+	go func() {
+		ch <- 1 // want `sends on an unbounded channel`
+	}()
+}
+
+func semaphore() {
+	sem := make(chan struct{}, 4)
+	go func() {
+		sem <- struct{}{}
+		<-sem
+	}()
+}
+
+func recvUnbounded(ch chan int) {
+	go func() {
+		<-ch // want `receives from an unbounded channel`
+	}()
+}
+
+func recvCancellation(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func condWait(c *sync.Cond) {
+	go func() {
+		c.L.Lock()
+		c.Wait() // want `sync.Cond.Wait`
+		c.L.Unlock()
+	}()
+}
+
+func doneMissedOnEarlyReturn(wg *sync.WaitGroup, fail bool) {
+	wg.Add(1)
+	go func() {
+		if fail {
+			return
+		}
+		work()
+		wg.Done() // want `not reached on every exit path`
+	}()
+}
+
+func doneNotDeferred(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done() // want `not deferred`
+	}()
+}
+
+func doneDeferred(wg *sync.WaitGroup, fail bool) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if fail {
+			return
+		}
+		work()
+	}()
+}
+
+func externalTarget() {
+	go time.Sleep(time.Millisecond) // want `cannot analyze`
+}
+
+func dynamicTarget(fn func()) {
+	go fn() // want `not analyzable`
+}
+
+func spawnLocal() {
+	go localLoop()
+}
+
+func localLoop() {
+	for { // want `goroutine loops forever`
+	}
+}
+
+func work() {}

@@ -1,0 +1,26 @@
+// Fixture for the ignorehygiene analyzer: bare ignores (nameless or
+// named) are findings; justified ones — with "--" or an em dash — are
+// not. The nameless bare ignore also exercises the suppression bypass:
+// it would silence every analyzer on its line, including the one
+// complaining about it.
+package ignorehygiene
+
+func bareNameless() {
+	x := 1
+	_ = x //cgvet:ignore
+}
+
+func bareNamed() {
+	y := 2
+	_ = y //cgvet:ignore lockdiscipline
+}
+
+func justified() {
+	z := 3
+	_ = z //cgvet:ignore lockdiscipline -- owner-local until published
+}
+
+func justifiedEmDash() {
+	w := 4
+	_ = w //cgvet:ignore statewrite — monotone by construction
+}

@@ -21,7 +21,7 @@ func fanOut(n int) *result {
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
-			local := k * 2 // closure-local: allowed
+			local := k * 2     // closure-local: allowed
 			res.count += local // want `write to captured variable "res"`
 			total++            // want `write to captured variable "total"`
 			mu.Lock()

@@ -72,7 +72,7 @@ func executorCtx(cfg Config) context.Context {
 	if cfg.Ctx != nil {
 		return cfg.Ctx
 	}
-	return context.Background()
+	return context.Background() //cgvet:ignore ctxflow -- nil Config.Ctx means "never cancelled"; pprof labelling still needs some context to hang off
 }
 
 // solveSchedule picks the configured Steiner solver.

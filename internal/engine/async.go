@@ -148,17 +148,37 @@ func runAsyncParallel(g delta.Graph, st *State, seed *frontier, layers []flatLay
 	)
 	var pushed, improved atomic.Int64
 	var wg sync.WaitGroup
+	var box panicBox
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panic between active++ and active-- would leave the pool's
+			// termination condition unreachable: sibling workers sleep in
+			// cond.Wait forever and wg.Wait never returns. The deferred
+			// recovery releases the slot and wakes everyone before handing
+			// the panic to the coordinator via the box.
+			holding := false
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				box.store(r)
+				mu.Lock()
+				if holding {
+					active--
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}()
 			var p, imp int64
 			local := make([]graph.VertexID, 0, asyncGrab)
 			out := make([]graph.VertexID, 0, 4*asyncGrab)
 			for {
 				mu.Lock()
 				for len(queue) == 0 && active > 0 {
-					cond.Wait()
+					cond.Wait() //cgvet:ignore goleak -- woken by the Broadcast every worker issues when it finishes a batch or exits; the last active worker always broadcasts, so no waiter sleeps past termination
 				}
 				if len(queue) == 0 {
 					// No work and no producer left: the pass is done.
@@ -173,6 +193,7 @@ func runAsyncParallel(g delta.Graph, st *State, seed *frontier, layers []flatLay
 				local = append(local[:0], queue[len(queue)-grab:]...)
 				queue = queue[:len(queue)-grab]
 				active++
+				holding = true
 				mu.Unlock()
 
 				out = out[:0]
@@ -215,6 +236,7 @@ func runAsyncParallel(g delta.Graph, st *State, seed *frontier, layers []flatLay
 
 				mu.Lock()
 				active--
+				holding = false
 				if len(out) > 0 {
 					queue = append(queue, out...)
 					cond.Broadcast()
@@ -228,5 +250,6 @@ func runAsyncParallel(g delta.Graph, st *State, seed *frontier, layers []flatLay
 		}()
 	}
 	wg.Wait()
+	box.rethrow()
 	return Stats{EdgesPushed: pushed.Load(), Improved: improved.Load()}
 }

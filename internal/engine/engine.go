@@ -403,10 +403,12 @@ func (r *syncRunner) sparsePar(list []graph.VertexID, prefix []int, total int) (
 	var cursor atomic.Int64
 	var pushed, improved atomic.Int64
 	var wg sync.WaitGroup
+	var box panicBox
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer box.capture()
 			var p, imp int64
 			buf := bufs[w]
 			for {
@@ -440,6 +442,7 @@ func (r *syncRunner) sparsePar(list []graph.VertexID, prefix []int, total int) (
 		}(w)
 	}
 	wg.Wait()
+	box.rethrow()
 	r.publish(bufs)
 	return pushed.Load(), improved.Load()
 }
@@ -542,10 +545,12 @@ func (r *syncRunner) densePar(cur *frontier) (int64, int64) {
 	var cursor atomic.Int64
 	var pushed, improved atomic.Int64
 	var wg sync.WaitGroup
+	var box panicBox
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer box.capture()
 			var p, imp int64
 			buf := bufs[w]
 			for {
@@ -570,6 +575,7 @@ func (r *syncRunner) densePar(cur *frontier) (int64, int64) {
 		}(w)
 	}
 	wg.Wait()
+	box.rethrow()
 	r.publish(bufs)
 	return pushed.Load(), improved.Load()
 }
@@ -608,10 +614,12 @@ func (r *syncRunner) callbackParList(list []graph.VertexID) (int64, int64) {
 	var cursor atomic.Int64
 	var pushed, improved atomic.Int64
 	var wg sync.WaitGroup
+	var box panicBox
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer box.capture()
 			var p, imp int64
 			buf := bufs[w]
 			for {
@@ -636,6 +644,7 @@ func (r *syncRunner) callbackParList(list []graph.VertexID) (int64, int64) {
 		}(w)
 	}
 	wg.Wait()
+	box.rethrow()
 	r.publish(bufs)
 	return pushed.Load(), improved.Load()
 }

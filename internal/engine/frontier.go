@@ -21,6 +21,7 @@ import (
 // (list abandoned, set is dense). Every other method is single-writer and
 // assumes the list/bitset invariant holds.
 type frontier struct {
+	//cgvet:ignore atomicguard -- phase contract (documented above): trySet CASes bits during the concurrent relax phase; every plain access runs single-writer between iteration barriers
 	bits []uint64
 	n    int
 	// sparse is the exact active list (no duplicates, unspecified order)

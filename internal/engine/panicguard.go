@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// panicBox carries the first panic raised on a worker goroutine back to
+// the coordinating goroutine. A panic unwinding a bare worker kills the
+// whole process before wg.Wait returns — bypassing the executor layer's
+// recoverToError containment (DESIGN.md "Failure semantics") — so every
+// pool worker defers capture, and the coordinator calls rethrow after
+// the pool drains. The re-raised panic then unwinds the pass on the
+// coordinating goroutine, where internal/core's deferred recovery turns
+// it into a *core.PanicError instead of a crash.
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+}
+
+// workerPanic is the value rethrow re-raises: the worker's panic value
+// plus the worker goroutine's stack, which would otherwise be lost when
+// the panic crosses goroutines.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+func (p workerPanic) String() string {
+	return fmt.Sprintf("engine worker panic: %v\nworker stack:\n%s", p.val, p.stack)
+}
+
+// store records r (with the current stack) if it is the box's first
+// panic; later panics from sibling workers are dropped — one is enough
+// to fail the pass. Must be called during the worker's unwinding (from a
+// deferred function) so the stack still shows the panic site.
+func (b *panicBox) store(r any) {
+	wp := workerPanic{val: r, stack: debug.Stack()}
+	b.mu.Lock()
+	if b.val == nil {
+		b.val = wp
+	}
+	b.mu.Unlock()
+}
+
+// capture is deferred in each worker (before wg.Done, so it runs first
+// during unwinding) and absorbs a panic into the box.
+func (b *panicBox) capture() {
+	if r := recover(); r != nil {
+		b.store(r)
+	}
+}
+
+// rethrow re-raises the captured panic, if any, on the caller.
+func (b *panicBox) rethrow() {
+	b.mu.Lock()
+	r := b.val
+	b.mu.Unlock()
+	if r != nil {
+		panic(r)
+	}
+}

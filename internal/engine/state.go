@@ -22,7 +22,8 @@ type State struct {
 	src graph.VertexID
 	// min caches a.Direction() == Minimize so the per-edge improvement
 	// test is a plain comparison, not an interface call.
-	min   bool
+	min bool
+	//cgvet:ignore atomicguard -- phase contract: Load/TryImprove/Improves CAS words while workers run; Clone/Equal/Reached and construction touch them plainly only at quiescent points (no pass in flight)
 	words []uint64 // hi 32 bits: value (int32 bit pattern); lo 32: parent
 }
 

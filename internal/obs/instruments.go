@@ -35,6 +35,7 @@ const (
 	helpSegBytes    = "Bytes written into durable-store segments."
 	helpSegLoads    = "Durable-store segments loaded from disk."
 	helpCompactions = "Durable-store compactions (overlays folded into a new base generation)."
+	helpCompactGC   = "Compaction garbage-collection failures (superseded segment files left on disk)."
 	helpRecovered   = "Raw updates recovered from the WAL and re-seeded on open."
 )
 
@@ -148,6 +149,13 @@ func SegmentLoads() *Counter {
 // Compactions counts durable-store base-fold compactions.
 func Compactions() *Counter {
 	return Default().Counter("commongraph_store_compactions_total", helpCompactions)
+}
+
+// CompactionGCFailures counts superseded segments compaction failed to
+// delete (the next Open garbage-collects them, but disk is not being
+// reclaimed in the meantime).
+func CompactionGCFailures() *Counter {
+	return Default().Counter("commongraph_store_compaction_gc_failures_total", helpCompactGC)
 }
 
 // RecoveredUpdates counts WAL records re-seeded by crash recovery.

@@ -393,12 +393,22 @@ func (s *Store) CompactTo(v int) error {
 	s.baseCache = cur
 	for t := oldBase; t < v; t++ {
 		delete(s.ovlCache, t)
-		os.Remove(segPath(s.dir, overlayName(t))) // best-effort; gc on next open
+		removeFolded(s.dir, overlayName(t))
 	}
-	os.Remove(segPath(s.dir, baseName(oldGen)))
+	removeFolded(s.dir, baseName(oldGen))
 	obs.Compactions().Inc()
 	sp.SetAttr(obs.Int("folded", v-oldBase), obs.Int("base_edges", len(cur)))
 	return nil
+}
+
+// removeFolded deletes a segment file superseded by a compaction. The
+// manifest no longer references it, so a failure is tolerated — the next
+// Open garbage-collects orphans — but it is counted: a store that cannot
+// reclaim space is an operational problem even when it stays correct.
+func removeFolded(dir, name string) {
+	if err := os.Remove(segPath(dir, name)); err != nil && !os.IsNotExist(err) {
+		obs.CompactionGCFailures().Inc()
+	}
 }
 
 // Close releases the WAL file handle. Segments need no teardown.

@@ -295,7 +295,7 @@ func (w *wal) commit(seq uint64, vertices int) error {
 	}
 	w.tail = keep
 	if w.f != nil {
-		w.f.Close()
+		w.f.Close() //cgvet:ignore errflow -- pre-rotation close of a fully fsynced handle; the file is rewritten by rotate below, so a close error has nothing left to lose
 		w.f = nil
 	}
 	rerr := w.rotate(vertices)

@@ -1,6 +1,7 @@
 package commongraph
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -233,6 +234,21 @@ func (j journal) Append(updates []ingest.Update) (uint64, error) {
 func (gs *GraphStore) Compact(beforeVersion int) error {
 	gs.compactMu.Lock()
 	defer gs.compactMu.Unlock()
+	return gs.s.CompactTo(gs.s.Origin() + beforeVersion)
+}
+
+// CompactContext is Compact gated on a context: cancellation is checked
+// after the compaction slot is acquired, so folds still queued behind a
+// running one are skipped once ctx is cancelled (a fold already inside
+// the store completes — segment swaps are atomic and never torn by
+// cancellation). This is the entry point Watcher.Close relies on to keep
+// background slide compactions from outliving the watcher.
+func (gs *GraphStore) CompactContext(ctx context.Context, beforeVersion int) error {
+	gs.compactMu.Lock()
+	defer gs.compactMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	return gs.s.CompactTo(gs.s.Origin() + beforeVersion)
 }
 

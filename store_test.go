@@ -448,3 +448,74 @@ func TestPersistRequiresFreshDir(t *testing.T) {
 		t.Fatal("Persist over an existing store succeeded")
 	}
 }
+
+// TestWatcherCloseStopsCompaction: after Close, slides still maintain the
+// in-memory window but their background folds are cancelled — the store
+// keeps its origin on reopen and the cancellation is not reported as a
+// compaction failure. Close is idempotent.
+func TestWatcherCloseStopsCompaction(t *testing.T) {
+	g, _ := buildEvolving(t, 78, 5, 50, 50)
+	dir := filepath.Join(t.TempDir(), "s")
+	gs, err := g.Persist(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := g.Watch(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.PersistMaintenance(gs)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Slide(); err != nil { // in-memory maintenance unaffected
+		t.Fatal(err)
+	}
+	if err := w.WaitCompaction(); err != nil {
+		t.Fatalf("cancelled compaction surfaced as an error: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := gs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Origin() != 0 {
+		t.Fatalf("compaction ran after Close: reopened origin %d, want 0", r.Origin())
+	}
+}
+
+// TestCompactContextCancelled: a cancelled context skips the fold before
+// it starts; a live one compacts exactly like Compact.
+func TestCompactContextCancelled(t *testing.T) {
+	g, _ := buildEvolving(t, 79, 4, 40, 40)
+	dir := filepath.Join(t.TempDir(), "s")
+	gs, err := g.Persist(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := gs.CompactContext(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CompactContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if err := gs.CompactContext(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Origin() != 2 {
+		t.Fatalf("reopened origin %d, want 2", r.Origin())
+	}
+}

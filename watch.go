@@ -3,6 +3,7 @@ package commongraph
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -33,9 +34,12 @@ type Watcher struct {
 
 	// Slide persistence (PersistMaintenance): after the window moves
 	// forward, snapshots behind it fold into the durable store's base
-	// segment in the background.
+	// segment in the background. bgCtx is cancelled by Close so queued
+	// folds drain instead of outliving the watcher.
 	persist        *GraphStore
 	bg             sync.WaitGroup
+	bgCtx          context.Context
+	bgCancel       context.CancelFunc
 	compactErrMu   sync.Mutex
 	lastCompactErr error
 }
@@ -62,7 +66,10 @@ func (g *EvolvingGraph) Watch(from, to int) (*Watcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Watcher{g: g, m: m, retry: DefaultRetry}, nil
+	// The watcher is its own lifecycle root: background compactions run
+	// until Close, not until some caller's request context ends.
+	bgCtx, bgCancel := context.WithCancel(context.Background()) //cgvet:ignore ctxflow -- watcher lifecycle root; cancelled by Close, no caller context outlives it
+	return &Watcher{g: g, m: m, retry: DefaultRetry, bgCtx: bgCtx, bgCancel: bgCancel}, nil
 }
 
 // SetRetry replaces the watcher's maintenance retry policy.
@@ -123,6 +130,18 @@ func (w *Watcher) WaitCompaction() error {
 	return w.lastCompactErr
 }
 
+// Close ends the watcher's background work: queued slide compactions that
+// have not started are cancelled, one already inside the store completes
+// (segment swaps are never torn), and Close waits for all of them to
+// drain before returning the most recent real compaction failure.
+// Cancellation itself is not an error. The watcher's window remains
+// evaluable after Close; only the background persistence stops. Close is
+// idempotent.
+func (w *Watcher) Close() error {
+	w.bgCancel()
+	return w.WaitCompaction()
+}
+
 // maintain runs one maintenance step under the write lock, retrying
 // transient failures per the watcher's policy. Maintenance steps swap the
 // representation pointer only on success (Slide rolls back internally),
@@ -160,7 +179,8 @@ func (w *Watcher) maintain(kind string, step func(*core.MaintainedRep) error) er
 				w.bg.Add(1)
 				go func(gs *GraphStore, before int) {
 					defer w.bg.Done()
-					if cerr := gs.Compact(before); cerr != nil {
+					cerr := gs.CompactContext(w.bgCtx, before)
+					if cerr != nil && !errors.Is(cerr, context.Canceled) {
 						w.compactErrMu.Lock()
 						w.lastCompactErr = cerr
 						w.compactErrMu.Unlock()
@@ -187,7 +207,7 @@ func (w *Watcher) maintain(kind string, step func(*core.MaintainedRep) error) er
 // the evaluation at schedule-edge boundaries, like EvolvingGraph.Run.
 func (w *Watcher) Run(ctx context.Context, req Request) (*Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //cgvet:ignore ctxflow -- nil-ctx compatibility shim; callers with a real context pass it through
 	}
 	opt := req.Options
 	opt.Context = ctx
@@ -296,6 +316,7 @@ func (w *Watcher) ServeMetrics(addr string) (*MetricsServer, error) {
 		})
 	})
 	srv := &http.Server{Handler: mux}
+	//cgvet:ignore goleak -- serves until MetricsServer.Close shuts the listener; Serve then returns ErrServerClosed and the goroutine exits
 	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
 	return &MetricsServer{srv: srv, ln: ln}, nil
 }
@@ -305,7 +326,7 @@ func (w *Watcher) ServeMetrics(addr string) (*MetricsServer, error) {
 // context cancels the evaluation like Run's.
 func (g *EvolvingGraph) RunMulti(ctx context.Context, queries []Query, win Window, opt Options) ([]*Result, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //cgvet:ignore ctxflow -- nil-ctx compatibility shim; callers with a real context pass it through
 	}
 	opt.Context = ctx
 	return g.evaluateMulti(queries, win.From, win.To, opt)
