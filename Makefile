@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 # bench-json: which experiments to snapshot and where. CI commits one
 # BENCH_PR<n>.json per PR so the performance trajectory is diffable.
-BENCH_JSON_OUT ?= BENCH_PR5.json
+BENCH_JSON_OUT ?= BENCH_PR7.json
 BENCH_JSON_FLAGS ?= -exp all
 # perf-smoke: the committed engine-benchmark baseline of the previous PR
 # and where to write this run's numbers. The store pair covers the durable
@@ -13,7 +13,7 @@ PERF_STORE_BASELINE ?= bench/store-PR5.txt
 PERF_STORE_OUT ?= /tmp/store-perf.txt
 PERF_COUNT ?= 5
 
-.PHONY: all build test race vet check sarif fuzz-smoke chaos bench-json metrics-smoke obs-bench perf-smoke store-crash ci
+.PHONY: all build test race vet check sarif fuzz-smoke chaos bench-json metrics-smoke obs-bench perf-smoke store-crash repl-crash ci
 
 all: build vet test
 
@@ -117,4 +117,15 @@ store-crash:
 	$(GO) test -race ./internal/store -count=1 -run 'KillPoint|TornTail|Corrupt|Recovery'
 	$(GO) test -race . -count=1 -run 'TestDurableIngestCrashReplayMatrix|TestDurableIngestMatchesInMemory|TestPersistReopenDifferential|TestWatcherPersistCompaction'
 
-ci: check test race fuzz-smoke chaos metrics-smoke store-crash
+# Replication failover matrix under the race detector: kill points
+# injected at every ship/replay/promote boundary (faults.Repl*), the
+# follower crash-and-cold-reopen recovery sweep, seeded chaos shipping,
+# and the epoch-fencing promotion matrix (a fenced stale primary must
+# never commit after a follower is promoted), plus the public-surface
+# failover and follower-read-equivalence differentials.
+repl-crash:
+	$(GO) test -race ./internal/repl -count=1 -run 'KillPoint|CrashRecovery|Chaos|Promote|Fences|Reopen|Rebootstrap'
+	$(GO) test -race ./internal/store -count=1 -run 'Epoch|Fenc'
+	$(GO) test -race . -count=1 -run 'TestFailoverPromotion|TestFollowerReadEquivalence|TestFollowerStalenessBudget|TestFollowerReopenServesOffline|TestFollowerWindowWidthSlides'
+
+ci: check test race fuzz-smoke chaos metrics-smoke store-crash repl-crash

@@ -1,0 +1,197 @@
+// Command cgrepl runs the WAL-shipping replication roles of a cgstore:
+// a primary serving its committed history to followers, a follower
+// replaying it and answering queries at bounded staleness, and an
+// operator-side promote that turns a follower into the new primary.
+//
+// Usage:
+//
+//	cgrepl serve -store /data/primary.cgstore -listen :7070
+//	cgrepl follow -store /data/replica.cgstore -primary primary-host:7070 -ops :9090
+//	cgrepl follow -store /data/replica.cgstore -primary primary-host:7070 -max-lag-seq 1000 -window 8
+//	cgrepl promote -ops replica-host:9090
+//
+// serve opens (or keeps serving) an existing store and replicates every
+// committed transition to connecting followers; ingest can proceed
+// through the same store from the embedding process. follow bootstraps
+// or resumes a replica directory from the primary — reconnecting with
+// jittered exponential backoff for as long as it runs — and exposes the
+// operational endpoint (/metrics, /healthz, /readyz, /lag, /promote).
+// promote POSTs to a follower's endpoint, fencing the old primary; the
+// response reports the new epoch and the WAL sequence producers should
+// resume from.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"commongraph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = serve(os.Args[2:])
+	case "follow":
+		err = follow(os.Args[2:])
+	case "promote":
+		err = promote(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "cgrepl: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgrepl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cgrepl serve   -store DIR -listen ADDR [-heartbeat D]
+  cgrepl follow  -store DIR -primary ADDR [-ops ADDR] [-window N]
+                 [-max-lag-seq N] [-max-lag-windows N] [-serve-stale] [-backoff D]
+  cgrepl promote -ops ADDR`)
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	storeDir := fs.String("store", "", "durable cgstore directory to replicate (required)")
+	listen := fs.String("listen", ":7070", "address to serve followers on")
+	heartbeat := fs.Duration("heartbeat", 100*time.Millisecond, "position-broadcast period on quiet stores")
+	fs.Parse(args)
+	if *storeDir == "" {
+		return fmt.Errorf("serve: -store is required")
+	}
+	gs, err := commongraph.OpenStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	defer gs.Close()
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	rs := gs.ServeReplication(ln, commongraph.ReplicationOptions{Heartbeat: *heartbeat})
+	defer rs.Close()
+	fmt.Printf("cgrepl: serving %s on %s (epoch %d, %d snapshots)\n",
+		*storeDir, ln.Addr(), gs.Epoch(), gs.Graph().NumSnapshots())
+	waitForSignal()
+	fmt.Println("cgrepl: shutting down")
+	return nil
+}
+
+func follow(args []string) error {
+	fs := flag.NewFlagSet("follow", flag.ExitOnError)
+	storeDir := fs.String("store", "", "replica directory — created on first bootstrap (required)")
+	primary := fs.String("primary", "", "primary's replication address (required)")
+	ops := fs.String("ops", "", "operational endpoint address (/metrics /healthz /readyz /lag /promote); empty disables")
+	window := fs.Int("window", 0, "maintained window width in snapshots (0 = unbounded)")
+	maxLagSeq := fs.Uint64("max-lag-seq", 0, "staleness budget in WAL sequence numbers (0 = unbounded)")
+	maxLagWin := fs.Int("max-lag-windows", 0, "staleness budget in committed windows (0 = unbounded)")
+	serveStale := fs.Bool("serve-stale", false, "serve reads past the budget, marked stale, instead of failing fast")
+	backoff := fs.Duration("backoff", 20*time.Millisecond, "initial reconnect backoff")
+	fs.Parse(args)
+	if *storeDir == "" || *primary == "" {
+		return fmt.Errorf("follow: -store and -primary are required")
+	}
+	f, err := commongraph.Follow(commongraph.FollowerConfig{
+		Dir:           *storeDir,
+		Addr:          *primary,
+		WindowWidth:   *window,
+		MaxLagSeq:     *maxLagSeq,
+		MaxLagWindows: *maxLagWin,
+		ServeStale:    *serveStale,
+		RetryBackoff:  *backoff,
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if *ops != "" {
+		m, err := f.ServeOps(*ops)
+		if err != nil {
+			return err
+		}
+		defer m.Close()
+		fmt.Printf("cgrepl: ops endpoint on http://%s\n", m.Addr())
+	}
+	fmt.Printf("cgrepl: following %s into %s\n", *primary, *storeDir)
+	done := signalChan()
+	tick := time.NewTicker(5 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			if gs := f.Promoted(); gs != nil {
+				fmt.Printf("cgrepl: promoted to primary (epoch %d, resume from seq %d); exiting follower loop\n",
+					gs.Epoch(), gs.Acknowledged())
+			}
+			fmt.Println("cgrepl: shutting down")
+			return nil
+		case <-tick.C:
+			if gs := f.Promoted(); gs != nil {
+				fmt.Printf("cgrepl: promoted to primary (epoch %d, resume from seq %d)\n",
+					gs.Epoch(), gs.Acknowledged())
+				<-done
+				fmt.Println("cgrepl: shutting down")
+				return nil
+			}
+			l := f.Lag()
+			ready, detail := f.Ready()
+			fmt.Printf("cgrepl: lag known=%v seq=%d windows=%d ready=%v (%s)\n",
+				l.Known, l.Seq, l.Windows, ready, detail)
+		}
+	}
+}
+
+func promote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	ops := fs.String("ops", "", "follower's operational endpoint address (required)")
+	fs.Parse(args)
+	if *ops == "" {
+		return fmt.Errorf("promote: -ops is required")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+*ops+"/promote", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote: %s: %s", resp.Status, string(body))
+	}
+	fmt.Printf("cgrepl: promoted: %s", string(body))
+	return nil
+}
+
+func signalChan() <-chan os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	return ch
+}
+
+func waitForSignal() { <-signalChan() }

@@ -287,6 +287,11 @@ type Result struct {
 	// SnapshotErrors maps absolute snapshot index to the failure that
 	// forced that snapshot onto the fallback path. Nil unless Degraded.
 	SnapshotErrors map[int]error
+	// Stale marks a result served by a replication follower that was
+	// beyond its staleness budget at evaluation time
+	// (FollowerConfig.ServeStale). The values are exact for the
+	// follower's window; they may trail the primary's latest commits.
+	Stale bool
 }
 
 // Window selects the inclusive snapshot range [From, To] of an evolving

@@ -20,6 +20,12 @@ type Ingestor struct {
 // Ingestor returns a stream front-end for the graph. Updates must be
 // consistent with the graph's latest snapshot when each window closes
 // (deleting absent or adding present edges fails the window).
+//
+// On a durable graph whose store has been fenced by a promoted
+// follower, the window commit fails with an error wrapping ErrFenced
+// before any bytes reach the WAL; the in-memory graph is likewise left
+// untouched, so a fenced ex-primary can never diverge from the new
+// authority's history.
 func (g *EvolvingGraph) Ingestor(batchSize int) (*Ingestor, error) {
 	b, err := ingest.NewBatcher(func(adds, dels graph.EdgeList) error {
 		_, err := g.store.NewVersion(adds, dels)

@@ -21,18 +21,27 @@ import (
 //     between the open and the first Close (the open's own err != nil
 //     check is exempt — the handle is nil there).
 //
+// The same ownership discipline covers network handles: net.Dial,
+// net.DialTimeout and net.Listen results are tracked identically, since
+// the replication layer holds conns and listeners open for the life of a
+// session and a leaked one pins a socket the way a lost *os.File pins an
+// fd.
+//
 // The path rule is lexical, not a full CFG: it catches the canonical
 // "early error return leaks the file" bug without whole-function dataflow.
 // A genuinely fine site is suppressed with //cgvet:ignore closecheck.
 var CloseCheck = &Analyzer{
 	Name: "closecheck",
-	Doc:  "require a reachable Close for os.Open/os.Create handles in library packages",
+	Doc:  "require a reachable Close for os.Open/os.Create and net.Dial/net.Listen handles in library packages",
 	Run:  runCloseCheck,
 }
 
-// openers are the os functions whose first result is a *os.File the
-// caller owns.
-var openers = map[string]bool{"Open": true, "Create": true, "OpenFile": true, "CreateTemp": true}
+// openers are the package-level functions whose first result is a
+// closable handle the caller owns, keyed by package path.
+var openers = map[string]map[string]bool{
+	"os":  {"Open": true, "Create": true, "OpenFile": true, "CreateTemp": true},
+	"net": {"Dial": true, "DialTimeout": true, "Listen": true},
+}
 
 func runCloseCheck(pass *Pass) {
 	for _, seg := range printAllowedSegments {
@@ -93,7 +102,7 @@ func checkFuncBody(pass *Pass, body *ast.BlockStmt) {
 		if site.file == nil {
 			// The handle is discarded (blank or not a simple variable):
 			// nothing can ever close it.
-			pass.Reportf(as.Pos(), "os.%s result is discarded and can never be closed", name)
+			pass.Reportf(as.Pos(), "%s result is discarded and can never be closed", name)
 			return
 		}
 		sites = append(sites, site)
@@ -177,7 +186,7 @@ func checkSite(pass *Pass, body *ast.BlockStmt, site openSite) {
 		return
 	}
 	if !firstClose.IsValid() {
-		pass.Reportf(site.pos, "os.%s handle is never closed in this function and does not escape", site.name)
+		pass.Reportf(site.pos, "%s handle is never closed in this function and does not escape", site.name)
 		return
 	}
 	exempt := openErrCheckReturns(pass, body, site)
@@ -185,7 +194,7 @@ func checkSite(pass *Pass, body *ast.BlockStmt, site openSite) {
 		if r.Pos() >= firstClose || exempt[r] {
 			continue
 		}
-		pass.Reportf(r.Pos(), "return leaks the os.%s handle opened at line %d (no Close on this path)",
+		pass.Reportf(r.Pos(), "return leaks the %s handle opened at line %d (no Close on this path)",
 			site.name, pass.Fset.Position(site.pos).Line)
 	}
 }
@@ -250,17 +259,23 @@ func walkSameFunc(body ast.Node, visit func(ast.Node)) {
 	})
 }
 
-// osOpener reports whether call is os.Open/Create/OpenFile/CreateTemp.
+// osOpener reports whether call is a tracked handle-producing function
+// (os.Open family, net.Dial family, net.Listen), returning its qualified
+// display name.
 func osOpener(pass *Pass, call *ast.CallExpr) (string, bool) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", false
 	}
 	f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || f.Pkg() == nil || f.Pkg().Path() != "os" || !openers[f.Name()] {
+	if !ok || f.Pkg() == nil {
 		return "", false
 	}
-	return f.Name(), true
+	names := openers[f.Pkg().Path()]
+	if names == nil || !names[f.Name()] {
+		return "", false
+	}
+	return f.Pkg().Path() + "." + f.Name(), true
 }
 
 // closesObj reports whether call is obj.Close().

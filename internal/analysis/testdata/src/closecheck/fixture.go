@@ -6,7 +6,9 @@ package store
 
 import (
 	"io"
+	"net"
 	"os"
+	"time"
 )
 
 func neverClosed(path string) error {
@@ -115,5 +117,61 @@ func suppressed(path string) error {
 		return err
 	}
 	_ = f
+	return nil
+}
+
+// --- network handles: the replication layer's conn/listener lifecycle ---
+
+func connNeverClosed(addr string) error {
+	c, err := net.Dial("tcp", addr) // want `net\.Dial handle is never closed`
+	if err != nil {
+		return err
+	}
+	_ = c
+	return nil
+}
+
+func connLeakyEarlyReturn(addr string, hello []byte) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err // the conn is nil here: exempt
+	}
+	if _, err := c.Write(hello); err != nil {
+		return err // want `return leaks the net\.Dial handle`
+	}
+	return c.Close()
+}
+
+func connDeferred(addr string) error {
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var buf [8]byte
+	_, rerr := c.Read(buf[:])
+	return rerr
+}
+
+func listenerDiscarded(addr string) {
+	_, _ = net.Listen("tcp", addr) // want `net\.Listen result is discarded`
+}
+
+type server struct{ ln net.Listener }
+
+func listenerEscapesIntoServer(addr string) (*server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &server{ln: ln}, nil // the server owns the listener now
+}
+
+func connHandedToSession(addr string, attach func(net.Conn)) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	attach(c) // the session takes over the obligation
 	return nil
 }

@@ -5,6 +5,7 @@ package goleak
 
 import (
 	"context"
+	"io"
 	"sync"
 	"time"
 )
@@ -126,3 +127,53 @@ func localLoop() {
 }
 
 func work() {}
+
+// --- replication lifecycle roots: conn pumps, watchdogs, catch-up loops ---
+
+// A frame pump terminates structurally: the read fails once the conn is
+// closed by the peer or the session owner, and the error path returns.
+func framePump(conn io.Reader, frames chan<- byte) {
+	go func() {
+		for {
+			var buf [1]byte
+			if _, err := conn.Read(buf[:]); err != nil {
+				return
+			}
+			select {
+			case frames <- buf[0]:
+			default:
+			}
+		}
+	}()
+}
+
+// A conn watchdog parks on cancellation and a session-scoped done chan —
+// both are recognized termination paths.
+func connWatchdog(ctx context.Context, done chan struct{}, conn io.Closer) {
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+}
+
+// A catch-up loop without any exit spins once the peer is gone.
+func catchUpForever(redial func() error) {
+	go func() {
+		for { // want `goroutine loops forever`
+			if redial() == nil {
+				continue
+			}
+		}
+	}()
+}
+
+// Forwarding replayed frames to an unbounded channel can block forever
+// after the consumer stops; the session must justify it with an ignore.
+func replayForwarder(batches chan int, b int) {
+	go func() {
+		batches <- b // want `sends on an unbounded channel`
+	}()
+}

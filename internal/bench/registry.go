@@ -32,6 +32,7 @@ func Experiments() []Experiment {
 		{Name: "ablation-scale", Paper: "Ablation A4", Run: AblationScale},
 		{Name: "ablation-baselines", Paper: "Ablation A5", Run: AblationBaselines},
 		{Name: "store", Paper: "Persistence", Run: StorePersistence},
+		{Name: "repl", Paper: "Replication", Run: Replication},
 	}
 }
 

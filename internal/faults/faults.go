@@ -63,6 +63,17 @@ const (
 	StoreManifestSwap Point = "store.manifest-swap"
 	StoreWALRotate    Point = "store.wal-rotate"
 	StoreCompact      Point = "store.compact"
+	// The replication boundaries (internal/repl), in wire order: a frame
+	// write on the shipping side, a frame read on the receiving side, the
+	// follower's replay of one committed batch into its own store
+	// (between receipt and AppendBatch — the batch is on the wire but not
+	// yet durable), and the promotion epoch bump (before the manifest
+	// swap that makes the new epoch durable). The follower crash/failover
+	// matrix kills a replica at each of these and reconnects.
+	ReplShipFrame   Point = "repl.ship-frame"
+	ReplRecvFrame   Point = "repl.recv-frame"
+	ReplReplayBatch Point = "repl.replay-batch"
+	ReplPromote     Point = "repl.promote"
 )
 
 // Points returns every named injection point, in declaration order — the
@@ -73,6 +84,7 @@ func Points() []Point {
 		CoreMaintainAppend, CoreMaintainAdvance, IngestWindowClose,
 		StoreWALAppend, StoreWALSync, StoreSegmentWrite, StoreManifestSwap,
 		StoreWALRotate, StoreCompact,
+		ReplShipFrame, ReplRecvFrame, ReplReplayBatch, ReplPromote,
 	}
 }
 

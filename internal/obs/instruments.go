@@ -37,6 +37,18 @@ const (
 	helpCompactions = "Durable-store compactions (overlays folded into a new base generation)."
 	helpCompactGC   = "Compaction garbage-collection failures (superseded segment files left on disk)."
 	helpRecovered   = "Raw updates recovered from the WAL and re-seeded on open."
+
+	helpReplFrames     = "Replication frames sent, by frame type."
+	helpReplFrameRecv  = "Replication frames received, by frame type."
+	helpReplBytes      = "Replication payload bytes shipped (frames sent, header + payload)."
+	helpReplReplayed   = "Committed transitions a follower replayed into its local store."
+	helpReplReconnects = "Follower catch-up loop reconnect attempts after a broken session."
+	helpReplLagSeq     = "Follower staleness in WAL sequence numbers (primary commit pointer minus local)."
+	helpReplLagWindows = "Follower staleness in committed windows (primary transitions minus local)."
+	helpReplFencings   = "Stores fenced by observing a higher replication epoch."
+	helpReplPromotions = "Follower promotions (epoch bumps) completed."
+	helpReplSnapshots  = "Full snapshot bootstraps shipped to followers (catch-up was impossible incrementally)."
+	helpReplStaleReads = "Follower reads served (or refused) beyond the staleness budget, by outcome (served, refused)."
 )
 
 // Queries counts evaluated queries for one strategy slug.
@@ -161,4 +173,61 @@ func CompactionGCFailures() *Counter {
 // RecoveredUpdates counts WAL records re-seeded by crash recovery.
 func RecoveredUpdates() *Counter {
 	return Default().Counter("commongraph_store_recovered_updates_total", helpRecovered)
+}
+
+// ReplFramesSent counts replication frames shipped, by frame type.
+func ReplFramesSent(typ string) *Counter {
+	return Default().Counter("commongraph_repl_frames_sent_total", helpReplFrames, "type", typ)
+}
+
+// ReplFramesReceived counts replication frames received, by frame type.
+func ReplFramesReceived(typ string) *Counter {
+	return Default().Counter("commongraph_repl_frames_received_total", helpReplFrameRecv, "type", typ)
+}
+
+// ReplBytes counts replication bytes shipped.
+func ReplBytes() *Counter {
+	return Default().Counter("commongraph_repl_bytes_total", helpReplBytes)
+}
+
+// ReplBatchesReplayed counts transitions replayed by followers.
+func ReplBatchesReplayed() *Counter {
+	return Default().Counter("commongraph_repl_batches_replayed_total", helpReplReplayed)
+}
+
+// ReplReconnects counts follower reconnect attempts.
+func ReplReconnects() *Counter {
+	return Default().Counter("commongraph_repl_reconnects_total", helpReplReconnects)
+}
+
+// ReplLagSeq is the follower's WAL-sequence staleness gauge.
+func ReplLagSeq() *Gauge {
+	return Default().Gauge("commongraph_repl_lag_seq", helpReplLagSeq)
+}
+
+// ReplLagWindows is the follower's committed-window staleness gauge.
+func ReplLagWindows() *Gauge {
+	return Default().Gauge("commongraph_repl_lag_windows", helpReplLagWindows)
+}
+
+// ReplFencings counts stores fenced by a higher epoch.
+func ReplFencings() *Counter {
+	return Default().Counter("commongraph_repl_fencings_total", helpReplFencings)
+}
+
+// ReplPromotions counts completed follower promotions.
+func ReplPromotions() *Counter {
+	return Default().Counter("commongraph_repl_promotions_total", helpReplPromotions)
+}
+
+// ReplSnapshotShips counts full-snapshot bootstraps shipped.
+func ReplSnapshotShips() *Counter {
+	return Default().Counter("commongraph_repl_snapshot_ships_total", helpReplSnapshots)
+}
+
+// ReplStaleReads counts follower reads past the staleness budget, by
+// outcome ("served" when Options allow stale-marked results, "refused"
+// for the fail-fast path).
+func ReplStaleReads(outcome string) *Counter {
+	return Default().Counter("commongraph_repl_stale_reads_total", helpReplStaleReads, "outcome", outcome)
 }

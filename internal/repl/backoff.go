@@ -1,0 +1,146 @@
+// Package repl is the WAL-shipping replication layer over the durable
+// store (internal/store): a primary streams its committed history — base
+// snapshot, overlay batches, and the WAL commit pointer — to follower
+// stores over a length-prefixed, CRC-framed protocol, and followers
+// replay it through the same AppendBatch commit path the primary used,
+// so a replica's on-disk state is bit-for-bit the state the primary
+// would recover to.
+//
+// Split-brain is excluded by epoch fencing (see internal/store's
+// manifest): every frame carries the sender's epoch, a promoted follower
+// claims a strictly higher one, and a stale primary that hears it fences
+// itself durably before it can commit again.
+//
+// The package is transport-agnostic: a Primary serves any net.Conn
+// (TCP in cmd/cgrepl, net.Pipe in tests) and a Follower dials through a
+// caller-supplied function, so every failure mode is testable in-process.
+package repl
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff is a context-aware exponential backoff with deterministic,
+// seeded jitter — the retry pacing shared by the follower catch-up loop
+// and the watcher's maintenance retries. The zero value is usable and
+// uses the defaults below. Not safe for concurrent use; each retry loop
+// owns one.
+type Backoff struct {
+	// Base is the first delay (default 20ms).
+	Base time.Duration
+	// Max caps the grown delay before jitter (default 5s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter spreads each delay uniformly over [d·(1−J), d·(1+J)).
+	// Negative disables jitter; 0 means the default 0.2. Jitter keeps a
+	// fleet of followers that lost the same primary from reconnecting in
+	// lockstep.
+	Jitter float64
+	// Seed selects the deterministic jitter stream (splitmix64 — the
+	// repo-wide policy is no math/rand outside generators). 0 uses a
+	// fixed default stream; tests pin seeds to replay schedules.
+	Seed uint64
+
+	attempt int
+	rng     uint64
+	seeded  bool
+}
+
+const (
+	defaultBase   = 20 * time.Millisecond
+	defaultMax    = 5 * time.Second
+	defaultFactor = 2.0
+	defaultJitter = 0.2
+	defaultSeed   = 0x9E3779B97F4A7C15
+)
+
+// Reset rewinds the backoff to its first-attempt delay — called after a
+// session makes real progress, so a long-lived follower that finally
+// reconnects does not keep paying the accumulated penalty.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempt returns how many delays have been produced since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Next returns the next delay and advances the schedule.
+func (b *Backoff) Next() time.Duration {
+	base, max, factor := b.Base, b.Max, b.Factor
+	if base <= 0 {
+		base = defaultBase
+	}
+	if max <= 0 {
+		max = defaultMax
+	}
+	if factor < 1 {
+		factor = defaultFactor
+	}
+	d := float64(base)
+	for i := 0; i < b.attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	b.attempt++
+	jitter := b.Jitter
+	if jitter == 0 {
+		jitter = defaultJitter
+	}
+	if jitter > 0 {
+		if jitter > 1 {
+			jitter = 1
+		}
+		// Uniform in [1-j, 1+j) from the seeded stream.
+		d *= 1 - jitter + 2*jitter*b.next01()
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// Sleep waits for the next delay or until ctx is done, whichever comes
+// first, returning ctx.Err() when interrupted — the property that lets
+// Close/cancel tear down a backing-off retry loop immediately instead of
+// stranding it in a bare time.Sleep.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	return SleepContext(ctx, b.Next())
+}
+
+// SleepContext waits d or until ctx is done, whichever comes first.
+func SleepContext(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// next01 draws a float64 in [0, 1) from the backoff's splitmix64 stream.
+func (b *Backoff) next01() float64 {
+	if !b.seeded {
+		b.rng = b.Seed
+		if b.rng == 0 {
+			b.rng = defaultSeed
+		}
+		b.seeded = true
+	}
+	b.rng += 0x9E3779B97F4A7C15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

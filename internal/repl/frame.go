@@ -1,0 +1,320 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"commongraph/internal/faults"
+	"commongraph/internal/graph"
+	"commongraph/internal/obs"
+)
+
+// The wire format, documented in DESIGN.md "Replication". Every frame is
+//
+//	magic   u32  (0xC6C09417, "cg" + format)
+//	type    u8
+//	flags   u8   (per-type; hello uses bit 0 = has-store)
+//	pad     u16  (zero)
+//	epoch   u64  (sender's replication epoch — the fencing carrier)
+//	length  u32  (payload bytes)
+//	payload length bytes
+//	crc32   u32  (IEEE, over header + payload)
+//
+// all little-endian. The trailing CRC makes a torn or bit-rotted frame a
+// detected protocol error (the session drops and the catch-up loop
+// re-handshakes) rather than silent divergence; the epoch in every
+// header — not just hellos — means a fence cannot be missed by a peer
+// that is still reading.
+const (
+	frameMagic      = 0xC6C09417
+	frameHeaderLen  = 20
+	maxFramePayload = 1 << 30
+
+	// edgeWireLen is one edge on the wire: src u32, dst u32, weight i32.
+	edgeWireLen = 12
+)
+
+// ErrProto marks a malformed or out-of-protocol frame. A session that
+// sees one is unrecoverable in place; the follower reconnects and
+// re-handshakes from its durable position.
+var ErrProto = errors.New("repl: protocol error")
+
+type frameType uint8
+
+const (
+	// frameHello opens a session: the follower reports its durable
+	// position so the primary can resume shipping exactly where the
+	// follower's manifest stopped — no history is re-shipped across
+	// reconnects unless compaction already folded it away.
+	frameHello frameType = 1 + iota
+	// frameSnapshot re-bootstraps a follower that cannot catch up
+	// incrementally: a full base edge list at an absolute version.
+	frameSnapshot
+	// frameBatch ships one committed transition (or a bare commit-pointer
+	// advance) for replay through the follower's own AppendBatch.
+	frameBatch
+	// frameHeartbeat carries the primary's position during quiet periods
+	// so follower lag gauges stay live without commits.
+	frameHeartbeat
+	// frameFence carries only its header epoch: the sender asserts the
+	// receiver's epoch is stale. A primary receiving one fences itself
+	// durably before its next commit can happen.
+	frameFence
+)
+
+func (t frameType) String() string {
+	switch t {
+	case frameHello:
+		return "hello"
+	case frameSnapshot:
+		return "snapshot"
+	case frameBatch:
+		return "batch"
+	case frameHeartbeat:
+		return "heartbeat"
+	case frameFence:
+		return "fence"
+	}
+	return fmt.Sprintf("type-%d", uint8(t))
+}
+
+type frame struct {
+	typ     frameType
+	flags   uint8
+	epoch   uint64
+	payload []byte
+}
+
+// writeFrame ships one frame. faults.ReplShipFrame fires before any
+// bytes move, so an injected failure models a connection lost with the
+// frame unsent — the at-least-once replay case the resume handshake
+// covers.
+func writeFrame(w io.Writer, f frame) error {
+	if err := faults.Check(faults.ReplShipFrame); err != nil {
+		return fmt.Errorf("repl: ship %s frame: %w", f.typ, err)
+	}
+	if len(f.payload) > maxFramePayload {
+		return fmt.Errorf("%w: %s payload %d exceeds cap", ErrProto, f.typ, len(f.payload))
+	}
+	buf := make([]byte, frameHeaderLen+len(f.payload)+4)
+	binary.LittleEndian.PutUint32(buf[0:], frameMagic)
+	buf[4] = uint8(f.typ)
+	buf[5] = f.flags
+	binary.LittleEndian.PutUint64(buf[8:], f.epoch)
+	binary.LittleEndian.PutUint32(buf[16:], uint32(len(f.payload)))
+	copy(buf[frameHeaderLen:], f.payload)
+	sum := crc32.ChecksumIEEE(buf[:frameHeaderLen+len(f.payload)])
+	binary.LittleEndian.PutUint32(buf[frameHeaderLen+len(f.payload):], sum)
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	obs.ReplFramesSent(f.typ.String()).Inc()
+	obs.ReplBytes().Add(int64(len(buf)))
+	return nil
+}
+
+// readFrame reads and verifies one frame. faults.ReplRecvFrame fires
+// before the read, modelling a connection that dies under the reader.
+func readFrame(r io.Reader) (frame, error) {
+	if err := faults.Check(faults.ReplRecvFrame); err != nil {
+		return frame{}, fmt.Errorf("repl: recv frame: %w", err)
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
+		return frame{}, fmt.Errorf("%w: bad magic %08x", ErrProto, binary.LittleEndian.Uint32(hdr[0:]))
+	}
+	n := binary.LittleEndian.Uint32(hdr[16:])
+	if n > maxFramePayload {
+		return frame{}, fmt.Errorf("%w: payload length %d exceeds cap", ErrProto, n)
+	}
+	body := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frame{}, err
+	}
+	want := crc32.Update(crc32.ChecksumIEEE(hdr[:]), crc32.IEEETable, body[:n])
+	if got := binary.LittleEndian.Uint32(body[n:]); got != want {
+		return frame{}, fmt.Errorf("%w: frame CRC %08x != recorded %08x", ErrProto, want, got)
+	}
+	f := frame{
+		typ:     frameType(hdr[4]),
+		flags:   hdr[5],
+		epoch:   binary.LittleEndian.Uint64(hdr[8:]),
+		payload: body[:n:n],
+	}
+	obs.ReplFramesReceived(f.typ.String()).Inc()
+	return f, nil
+}
+
+// helloMsg is the follower's durable position, read straight off its
+// manifest: the primary resumes shipping at transitions/walSeq, or ships
+// a snapshot when the follower is empty, shaped differently, or already
+// folded past on the primary.
+type helloMsg struct {
+	hasStore    bool
+	vertices    int
+	baseVersion int
+	transitions int
+	walSeq      uint64
+}
+
+const helloFlagHasStore = 1
+
+func (m helloMsg) encode() (payload []byte, flags uint8) {
+	p := make([]byte, 28)
+	binary.LittleEndian.PutUint32(p[0:], uint32(m.vertices))
+	binary.LittleEndian.PutUint64(p[4:], uint64(m.baseVersion))
+	binary.LittleEndian.PutUint64(p[12:], uint64(m.transitions))
+	binary.LittleEndian.PutUint64(p[20:], m.walSeq)
+	if m.hasStore {
+		flags = helloFlagHasStore
+	}
+	return p, flags
+}
+
+func decodeHello(f frame) (helloMsg, error) {
+	if len(f.payload) != 28 {
+		return helloMsg{}, fmt.Errorf("%w: hello payload %d bytes", ErrProto, len(f.payload))
+	}
+	m := helloMsg{
+		hasStore:    f.flags&helloFlagHasStore != 0,
+		vertices:    int(binary.LittleEndian.Uint32(f.payload[0:])),
+		baseVersion: int(int64(binary.LittleEndian.Uint64(f.payload[4:]))),
+		transitions: int(int64(binary.LittleEndian.Uint64(f.payload[12:]))),
+		walSeq:      binary.LittleEndian.Uint64(f.payload[20:]),
+	}
+	if m.baseVersion < 0 || m.transitions < m.baseVersion {
+		return helloMsg{}, fmt.Errorf("%w: hello position (base %d, transitions %d)", ErrProto, m.baseVersion, m.transitions)
+	}
+	return m, nil
+}
+
+// snapshotMsg re-bootstraps a follower: the full base edge list at an
+// absolute version. The follower recreates its store from it (WAL
+// pointer 0 — the trailing batch frames carry the pointer forward).
+type snapshotMsg struct {
+	vertices    int
+	baseVersion int
+	base        graph.EdgeList
+}
+
+func (m snapshotMsg) encode() []byte {
+	p := make([]byte, 20+len(m.base)*edgeWireLen)
+	binary.LittleEndian.PutUint32(p[0:], uint32(m.vertices))
+	binary.LittleEndian.PutUint64(p[4:], uint64(m.baseVersion))
+	binary.LittleEndian.PutUint64(p[12:], uint64(len(m.base)))
+	putEdges(p[20:], m.base)
+	return p
+}
+
+func decodeSnapshot(f frame) (snapshotMsg, error) {
+	if len(f.payload) < 20 {
+		return snapshotMsg{}, fmt.Errorf("%w: snapshot payload %d bytes", ErrProto, len(f.payload))
+	}
+	n := binary.LittleEndian.Uint64(f.payload[12:])
+	if uint64(len(f.payload)-20) != n*edgeWireLen {
+		return snapshotMsg{}, fmt.Errorf("%w: snapshot claims %d edges in %d payload bytes", ErrProto, n, len(f.payload))
+	}
+	return snapshotMsg{
+		vertices:    int(binary.LittleEndian.Uint32(f.payload[0:])),
+		baseVersion: int(int64(binary.LittleEndian.Uint64(f.payload[4:]))),
+		base:        getEdges(f.payload[20:], int(n)),
+	}, nil
+}
+
+// batchMsg ships one committed transition: transition is the absolute
+// index (Δ+/Δ− become overlay transition on the follower), or -1 for a
+// commit-pointer-only advance (a net-zero ingest window — the primary
+// consumed WAL records without writing an overlay, and the follower must
+// track the pointer or its resume handshake would re-request them).
+type batchMsg struct {
+	transition int // -1: pointer-only
+	upToSeq    uint64
+	adds, dels graph.EdgeList
+}
+
+func (m batchMsg) encode() []byte {
+	p := make([]byte, 32+(len(m.adds)+len(m.dels))*edgeWireLen)
+	binary.LittleEndian.PutUint64(p[0:], uint64(int64(m.transition)))
+	binary.LittleEndian.PutUint64(p[8:], m.upToSeq)
+	binary.LittleEndian.PutUint64(p[16:], uint64(len(m.adds)))
+	binary.LittleEndian.PutUint64(p[24:], uint64(len(m.dels)))
+	putEdges(p[32:], m.adds)
+	putEdges(p[32+len(m.adds)*edgeWireLen:], m.dels)
+	return p
+}
+
+func decodeBatch(f frame) (batchMsg, error) {
+	if len(f.payload) < 32 {
+		return batchMsg{}, fmt.Errorf("%w: batch payload %d bytes", ErrProto, len(f.payload))
+	}
+	addN := binary.LittleEndian.Uint64(f.payload[16:])
+	delN := binary.LittleEndian.Uint64(f.payload[24:])
+	if uint64(len(f.payload)-32) != (addN+delN)*edgeWireLen {
+		return batchMsg{}, fmt.Errorf("%w: batch claims %d+%d edges in %d payload bytes", ErrProto, addN, delN, len(f.payload))
+	}
+	m := batchMsg{
+		transition: int(int64(binary.LittleEndian.Uint64(f.payload[0:]))),
+		upToSeq:    binary.LittleEndian.Uint64(f.payload[8:]),
+		adds:       getEdges(f.payload[32:], int(addN)),
+		dels:       getEdges(f.payload[32+int(addN)*edgeWireLen:], int(delN)),
+	}
+	if m.transition < -1 {
+		return batchMsg{}, fmt.Errorf("%w: batch transition %d", ErrProto, m.transition)
+	}
+	return m, nil
+}
+
+// heartbeatMsg is the primary's live position; followers derive lag from
+// it between commits.
+type heartbeatMsg struct {
+	transitions int
+	walSeq      uint64
+}
+
+func (m heartbeatMsg) encode() []byte {
+	p := make([]byte, 16)
+	binary.LittleEndian.PutUint64(p[0:], uint64(m.transitions))
+	binary.LittleEndian.PutUint64(p[8:], m.walSeq)
+	return p
+}
+
+func decodeHeartbeat(f frame) (heartbeatMsg, error) {
+	if len(f.payload) != 16 {
+		return heartbeatMsg{}, fmt.Errorf("%w: heartbeat payload %d bytes", ErrProto, len(f.payload))
+	}
+	return heartbeatMsg{
+		transitions: int(int64(binary.LittleEndian.Uint64(f.payload[0:]))),
+		walSeq:      binary.LittleEndian.Uint64(f.payload[8:]),
+	}, nil
+}
+
+func putEdges(p []byte, el graph.EdgeList) {
+	for i, e := range el {
+		o := i * edgeWireLen
+		binary.LittleEndian.PutUint32(p[o:], uint32(e.Src))
+		binary.LittleEndian.PutUint32(p[o+4:], uint32(e.Dst))
+		binary.LittleEndian.PutUint32(p[o+8:], uint32(e.W))
+	}
+}
+
+func getEdges(p []byte, n int) graph.EdgeList {
+	if n == 0 {
+		return nil
+	}
+	el := make(graph.EdgeList, n)
+	for i := range el {
+		o := i * edgeWireLen
+		el[i] = graph.Edge{
+			Src: graph.VertexID(binary.LittleEndian.Uint32(p[o:])),
+			Dst: graph.VertexID(binary.LittleEndian.Uint32(p[o+4:])),
+			W:   graph.Weight(binary.LittleEndian.Uint32(p[o+8:])),
+		}
+	}
+	return el
+}

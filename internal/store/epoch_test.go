@@ -1,0 +1,186 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+	"testing"
+
+	"commongraph/internal/graph"
+)
+
+// TestManifestEpochRoundTrip: format-2 manifests carry epoch and fence
+// through encode/parse unchanged.
+func TestManifestEpochRoundTrip(t *testing.T) {
+	in := manifest{vertices: 9, generation: 3, baseVersion: 2, transitions: 7,
+		walSeq: 41, epoch: 5, fencedBy: 6}
+	out, err := parseManifest(in.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip %+v != %+v", out, in)
+	}
+	if !out.fenced() {
+		t.Fatal("fencedBy 6 > epoch 5 should report fenced")
+	}
+}
+
+// TestManifestFormat1Compat: a pre-replication (format 1) manifest still
+// parses, decoding at epoch 0 and unfenced.
+func TestManifestFormat1Compat(t *testing.T) {
+	old := manifest{vertices: 4, generation: 1, baseVersion: 0, transitions: 2, walSeq: 9}
+	body := "cgstore 1\nvertices 4\ngeneration 1\nbase-version 0\ntransitions 2\nwal-seq 9\n"
+	m, err := parseManifest([]byte(body + crcLine(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != old {
+		t.Fatalf("format-1 parse %+v, want %+v", m, old)
+	}
+	if m.fenced() {
+		t.Fatal("format-1 manifest must be unfenced")
+	}
+}
+
+// TestFencedStoreRefusesWrites: observing a higher epoch fences every
+// write path (append, journal, compact), the fence survives reopen, and
+// BumpEpoch clears it by claiming a strictly higher epoch.
+func TestFencedStoreRefusesWrites(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	s, err := Create(dir, 8, graph.EdgeList{{Src: 0, Dst: 1, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendBatch(graph.EdgeList{{Src: 1, Dst: 2, W: 1}}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveEpoch(0); err != nil {
+		t.Fatalf("observing own epoch fenced the store: %v", err)
+	}
+	if err := s.ObserveEpoch(3); !errors.Is(err, ErrFenced) {
+		t.Fatalf("ObserveEpoch(3) = %v, want ErrFenced", err)
+	}
+	if !s.Fenced() {
+		t.Fatal("store not fenced after observing epoch 3")
+	}
+	if err := s.AppendBatch(graph.EdgeList{{Src: 2, Dst: 3, W: 1}}, nil, 0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced AppendBatch = %v, want ErrFenced", err)
+	}
+	if err := s.Journal([]RawUpdate{{Op: RawAdd, Edge: graph.Edge{Src: 2, Dst: 3, W: 1}}}); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced Journal = %v, want ErrFenced", err)
+	}
+	if err := s.CompactTo(1); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced CompactTo = %v, want ErrFenced", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fence is durable: a restarted stale primary stays fenced.
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Fenced() {
+		t.Fatal("fence did not survive reopen")
+	}
+	if err := r.AppendBatch(graph.EdgeList{{Src: 2, Dst: 3, W: 1}}, nil, 0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("reopened fenced AppendBatch = %v, want ErrFenced", err)
+	}
+
+	// Promotion claims an epoch above everything observed and unfences.
+	e, err := r.BumpEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 4 {
+		t.Fatalf("BumpEpoch = %d, want 4 (observed 3 + 1)", e)
+	}
+	if r.Fenced() {
+		t.Fatal("still fenced after BumpEpoch")
+	}
+	if err := r.AppendBatch(graph.EdgeList{{Src: 2, Dst: 3, W: 1}}, nil, 0); err != nil {
+		t.Fatalf("append after promotion: %v", err)
+	}
+	if r.Epoch() != 4 {
+		t.Fatalf("Epoch() = %d, want 4", r.Epoch())
+	}
+}
+
+// TestCreateReplicaPosition: a replica store is born at the primary's
+// absolute coordinates and reopens there.
+func TestCreateReplicaPosition(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "r")
+	base := graph.EdgeList{{Src: 0, Dst: 1, W: 1}, {Src: 1, Dst: 2, W: 2}}
+	s, err := CreateReplica(dir, 8, base, 3, 17, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bv, tr, seq, ep := s.Position()
+	if bv != 3 || tr != 3 || seq != 17 || ep != 2 {
+		t.Fatalf("Position = (%d,%d,%d,%d), want (3,3,17,2)", bv, tr, seq, ep)
+	}
+	if s.Origin() != 3 {
+		t.Fatalf("Origin = %d, want 3", s.Origin())
+	}
+	if err := s.AppendBatch(graph.EdgeList{{Src: 2, Dst: 3, W: 1}}, nil, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	bv, tr, seq, ep = r.Position()
+	if bv != 3 || tr != 4 || seq != 20 || ep != 2 {
+		t.Fatalf("reopened Position = (%d,%d,%d,%d), want (3,4,20,2)", bv, tr, seq, ep)
+	}
+	got, err := r.Base()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(got, base) {
+		t.Fatalf("replica base %v, want %v", got, base)
+	}
+}
+
+// TestCommitSignalFires: a waiter armed before a commit wakes on it, and
+// each returned channel fires at most once.
+func TestCommitSignalFires(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s")
+	s, err := Create(dir, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ch := s.CommitSignal()
+	select {
+	case <-ch:
+		t.Fatal("signal fired before any commit")
+	default:
+	}
+	if err := s.AppendBatch(graph.EdgeList{{Src: 0, Dst: 1, W: 1}}, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("signal did not fire on commit")
+	}
+	ch2 := s.CommitSignal()
+	if ch2 == ch {
+		t.Fatal("CommitSignal returned a spent channel")
+	}
+}
+
+// crcLine renders the manifest checksum line for a hand-built body,
+// mirroring encode's trailer.
+func crcLine(body string) string {
+	return fmt.Sprintf("crc %08x\n", crc32.ChecksumIEEE([]byte(body)))
+}

@@ -21,20 +21,30 @@ type manifest struct {
 	baseVersion int    // absolute snapshot version the base segment holds
 	transitions int    // absolute transition count; overlays span [baseVersion, transitions)
 	walSeq      uint64 // last raw-update sequence folded into a durable overlay
+	// epoch is the replication-group epoch this store writes at. Every
+	// promotion bumps it; frames on the wire carry it; a store that has
+	// observed a higher epoch (fencedBy) refuses all further commits
+	// until it is itself promoted past it. Format-1 manifests decode
+	// with epoch 0, fencedBy 0 — the pre-replication world.
+	epoch    uint64
+	fencedBy uint64 // highest foreign epoch observed; > epoch means fenced
 }
+
+// fenced reports whether this manifest's writer has been superseded.
+func (m manifest) fenced() bool { return m.fencedBy > m.epoch }
 
 const (
 	manifestName    = "MANIFEST"
 	manifestTmpName = "MANIFEST.tmp"
-	manifestFormat  = 1
+	manifestFormat  = 2
 )
 
 // encode renders the manifest with a trailing self-checksum line. The
 // checksum is defense in depth against bit rot; torn writes are already
 // excluded by the rename swap.
 func (m manifest) encode() []byte {
-	body := fmt.Sprintf("cgstore %d\nvertices %d\ngeneration %d\nbase-version %d\ntransitions %d\nwal-seq %d\n",
-		manifestFormat, m.vertices, m.generation, m.baseVersion, m.transitions, m.walSeq)
+	body := fmt.Sprintf("cgstore %d\nvertices %d\ngeneration %d\nbase-version %d\ntransitions %d\nwal-seq %d\nepoch %d\nfenced-by %d\n",
+		manifestFormat, m.vertices, m.generation, m.baseVersion, m.transitions, m.walSeq, m.epoch, m.fencedBy)
 	return []byte(fmt.Sprintf("%scrc %08x\n", body, crc32.ChecksumIEEE([]byte(body))))
 }
 
@@ -54,11 +64,23 @@ func parseManifest(data []byte) (manifest, error) {
 		return m, fmt.Errorf("%w: manifest CRC %08x != recorded %08x", ErrCorrupt, want, gotCRC)
 	}
 	var format int
-	if _, err := fmt.Sscanf(body, "cgstore %d\nvertices %d\ngeneration %d\nbase-version %d\ntransitions %d\nwal-seq %d\n",
-		&format, &m.vertices, &m.generation, &m.baseVersion, &m.transitions, &m.walSeq); err != nil {
+	if _, err := fmt.Sscanf(body, "cgstore %d\n", &format); err != nil {
 		return m, fmt.Errorf("%w: manifest fields: %v", ErrCorrupt, err)
 	}
-	if format != manifestFormat {
+	switch format {
+	case 1:
+		// Pre-replication manifests have no epoch lines; they decode at
+		// epoch 0, unfenced, and the next swap rewrites them as format 2.
+		if _, err := fmt.Sscanf(body, "cgstore %d\nvertices %d\ngeneration %d\nbase-version %d\ntransitions %d\nwal-seq %d\n",
+			&format, &m.vertices, &m.generation, &m.baseVersion, &m.transitions, &m.walSeq); err != nil {
+			return m, fmt.Errorf("%w: manifest fields: %v", ErrCorrupt, err)
+		}
+	case manifestFormat:
+		if _, err := fmt.Sscanf(body, "cgstore %d\nvertices %d\ngeneration %d\nbase-version %d\ntransitions %d\nwal-seq %d\nepoch %d\nfenced-by %d\n",
+			&format, &m.vertices, &m.generation, &m.baseVersion, &m.transitions, &m.walSeq, &m.epoch, &m.fencedBy); err != nil {
+			return m, fmt.Errorf("%w: manifest fields: %v", ErrCorrupt, err)
+		}
+	default:
 		return m, fmt.Errorf("store: unsupported manifest format %d", format)
 	}
 	if m.vertices < 0 || m.baseVersion < 0 || m.transitions < m.baseVersion {

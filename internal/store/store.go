@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,6 +13,14 @@ import (
 	"commongraph/internal/obs"
 	"commongraph/internal/snapshot"
 )
+
+// ErrFenced is returned by every write path of a store that has observed
+// a higher replication epoch than its own: a primary superseded by a
+// promoted follower must never commit again (the double-commit the epoch
+// fence exists to exclude). The fence is persisted in the manifest, so a
+// restarted stale primary stays fenced. errors.Is(err, ErrFenced) holds
+// on every wrapped fencing rejection.
+var ErrFenced = errors.New("store: fenced by a higher replication epoch")
 
 // Store is an open durable snapshot store. All methods are safe for
 // concurrent use; writers (AppendBatch, Journal, CompactTo) serialize on
@@ -28,6 +37,11 @@ type Store struct {
 	baseCache graph.EdgeList
 	ovlCache  map[int][2]graph.EdgeList
 
+	// commitCh broadcasts commits to replication ship loops: it is closed
+	// (and replaced) by every successful AppendBatch, so a waiter blocked
+	// on CommitSignal wakes exactly when the position it cached went stale.
+	commitCh chan struct{}
+
 	closed bool
 }
 
@@ -35,8 +49,21 @@ type Store struct {
 // snapshot is the given edge list. The directory must not already hold a
 // store.
 func Create(dir string, vertices int, base graph.EdgeList) (*Store, error) {
+	return CreateReplica(dir, vertices, base, 0, 0, 0)
+}
+
+// CreateReplica initializes dir as a store whose base snapshot already
+// sits at an absolute position in some other store's history — the
+// bootstrap path of a replication follower: the shipped base becomes this
+// store's base segment at baseVersion, the WAL commit pointer starts at
+// walSeq, and the store adopts the primary's epoch. Create is the
+// (0, 0, 0) special case.
+func CreateReplica(dir string, vertices int, base graph.EdgeList, baseVersion int, walSeq uint64, epoch uint64) (*Store, error) {
 	if _, err := os.Stat(filepath.Join(dir, manifestName)); err == nil {
 		return nil, fmt.Errorf("store: %s already holds a store", dir)
+	}
+	if baseVersion < 0 {
+		return nil, fmt.Errorf("store: negative base version %d", baseVersion)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -47,7 +74,13 @@ func Create(dir string, vertices int, base graph.EdgeList) (*Store, error) {
 			return nil, fmt.Errorf("store: base edge %v out of vertex range %d", e, vertices)
 		}
 	}
-	man := manifest{vertices: vertices}
+	man := manifest{
+		vertices:    vertices,
+		baseVersion: baseVersion,
+		transitions: baseVersion,
+		walSeq:      walSeq,
+		epoch:       epoch,
+	}
 	if err := writeSegment(dir, baseName(man.generation), kindBase, vertices, canon); err != nil {
 		return nil, err
 	}
@@ -55,6 +88,7 @@ func Create(dir string, vertices int, base graph.EdgeList) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.nextSeq = walSeq + 1
 	// The manifest swap is the commit point: before it the directory is
 	// not a store and Create can simply be retried.
 	if err := swapManifest(dir, man); err != nil {
@@ -65,7 +99,7 @@ func Create(dir string, vertices int, base graph.EdgeList) (*Store, error) {
 		dir:       dir,
 		man:       man,
 		wal:       w,
-		origin:    0,
+		origin:    baseVersion,
 		baseCache: canon,
 		ovlCache:  make(map[int][2]graph.EdgeList),
 	}, nil
@@ -180,6 +214,123 @@ func (s *Store) WALSeq() uint64 {
 	return s.man.walSeq
 }
 
+// Epoch returns the store's replication epoch — the group generation it
+// is entitled to write at. 0 until the store joins a replication group.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.epoch
+}
+
+// Fenced reports whether the store has observed a higher epoch than its
+// own and is therefore refusing commits.
+func (s *Store) Fenced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.fenced()
+}
+
+// Position returns the store's replication coordinates in one consistent
+// read: the base version, the transition count, the WAL commit pointer,
+// and the epoch.
+func (s *Store) Position() (baseVersion, transitions int, walSeq uint64, epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.man.baseVersion, s.man.transitions, s.man.walSeq, s.man.epoch
+}
+
+// ObserveEpoch records a foreign epoch. Observing one higher than the
+// store's own fences the store durably (the manifest swap persists it, so
+// a restart does not unfence) and returns ErrFenced; equal or lower
+// epochs are no-ops. This is how a stale primary learns it has been
+// superseded: a promoted follower's fence frame, or a hello from a peer
+// that already adopted the new epoch.
+func (s *Store) ObserveEpoch(e uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e <= s.man.epoch {
+		return nil
+	}
+	if e > s.man.fencedBy {
+		man := s.man
+		man.fencedBy = e
+		if err := swapManifest(s.dir, man); err != nil {
+			return err
+		}
+		s.man = man
+		obs.ReplFencings().Inc()
+		obs.Env().Event("store.fenced", obs.Int64("epoch", int64(s.man.epoch)),
+			obs.Int64("by", int64(e)))
+	}
+	return fmt.Errorf("store: epoch %d observed %d: %w", s.man.epoch, e, ErrFenced)
+}
+
+// AdoptEpoch raises the store's own epoch to e — the follower path: a
+// replica replaying frames stamped with a newer group epoch is not being
+// superseded, it is keeping up, so the epoch advances without fencing
+// (and clears any fence the new epoch covers). Lower or equal epochs are
+// no-ops. Contrast ObserveEpoch, which records a foreign epoch the store
+// is NOT entitled to write at.
+func (s *Store) AdoptEpoch(e uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e <= s.man.epoch {
+		return nil
+	}
+	man := s.man
+	man.epoch = e
+	if man.fencedBy <= e {
+		man.fencedBy = 0
+	}
+	if err := swapManifest(s.dir, man); err != nil {
+		return err
+	}
+	s.man = man
+	return nil
+}
+
+// BumpEpoch makes the store the writer of a fresh epoch — the promotion
+// step: the new epoch strictly exceeds both the store's own and every
+// epoch it has observed, and the fence (if any) is cleared in the same
+// manifest swap. Returns the new epoch.
+func (s *Store) BumpEpoch() (uint64, error) {
+	if err := faults.Check(faults.ReplPromote); err != nil {
+		return 0, fmt.Errorf("store: bump epoch: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: closed")
+	}
+	man := s.man
+	next := man.epoch
+	if man.fencedBy > next {
+		next = man.fencedBy
+	}
+	man.epoch = next + 1
+	man.fencedBy = 0
+	if err := swapManifest(s.dir, man); err != nil {
+		return 0, err
+	}
+	s.man = man
+	obs.ReplPromotions().Inc()
+	obs.Env().Event("store.promoted", obs.Int64("epoch", int64(man.epoch)))
+	return man.epoch, nil
+}
+
+// CommitSignal returns a channel closed at the next successful
+// AppendBatch — the replication ship loop's wake-up. Callers must re-read
+// the store's Position after the channel fires and re-arm with a fresh
+// CommitSignal call: each returned channel signals at most one commit.
+func (s *Store) CommitSignal() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.commitCh == nil {
+		s.commitCh = make(chan struct{})
+	}
+	return s.commitCh
+}
+
 // TakePending returns and clears the raw updates crash recovery found
 // above the commit pointer — the in-flight ingest window, for the
 // ingest layer to re-seed exactly once.
@@ -253,6 +404,10 @@ func (s *Store) AppendBatch(adds, dels graph.EdgeList, upToSeq uint64) error {
 	if s.closed {
 		return fmt.Errorf("store: closed")
 	}
+	if s.man.fenced() {
+		return fmt.Errorf("store: append batch at epoch %d (fenced by %d): %w",
+			s.man.epoch, s.man.fencedBy, ErrFenced)
+	}
 	if !adds.IsCanonical() || !dels.IsCanonical() {
 		return fmt.Errorf("store: append batch: %w", graph.ErrNotCanonical)
 	}
@@ -287,6 +442,10 @@ func (s *Store) AppendBatch(adds, dels graph.EdgeList, upToSeq uint64) error {
 		obs.WALTrimFailures().Inc()
 		obs.Env().Event("store.wal_trim_failed", obs.String("error", err.Error()))
 	}
+	if s.commitCh != nil {
+		close(s.commitCh)
+		s.commitCh = nil
+	}
 	return nil
 }
 
@@ -297,6 +456,10 @@ func (s *Store) Journal(us []RawUpdate) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("store: closed")
+	}
+	if s.man.fenced() {
+		return fmt.Errorf("store: journal at epoch %d (fenced by %d): %w",
+			s.man.epoch, s.man.fencedBy, ErrFenced)
 	}
 	return s.wal.append(us)
 }
@@ -339,6 +502,11 @@ func (s *Store) CompactTo(v int) error {
 
 	s.mu.Lock()
 	man := s.man
+	if man.fenced() {
+		s.mu.Unlock()
+		return fmt.Errorf("store: compact at epoch %d (fenced by %d): %w",
+			man.epoch, man.fencedBy, ErrFenced)
+	}
 	if v <= man.baseVersion {
 		s.mu.Unlock()
 		return nil // nothing to fold
@@ -374,6 +542,10 @@ func (s *Store) CompactTo(v int) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("store: closed")
+	}
+	if s.man.fenced() {
+		return fmt.Errorf("store: compact at epoch %d (fenced by %d): %w",
+			s.man.epoch, s.man.fencedBy, ErrFenced)
 	}
 	if s.man.generation != man.generation || s.man.baseVersion != man.baseVersion {
 		return fmt.Errorf("store: compaction raced another compaction (generation %d -> %d)",

@@ -1,0 +1,519 @@
+package commongraph
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"commongraph/internal/gen"
+)
+
+// pipeDial wires a follower to an in-process replication server over
+// net.Pipe — deterministic, no real sockets.
+func pipeDial(rs *ReplicationServer) func(context.Context) (net.Conn, error) {
+	return func(ctx context.Context) (net.Conn, error) {
+		c, s := net.Pipe()
+		rs.Attach(s)
+		return c, nil
+	}
+}
+
+// downDial always fails: the primary is unreachable.
+func downDial(context.Context) (net.Conn, error) {
+	return nil, errors.New("primary unreachable")
+}
+
+// waitFollowerSync polls until the follower has mirrored wantSnaps
+// snapshots and reports zero known lag.
+func waitFollowerSync(t *testing.T, f *Follower, wantSnaps int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		l := f.Lag()
+		g := f.Graph()
+		if l.Known && l.Seq == 0 && l.Windows == 0 && g != nil && g.NumSnapshots() == wantSnaps {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	l := f.Lag()
+	snaps := -1
+	if g := f.Graph(); g != nil {
+		snaps = g.NumSnapshots()
+	}
+	t.Fatalf("follower never converged: lag=%+v snapshots=%d want=%d", l, snaps, wantSnaps)
+}
+
+// replicatedPair builds a primary GraphStore from a generated evolving
+// graph, starts replication, and syncs a follower against it.
+func replicatedPair(t *testing.T, seed uint64, transitions int, cfg FollowerConfig) (*GraphStore, *ReplicationServer, *Follower) {
+	t.Helper()
+	g, _ := buildEvolving(t, seed, transitions, 40, 40)
+	gs, err := g.Persist(filepath.Join(t.TempDir(), "primary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := gs.ServeReplication(nil, ReplicationOptions{Heartbeat: 2 * time.Millisecond})
+	if cfg.Dir == "" {
+		cfg.Dir = filepath.Join(t.TempDir(), "replica")
+	}
+	cfg.Dial = pipeDial(rs)
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = time.Millisecond
+	}
+	f, err := Follow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFollowerSync(t, f, g.NumSnapshots())
+	return gs, rs, f
+}
+
+func sameSnapshots(t *testing.T, label string, want, got *Result, n int) {
+	t.Helper()
+	if len(got.Snapshots) != len(want.Snapshots) {
+		t.Fatalf("%s: %d snapshots, want %d", label, len(got.Snapshots), len(want.Snapshots))
+	}
+	for k := range want.Snapshots {
+		a, b := want.Snapshots[k], got.Snapshots[k]
+		if a.Index != b.Index || a.Reached != b.Reached || a.Checksum != b.Checksum {
+			t.Fatalf("%s snapshot %d: follower disagrees with primary (checksum %016x vs %016x, reached %d vs %d)",
+				label, k, a.Checksum, b.Checksum, a.Reached, b.Reached)
+		}
+		if len(a.Values) != len(b.Values) {
+			t.Fatalf("%s snapshot %d: value lengths differ: %d vs %d", label, k, len(a.Values), len(b.Values))
+		}
+		for v := 0; v < n && v < len(a.Values); v++ {
+			if a.Values[v] != b.Values[v] {
+				t.Fatalf("%s snapshot %d vertex %d: value %v vs %v", label, k, v, a.Values[v], b.Values[v])
+			}
+		}
+	}
+}
+
+// TestFollowerReadEquivalence is the replication acceptance differential
+// (the replicated twin of TestPersistReopenDifferential): a follower that
+// has replayed the primary's history up to sequence N must answer every
+// query byte-identically to the primary at N — same checksums, reached
+// counts and per-vertex values, under every evaluation strategy, through
+// both the direct EvolvingGraph.Run path and the maintained-window
+// follower Run path. It holds after the bootstrap snapshot, and again
+// after live transitions shipped mid-session.
+func TestFollowerReadEquivalence(t *testing.T) {
+	g, n := buildEvolving(t, 77, 5, 50, 50)
+	gs, err := g.Persist(filepath.Join(t.TempDir(), "primary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gs.Close()
+	rs := gs.ServeReplication(nil, ReplicationOptions{Heartbeat: 2 * time.Millisecond})
+	defer rs.Close()
+	f, err := Follow(FollowerConfig{
+		Dir:          filepath.Join(t.TempDir(), "replica"),
+		Dial:         pipeDial(rs),
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	waitFollowerSync(t, f, g.NumSnapshots())
+
+	// Live tail: commit more transitions on the primary while the
+	// follower session is up, then re-sync.
+	latest, err := g.Snapshot(g.NumSnapshots() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := gen.Stream(n, latest, gen.StreamConfig{Transitions: 2, Additions: 30, Deletions: 30, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range more {
+		if _, err := gs.ApplyUpdates(tr.Additions, tr.Deletions); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFollowerSync(t, f, g.NumSnapshots())
+
+	last := g.NumSnapshots() - 1
+	ctx := context.Background()
+	for _, algo := range []Algorithm{BFS, SSSP} {
+		for _, s := range Strategies() {
+			req := Request{
+				Query:    Query{Algorithm: algo, Source: 0},
+				Window:   Window{From: 0, To: last},
+				Strategy: s,
+				Options:  Options{KeepValues: true},
+			}
+			want, err := g.Run(ctx, req)
+			if err != nil {
+				t.Fatalf("%s/%v primary: %v", algo.Name(), s, err)
+			}
+			got, err := f.Graph().Run(ctx, req)
+			if err != nil {
+				t.Fatalf("%s/%v follower: %v", algo.Name(), s, err)
+			}
+			sameSnapshots(t, fmt.Sprintf("%s/%v direct", algo.Name(), s), want, got, n)
+		}
+	}
+
+	// Maintained-window path: the follower's Run against a primary
+	// watcher over the same window.
+	pw, err := g.Watch(0, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pw.Close()
+	if from, to := f.Watcher().Window(); from != 0 || to != last {
+		t.Fatalf("follower window [%d,%d], want [0,%d]", from, to, last)
+	}
+	for _, s := range []Strategy{DirectHop, DirectHopParallel, WorkSharing, WorkSharingParallel} {
+		req := Request{
+			Query:    Query{Algorithm: BFS, Source: 0},
+			Strategy: s,
+			Options:  Options{KeepValues: true},
+		}
+		want, err := pw.Run(ctx, req)
+		if err != nil {
+			t.Fatalf("%v primary watcher: %v", s, err)
+		}
+		got, err := f.Run(ctx, req)
+		if err != nil {
+			t.Fatalf("%v follower run: %v", s, err)
+		}
+		if got.Stale {
+			t.Fatalf("%v: in-sync follower marked its result stale", s)
+		}
+		sameSnapshots(t, fmt.Sprintf("BFS/%v watcher", s), want, got, n)
+	}
+}
+
+// TestFollowerWindowWidthSlides verifies the bounded-window follower:
+// with WindowWidth set, replayed transitions slide the maintained window
+// instead of growing it.
+func TestFollowerWindowWidthSlides(t *testing.T) {
+	gs, rs, f := replicatedPair(t, 51, 6, FollowerConfig{WindowWidth: 3})
+	defer gs.Close()
+	defer rs.Close()
+	defer f.Close()
+	n := f.Graph().NumSnapshots()
+	from, to := f.Watcher().Window()
+	if to != n-1 || to-from+1 != 3 {
+		t.Fatalf("window [%d,%d] over %d snapshots, want width 3 ending at %d", from, to, n, n-1)
+	}
+	res, err := f.Run(context.Background(), Request{
+		Query: Query{Algorithm: BFS, Source: 0}, Strategy: DirectHop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Snapshots) != 3 {
+		t.Fatalf("got %d snapshots, want the 3-wide window", len(res.Snapshots))
+	}
+}
+
+// TestFailoverPromotion is the end-to-end failover path: promoting a
+// follower durably claims a higher epoch, fences the old primary so it
+// can never commit again (no double-commit, no split-brain), and hands
+// back a fully writable GraphStore that outlives the Follower.
+func TestFailoverPromotion(t *testing.T) {
+	gs, rs, f := replicatedPair(t, 33, 3, FollowerConfig{})
+	defer gs.Close()
+	defer rs.Close()
+
+	ngs, err := f.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if ngs.Epoch() == 0 {
+		t.Fatal("promoted store kept epoch 0")
+	}
+
+	// The fence frame travels up the live session; the old primary must
+	// observe it and refuse all further writes.
+	deadline := time.Now().Add(5 * time.Second)
+	for !gs.FencedByReplication() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !gs.FencedByReplication() {
+		t.Fatal("old primary never fenced after promotion")
+	}
+	// The probe batch must pass in-memory validation so the write reaches
+	// the store layer, where the fence refuses it.
+	oldLatest, err := gs.Graph().Snapshot(gs.Graph().NumSnapshots() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := gen.Stream(gs.Graph().NumVertices(), oldLatest,
+		gen.StreamConfig{Transitions: 1, Additions: 5, Deletions: 5, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gs.ApplyUpdates(probe[0].Additions, probe[0].Deletions); !errors.Is(err, ErrFenced) {
+		t.Fatalf("fenced primary ApplyUpdates = %v, want ErrFenced", err)
+	}
+
+	// The promoted store ingests like any primary.
+	latest, err := ngs.Graph().Snapshot(ngs.Graph().NumSnapshots() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := gen.Stream(ngs.Graph().NumVertices(), latest,
+		gen.StreamConfig{Transitions: 1, Additions: 10, Deletions: 10, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ngs.ApplyUpdates(more[0].Additions, more[0].Deletions); err != nil {
+		t.Fatalf("promoted store rejects writes: %v", err)
+	}
+
+	// The spent Follower refuses reads and re-promotion.
+	if _, err := f.Run(context.Background(), Request{Query: Query{Algorithm: BFS, Source: 0}, Strategy: DirectHop}); !errors.Is(err, ErrPromoted) {
+		t.Fatalf("post-promotion Run = %v, want ErrPromoted", err)
+	}
+	if _, err := f.Promote(); !errors.Is(err, ErrPromoted) {
+		t.Fatalf("second Promote = %v, want ErrPromoted", err)
+	}
+	if ready, detail := f.Ready(); ready || !strings.Contains(detail, "promoted") {
+		t.Fatalf("promoted follower Ready = %v %q", ready, detail)
+	}
+
+	// Ownership transferred: the promoted store survives the Follower.
+	if err := f.Close(); err != nil {
+		t.Fatalf("follower close: %v", err)
+	}
+	if _, err := ngs.Graph().Run(context.Background(), Request{
+		Query: Query{Algorithm: BFS, Source: 0}, Window: Window{From: 0, To: ngs.Graph().NumSnapshots() - 1},
+		Strategy: DirectHop,
+	}); err != nil {
+		t.Fatalf("promoted store query after follower close: %v", err)
+	}
+	if err := ngs.Close(); err != nil {
+		t.Fatalf("promoted store close: %v", err)
+	}
+}
+
+// TestFollowerStalenessBudget drives the graceful-degradation contract:
+// a follower with a staleness budget and an unreachable primary refuses
+// reads with ErrStale (Ready flips false), serves them marked Stale when
+// ServeStale is on, and serves normally when no budget is configured.
+func TestFollowerStalenessBudget(t *testing.T) {
+	// Build a durable replica by syncing once, then cut the primary away.
+	dir := filepath.Join(t.TempDir(), "replica")
+	gs, rs, f := replicatedPair(t, 19, 3, FollowerConfig{Dir: dir})
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs.Close()
+	gs.Close()
+
+	req := Request{Query: Query{Algorithm: BFS, Source: 0}, Strategy: DirectHop}
+	reopen := func(cfg FollowerConfig) *Follower {
+		t.Helper()
+		cfg.Dir = dir
+		cfg.Dial = downDial
+		cfg.RetryBackoff = 50 * time.Millisecond
+		f, err := Follow(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	t.Run("budget-fails-fast", func(t *testing.T) {
+		f := reopen(FollowerConfig{MaxLagSeq: 1})
+		defer f.Close()
+		if ready, detail := f.Ready(); ready {
+			t.Fatalf("unreachable-primary follower reports ready (%q)", detail)
+		}
+		_, err := f.Run(context.Background(), req)
+		if !errors.Is(err, ErrStale) {
+			t.Fatalf("Run = %v, want ErrStale", err)
+		}
+	})
+
+	t.Run("serve-stale-marks", func(t *testing.T) {
+		f := reopen(FollowerConfig{MaxLagSeq: 1, ServeStale: true})
+		defer f.Close()
+		res, err := f.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("ServeStale Run: %v", err)
+		}
+		if !res.Stale {
+			t.Fatal("over-budget ServeStale result not marked Stale")
+		}
+		if len(res.Snapshots) == 0 {
+			t.Fatal("stale result carries no snapshots")
+		}
+	})
+
+	t.Run("no-budget-serves", func(t *testing.T) {
+		f := reopen(FollowerConfig{})
+		defer f.Close()
+		if ready, detail := f.Ready(); !ready {
+			t.Fatalf("budget-free follower not ready: %q", detail)
+		}
+		res, err := f.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("budget-free Run: %v", err)
+		}
+		if res.Stale {
+			t.Fatal("budget-free result marked Stale")
+		}
+	})
+
+	t.Run("empty-replica-awaits-bootstrap", func(t *testing.T) {
+		f, err := Follow(FollowerConfig{
+			Dir:          filepath.Join(t.TempDir(), "cold"),
+			Dial:         downDial,
+			RetryBackoff: 50 * time.Millisecond,
+			MaxLagSeq:    1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if ready, detail := f.Ready(); ready || !strings.Contains(detail, "bootstrap") {
+			t.Fatalf("cold follower Ready = %v %q", ready, detail)
+		}
+		if _, err := f.Run(context.Background(), req); !errors.Is(err, ErrStale) {
+			t.Fatalf("cold Run = %v, want ErrStale", err)
+		}
+	})
+}
+
+// TestFollowerServeOps exercises the operational endpoint: liveness,
+// lag-aware readiness, the lag JSON, and operator-driven promotion.
+func TestFollowerServeOps(t *testing.T) {
+	gs, rs, f := replicatedPair(t, 13, 3, FollowerConfig{})
+	defer gs.Close()
+	defer rs.Close()
+	defer f.Close()
+
+	m, err := f.ServeOps("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	base := "http://" + m.Addr()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if rerr != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	if code, detail := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d %q on an in-sync follower", code, detail)
+	}
+	code, body := get("/lag")
+	if code != http.StatusOK {
+		t.Fatalf("/lag = %d", code)
+	}
+	var lag struct {
+		Known   bool   `json:"known"`
+		Seq     uint64 `json:"seq"`
+		Windows int    `json:"windows"`
+	}
+	if err := json.Unmarshal([]byte(body), &lag); err != nil {
+		t.Fatalf("/lag body %q: %v", body, err)
+	}
+	if !lag.Known || lag.Seq != 0 || lag.Windows != 0 {
+		t.Fatalf("/lag = %+v on an in-sync follower", lag)
+	}
+	if code, _ := get("/promote"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /promote = %d, want 405", code)
+	}
+
+	resp, err := http.Post(base+"/promote", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var promoted struct {
+		Epoch        uint64 `json:"epoch"`
+		Acknowledged uint64 `json:"acknowledged"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&promoted)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("POST /promote = %d decode=%v", resp.StatusCode, err)
+	}
+	if promoted.Epoch == 0 {
+		t.Fatal("promotion response carries epoch 0")
+	}
+	ngs := f.Promoted()
+	if ngs == nil {
+		t.Fatal("Promoted() nil after POST /promote")
+	}
+	defer ngs.Close()
+	if code, detail := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(detail, "promoted") {
+		t.Fatalf("/readyz after promotion = %d %q, want 503 promoted", code, detail)
+	}
+	resp2, err := http.Post(base+"/promote", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("second POST /promote = %d, want 409", resp2.StatusCode)
+	}
+}
+
+// TestFollowerReopenServesOffline verifies that a follower reopening an
+// existing replica mirrors the durable history before its first session:
+// reads work immediately even though the primary is down.
+func TestFollowerReopenServesOffline(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "replica")
+	gs, rs, f := replicatedPair(t, 67, 4, FollowerConfig{Dir: dir})
+	wantSnaps := f.Graph().NumSnapshots()
+	want, err := f.Graph().Run(context.Background(), Request{
+		Query: Query{Algorithm: BFS, Source: 0}, Window: Window{From: 0, To: wantSnaps - 1},
+		Strategy: DirectHop, Options: Options{KeepValues: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rs.Close()
+	gs.Close()
+
+	f2, err := Follow(FollowerConfig{Dir: dir, Dial: downDial, RetryBackoff: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.Graph() == nil || f2.Graph().NumSnapshots() != wantSnaps {
+		t.Fatalf("reopened follower mirrors %v snapshots, want %d", f2.Graph(), wantSnaps)
+	}
+	got, err := f2.Graph().Run(context.Background(), Request{
+		Query: Query{Algorithm: BFS, Source: 0}, Window: Window{From: 0, To: wantSnaps - 1},
+		Strategy: DirectHop, Options: Options{KeepValues: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSnapshots(t, "offline reopen", want, got, f2.Graph().NumVertices())
+}

@@ -13,6 +13,7 @@ import (
 	"commongraph/internal/core"
 	"commongraph/internal/faults"
 	"commongraph/internal/obs"
+	"commongraph/internal/repl"
 )
 
 // Watcher keeps the CommonGraph representation of a snapshot window alive
@@ -52,12 +53,18 @@ type RetryPolicy struct {
 	// values below 1 mean a single attempt (no retry).
 	Attempts int
 	// Backoff is the wait before the first retry; it doubles on each
-	// subsequent one.
+	// subsequent one. The wait is interruptible: Watcher.Close cancels a
+	// retry mid-backoff instead of waiting it out.
 	Backoff time.Duration
+	// Jitter spreads each wait uniformly over [d·(1−J), d·(1+J)) with a
+	// deterministic seeded stream, so many watchers retrying against the
+	// same briefly-unavailable backend do not re-attempt in lockstep.
+	// 0 means the default 20%; negative disables jitter.
+	Jitter float64
 }
 
 // DefaultRetry is the policy a new Watcher starts with: three attempts
-// with a small doubling backoff.
+// with a small doubling, jittered backoff.
 var DefaultRetry = RetryPolicy{Attempts: 3, Backoff: 2 * time.Millisecond}
 
 // Watch creates a maintained window over [from, to].
@@ -159,15 +166,21 @@ func (w *Watcher) maintain(kind string, step func(*core.MaintainedRep) error) er
 	if attempts < 1 {
 		attempts = 1
 	}
-	backoff := w.retry.Backoff
+	// Jittered exponential waits (shared with the replication catch-up
+	// loop), gated on the watcher's lifecycle context: Close interrupts a
+	// backing-off retry instead of waiting it out.
+	bo := repl.Backoff{Base: w.retry.Backoff, Jitter: w.retry.Jitter}
 	var err error
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
 			obs.MaintenanceRetries().Inc()
 			sp.SetAttr(obs.Int("retry", try))
-			if backoff > 0 {
-				time.Sleep(backoff)
-				backoff *= 2
+			if w.retry.Backoff > 0 {
+				if serr := bo.Sleep(w.bgCtx); serr != nil {
+					obs.MaintenanceErrors(kind).Inc()
+					sp.SetAttr(obs.String("error", err.Error()))
+					return fmt.Errorf("commongraph: maintenance retry interrupted by Close: %w", err)
+				}
 			}
 		}
 		err = step(w.m)
@@ -271,11 +284,17 @@ func (w *Watcher) evaluate(q Query, strategy Strategy, opt Options) (*Result, er
 	return res, nil
 }
 
-// MetricsServer is a running metrics endpoint started by
-// Watcher.ServeMetrics. Close shuts it down.
+// MetricsServer is a running metrics/ops endpoint started by
+// Watcher.ServeMetrics or Follower.ServeOps. Close shuts it down,
+// severing idle connections too (the server carries read-header and idle
+// timeouts, so a stalled client can neither pin a connection forever nor
+// keep Close from returning).
 type MetricsServer struct {
 	srv *http.Server
 	ln  net.Listener
+
+	readyMu sync.Mutex
+	ready   func() (ok bool, detail string)
 }
 
 // Addr returns the server's bound address (useful with ":0").
@@ -284,14 +303,76 @@ func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
 // URL returns the metrics endpoint URL.
 func (m *MetricsServer) URL() string { return "http://" + m.Addr() + "/metrics" }
 
-// Close stops the server immediately.
+// Close stops the server immediately, closing the listener and every
+// accepted connection, idle ones included.
 func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// SetReadiness replaces the /readyz probe. The default always reports
+// ready; a replication follower installs its staleness-budget check.
+func (m *MetricsServer) SetReadiness(f func() (ok bool, detail string)) {
+	m.readyMu.Lock()
+	m.ready = f
+	m.readyMu.Unlock()
+}
+
+func (m *MetricsServer) readiness() (bool, string) {
+	m.readyMu.Lock()
+	f := m.ready
+	m.readyMu.Unlock()
+	if f == nil {
+		return true, "ok"
+	}
+	return f()
+}
+
+// newOpsServer builds the shared HTTP ops surface: /metrics (process
+// registry), /healthz (liveness — the process is serving), /readyz
+// (readiness — 503 with a reason until the owner's probe passes), plus
+// whatever routes the owner adds. The http.Server carries conservative
+// timeouts so a client that never finishes its request headers, or
+// parks an idle keep-alive connection, cannot hold resources
+// indefinitely.
+func newOpsServer(addr string, configure func(mux *http.ServeMux, m *MetricsServer)) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("commongraph: ops listener: %w", err)
+	}
+	m := &MetricsServer{ln: ln}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler())
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(rw, "ok")
+	})
+	mux.HandleFunc("/readyz", func(rw http.ResponseWriter, _ *http.Request) {
+		ok, detail := m.readiness()
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(rw, detail)
+	})
+	if configure != nil {
+		configure(mux, m)
+	}
+	m.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	//cgvet:ignore goleak -- serves until MetricsServer.Close shuts the listener; Serve then returns ErrServerClosed and the goroutine exits
+	go m.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return m, nil
+}
 
 // ServeMetrics starts an HTTP server on addr (e.g. ":9090", or ":0" for
 // an ephemeral port) exposing the watcher's observability surface:
 //
 //	/metrics  process-wide metric registry — Prometheus text exposition
 //	          by default, expvar-style JSON with ?format=json
+//	/healthz  liveness probe (always 200 while serving)
+//	/readyz   readiness probe (200 by default; see SetReadiness)
 //	/window   the watcher's current window as JSON
 //	          {"from":F,"to":T,"width":W,"common_edges":E}
 //
@@ -299,26 +380,18 @@ func (m *MetricsServer) Close() error { return m.srv.Close() }
 // and fault injection in the process feeds it); /window is this watcher's
 // live state. The server runs until Close.
 func (w *Watcher) ServeMetrics(addr string) (*MetricsServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("commongraph: metrics listener: %w", err)
-	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler())
-	mux.HandleFunc("/window", func(rw http.ResponseWriter, _ *http.Request) {
-		from, to := w.Window()
-		rw.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(rw).Encode(map[string]int{
-			"from":         from,
-			"to":           to,
-			"width":        to - from + 1,
-			"common_edges": w.CommonEdges(),
+	return newOpsServer(addr, func(mux *http.ServeMux, _ *MetricsServer) {
+		mux.HandleFunc("/window", func(rw http.ResponseWriter, _ *http.Request) {
+			from, to := w.Window()
+			rw.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(rw).Encode(map[string]int{
+				"from":         from,
+				"to":           to,
+				"width":        to - from + 1,
+				"common_edges": w.CommonEdges(),
+			})
 		})
 	})
-	srv := &http.Server{Handler: mux}
-	//cgvet:ignore goleak -- serves until MetricsServer.Close shuts the listener; Serve then returns ErrServerClosed and the goroutine exits
-	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
-	return &MetricsServer{srv: srv, ln: ln}, nil
 }
 
 // RunMulti evaluates several queries over the same window with the

@@ -1,7 +1,12 @@
 package commongraph
 
 import (
+	"net"
+	"strings"
 	"testing"
+	"time"
+
+	"commongraph/internal/faults"
 )
 
 func TestWatcherTracksGrowth(t *testing.T) {
@@ -183,5 +188,85 @@ func TestIndependentStrategyAgrees(t *testing.T) {
 	}
 	if sub.Snapshots[0].Index != 2 {
 		t.Fatalf("sub-window index %d", sub.Snapshots[0].Index)
+	}
+}
+
+// TestWatcherCloseInterruptsRetryBackoff pins the maintenance-retry
+// liveness contract: a maintenance step backing off between transient
+// retries sleeps on the watcher's lifecycle context, so Close interrupts
+// the wait immediately instead of letting it run its full duration.
+func TestWatcherCloseInterruptsRetryBackoff(t *testing.T) {
+	g, _ := buildEvolving(t, 271, 4, 20, 20)
+	w, err := g.Watch(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An hour-long backoff: the test passes only if Close cuts it short.
+	w.SetRetry(RetryPolicy{Attempts: 3, Backoff: time.Hour})
+	defer faults.Arm(&faults.Plan{Specs: []faults.Spec{
+		{Point: faults.CoreMaintainAppend, Transient: true, Times: 5},
+	}})()
+	done := make(chan error, 1)
+	go func() { done <- w.Append() }()
+	// Let Append fail its first attempt and enter the backoff sleep.
+	deadline := time.Now().Add(5 * time.Second)
+	for faults.Hits(faults.CoreMaintainAppend) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if faults.Hits(faults.CoreMaintainAppend) == 0 {
+		t.Fatal("injected maintenance fault never fired")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case aerr := <-done:
+		if aerr == nil {
+			t.Fatal("Append succeeded although every attempt was set to fail")
+		}
+		if !strings.Contains(aerr.Error(), "interrupted by Close") {
+			t.Fatalf("Append error %v, want the interrupted-by-Close wrap", aerr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Append still parked in retry backoff after Close")
+	}
+}
+
+// TestMetricsServerCloseUnblocksIdleConn is the regression test for the
+// ops-server hardening: Close severs connections that never sent a
+// request, so a stalled client cannot keep shutdown from completing.
+func TestMetricsServerCloseUnblocksIdleConn(t *testing.T) {
+	g, _ := buildEvolving(t, 281, 2, 10, 10)
+	w, err := g.Watch(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	m, err := w.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open a raw connection and send nothing — an idle client.
+	conn, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	readErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, rerr := conn.Read(buf)
+		readErr <- rerr
+	}()
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case rerr := <-readErr:
+		if rerr == nil {
+			t.Fatal("idle connection received data instead of being severed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left the idle connection open")
 	}
 }
