@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 # bench-json: which experiments to snapshot and where. CI commits one
 # BENCH_PR<n>.json per PR so the performance trajectory is diffable.
-BENCH_JSON_OUT ?= BENCH_PR7.json
+BENCH_JSON_OUT ?= BENCH_PR8.json
 BENCH_JSON_FLAGS ?= -exp all
 # perf-smoke: the committed engine-benchmark baseline of the previous PR
 # and where to write this run's numbers. The store pair covers the durable
@@ -13,7 +13,7 @@ PERF_STORE_BASELINE ?= bench/store-PR5.txt
 PERF_STORE_OUT ?= /tmp/store-perf.txt
 PERF_COUNT ?= 5
 
-.PHONY: all build test race vet check sarif fuzz-smoke chaos bench-json metrics-smoke obs-bench perf-smoke store-crash repl-crash ci
+.PHONY: all build test race vet check sarif fuzz-smoke chaos bench-json metrics-smoke obs-bench obs-overhead perf-smoke store-crash repl-crash ci
 
 all: build vet test
 
@@ -87,6 +87,13 @@ obs-bench:
 	$(GO) test ./internal/obs -run '^$$' -bench 'Disabled|Counter|Histogram' -benchmem -count=5
 	$(GO) test ./internal/core -run '^$$' -bench 'TracingOverhead' -benchmem -count=3
 
+# Always-on observability gate: time the kickstarter maintain loop with
+# flight recording off (nil ambient tracer — the pre-instrumentation
+# path) and on (ring-only recorder). The experiment itself FAILS when
+# the recorder costs more than 5%, so this target is a hard CI gate.
+obs-overhead:
+	$(GO) run ./cmd/cgbench -exp obs-overhead
+
 # Engine hot-path perf guard: rerun the BenchmarkEngine* suite and diff it
 # against the previous PR's committed baseline (bench/engine-PR<n>.txt).
 # Uses benchstat when present (CI installs it; `go install
@@ -126,6 +133,6 @@ store-crash:
 repl-crash:
 	$(GO) test -race ./internal/repl -count=1 -run 'KillPoint|CrashRecovery|Chaos|Promote|Fences|Reopen|Rebootstrap'
 	$(GO) test -race ./internal/store -count=1 -run 'Epoch|Fenc'
-	$(GO) test -race . -count=1 -run 'TestFailoverPromotion|TestFollowerReadEquivalence|TestFollowerStalenessBudget|TestFollowerReopenServesOffline|TestFollowerWindowWidthSlides'
+	$(GO) test -race . -count=1 -run 'TestFailoverPromotion|TestFailoverTraceLineage|TestStitchedTraceAcrossReplication|TestFollowerReadEquivalence|TestFollowerStalenessBudget|TestFollowerReopenServesOffline|TestFollowerWindowWidthSlides'
 
-ci: check test race fuzz-smoke chaos metrics-smoke store-crash repl-crash
+ci: check test race fuzz-smoke chaos metrics-smoke obs-overhead store-crash repl-crash

@@ -22,6 +22,13 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch before flag.Parse: "cgquery top" is the live
+	// ops dashboard (see top.go); everything else is the classic
+	// flag-driven one-shot query evaluator.
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		runTop(os.Args[2:])
+		return
+	}
 	var (
 		data     = flag.String("data", "", "dataset directory from cggen (this or -store is required)")
 		storeDir = flag.String("store", "", "durable cgstore directory (cggen -store / EvolvingGraph.Persist)")

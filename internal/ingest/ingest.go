@@ -270,16 +270,19 @@ func (b *Batcher) emit(updates []Update) error {
 	if err := faults.Check(faults.IngestWindowClose); err != nil {
 		return fmt.Errorf("ingest: window close: %w", err)
 	}
-	sp := obs.Env().StartSpan("ingest.window", obs.Int("raw", len(updates)))
+	// The window span wraps the sink call too: the downstream commit
+	// (store.commit) happens inside the window close, and the flight
+	// recorder keys retention on completed root spans.
+	sp := obs.Active().StartSpan("ingest.window", obs.Int("raw", len(updates)))
+	defer sp.End()
 	adds, dels, err := Compact(updates)
 	if err != nil {
-		sp.End()
+		sp.SetAttr(obs.String("error", err.Error()))
 		return err
 	}
 	obs.IngestBatches().Inc()
 	obs.IngestUpdates().Add(int64(len(updates)))
 	sp.SetAttr(obs.Int("additions", len(adds)), obs.Int("deletions", len(dels)))
-	sp.End()
 	if b.journal != nil {
 		return b.wsink(adds, dels, b.baseSeq+uint64(len(updates))-1)
 	}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultFlightBytes is the flight recorder's default byte budget: small
+// enough to be always-on in production, large enough to hold the last few
+// hundred root spans with their subtrees.
+const DefaultFlightBytes = 1 << 20
+
+// FlightRecord is one completed root span with its subtree, as kept by
+// the flight recorder ring.
+type FlightRecord struct {
+	Trace     TraceID
+	Root      Event
+	Events    []Event // completed subtree, recording order (root last)
+	Bytes     int
+	Truncated int // events the per-trace byte cap discarded
+}
+
+// FlightRecorder is an always-on, lock-free ring of the most recently
+// completed root spans, bounded by bytes rather than counts so one
+// attr-heavy trace can't silently multiply memory use. Writers only ever
+// publish with atomic stores/CAS; readers snapshot without blocking
+// writers, so recording stays cheap enough to leave enabled under load.
+type FlightRecorder struct {
+	slots    []atomic.Pointer[FlightRecord] // power-of-two length
+	head     atomic.Uint64                  // next write position
+	tail     atomic.Uint64                  // oldest retained position
+	bytes    atomic.Int64                   // resident bytes across retained records
+	maxBytes int64
+}
+
+// NewFlightRecorder creates a ring with the given byte budget
+// (DefaultFlightBytes when maxBytes <= 0).
+func NewFlightRecorder(maxBytes int64) *FlightRecorder {
+	if maxBytes <= 0 {
+		maxBytes = DefaultFlightBytes
+	}
+	// Slot count bounds record count; the byte budget is the real limit.
+	// 1024 slots cover the budget even at tiny per-record sizes.
+	f := &FlightRecorder{maxBytes: maxBytes}
+	f.slots = make([]atomic.Pointer[FlightRecord], 1024)
+	return f
+}
+
+// add publishes one completed root span's subtree. Called from Span.End
+// on root spans; must not block and must stay race-clean.
+func (f *FlightRecorder) add(rec *traceRec, trace TraceID, root Event) {
+	rec.mu.Lock()
+	r := &FlightRecord{
+		Trace:     trace,
+		Root:      root,
+		Events:    rec.events,
+		Bytes:     rec.bytes,
+		Truncated: rec.truncated,
+	}
+	rec.events = nil // ownership moves to the record
+	rec.mu.Unlock()
+	if r.Bytes == 0 {
+		r.Bytes = root.approxBytes()
+	}
+
+	h := f.head.Add(1) - 1
+	idx := h & uint64(len(f.slots)-1)
+	if old := f.slots[idx].Swap(r); old != nil {
+		// Wrapped over a live slot: its bytes leave the ring with it.
+		f.bytes.Add(-int64(old.Bytes))
+	}
+	f.bytes.Add(int64(r.Bytes))
+
+	// Evict from the tail until back under budget. Concurrent adders may
+	// race on tail; CAS keeps each slot's bytes subtracted at most once.
+	for f.bytes.Load() > f.maxBytes {
+		t := f.tail.Load()
+		h := f.head.Load()
+		if h <= t+1 {
+			break // keep at least the newest record
+		}
+		if h-t > uint64(len(f.slots)) {
+			// Tail fell behind a full wrap; those slots were already
+			// replaced (and their bytes subtracted) by Swap above.
+			f.tail.CompareAndSwap(t, h-uint64(len(f.slots)))
+			continue
+		}
+		if f.tail.CompareAndSwap(t, t+1) {
+			tidx := t & uint64(len(f.slots)-1)
+			if old := f.slots[tidx].Swap(nil); old != nil {
+				f.bytes.Add(-int64(old.Bytes))
+			}
+		}
+	}
+}
+
+// Bytes reports the ring's current resident size (approximate under
+// concurrent writes, convergent when they quiesce).
+func (f *FlightRecorder) Bytes() int64 { return f.bytes.Load() }
+
+// MaxBytes reports the configured budget.
+func (f *FlightRecorder) MaxBytes() int64 { return f.maxBytes }
+
+// Records snapshots the retained records, oldest first. The snapshot is
+// taken without blocking writers; records landing mid-snapshot may or may
+// not appear.
+func (f *FlightRecorder) Records() []*FlightRecord {
+	t := f.tail.Load()
+	h := f.head.Load()
+	if h-t > uint64(len(f.slots)) {
+		t = h - uint64(len(f.slots))
+	}
+	out := make([]*FlightRecord, 0, h-t)
+	for i := t; i < h; i++ {
+		if r := f.slots[i&uint64(len(f.slots)-1)].Load(); r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Find returns the newest retained record for the trace, or nil.
+func (f *FlightRecorder) Find(trace TraceID) *FlightRecord {
+	recs := f.Records()
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Trace == trace {
+			return recs[i]
+		}
+	}
+	return nil
+}
+
+// flightJSON is the /debug/flightrecorder dump shape.
+type flightJSON struct {
+	Trace     string            `json:"trace_id"`
+	Root      string            `json:"root"`
+	Start     time.Time         `json:"start"`
+	DurMS     float64           `json:"dur_ms"`
+	Events    int               `json:"events"`
+	Bytes     int               `json:"bytes"`
+	Truncated int               `json:"truncated,omitempty"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+}
+
+// WriteJSON dumps the retained records, oldest first, as a JSON array of
+// per-trace summaries.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	recs := f.Records()
+	out := make([]flightJSON, 0, len(recs))
+	for _, r := range recs {
+		j := flightJSON{
+			Trace:     r.Trace.String(),
+			Root:      r.Root.Name,
+			Start:     r.Root.Start,
+			DurMS:     float64(r.Root.Dur) / float64(time.Millisecond),
+			Events:    len(r.Events),
+			Bytes:     r.Bytes,
+			Truncated: r.Truncated,
+		}
+		if len(r.Root.Attrs) > 0 {
+			j.Attrs = make(map[string]string, len(r.Root.Attrs))
+			for _, a := range r.Root.Attrs {
+				j.Attrs[a.Key] = a.Value
+			}
+		}
+		out = append(out, j)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteChromeTrace exports one retained record as a standalone Chrome
+// trace (the /debug/trace?id= payload).
+func (r *FlightRecord) WriteChromeTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	epoch := r.Root.Start
+	for _, e := range r.Events {
+		if e.Start.Before(epoch) {
+			epoch = e.Start
+		}
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(r.Events))}
+	for _, e := range r.Events {
+		out.TraceEvents = append(out.TraceEvents, chromeFromEvent(e, 1, epoch))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+var (
+	flightOnce sync.Once
+	flightRing *FlightRecorder
+	flightRec  *Tracer
+	// flightOn gates the whole always-on pipeline. Stored as int32 so the
+	// disabled check stays one atomic load.
+	flightOn atomic.Int32
+)
+
+func init() { flightOn.Store(1) }
+
+// flightEnabled reports whether always-on flight recording is globally
+// armed (it is by default; SetFlightRecording(false) turns it off).
+func flightEnabled() bool { return flightOn.Load() == 1 }
+
+// SetFlightRecording arms or disarms the process's always-on flight
+// recording and returns the previous state. With it off, Recorder() and
+// Active() return nil — the exact pre-recorder disabled-tracer path —
+// which is what the obs-overhead benchmark compares against.
+func SetFlightRecording(on bool) bool {
+	var v int32
+	if on {
+		v = 1
+	}
+	return flightOn.Swap(v) == 1
+}
+
+// Flight returns the process flight recorder ring.
+func Flight() *FlightRecorder {
+	flightOnce.Do(func() {
+		flightRing = NewFlightRecorder(DefaultFlightBytes)
+		flightRec = New(WithRingOnly(), WithFlightRecorder(flightRing))
+	})
+	return flightRing
+}
+
+// Recorder returns the process's always-on ring-only tracer, or nil when
+// flight recording is disabled. Root spans started on it buffer nothing;
+// their completed subtrees land in Flight()'s ring.
+func Recorder() *Tracer {
+	if !flightEnabled() {
+		return nil
+	}
+	Flight()
+	return flightRec
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+)
+
+// TraceID identifies one request-scoped span tree across process
+// boundaries: every span of one evaluation, and of the replication work
+// that fed it, carries the same TraceID. Zero is "no trace".
+type TraceID uint64
+
+// SpanID identifies one span within a trace. Zero is "no span".
+type SpanID uint64
+
+// String renders the ID as fixed-width hex — the form /debug/trace?id=
+// accepts and Chrome trace args carry.
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// String renders the ID as fixed-width hex.
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// ParseTraceID parses the hex form String produces (leading zeros
+// optional).
+func ParseTraceID(s string) (TraceID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad trace id %q: %w", s, err)
+	}
+	return TraceID(v), nil
+}
+
+// IDSource generates span and trace IDs: a splitmix64 stream over an
+// atomic counter, so generation is lock-free, collision-resistant for any
+// practical span volume, and — with a fixed seed — fully deterministic.
+// Tests inject a seeded source via WithIDSource; production tracers seed
+// from the wall clock once at construction. An IDSource never yields 0
+// (the "absent" value of both ID types).
+type IDSource struct {
+	state atomic.Uint64
+}
+
+// NewIDSource creates a source whose stream is fully determined by seed.
+func NewIDSource(seed uint64) *IDSource {
+	s := &IDSource{}
+	s.state.Store(seed)
+	return s
+}
+
+// next returns the stream's next ID (never 0).
+func (s *IDSource) next() uint64 {
+	for {
+		// splitmix64: a Weyl sequence through a strong finalizer. The
+		// atomic add hands every caller a distinct input, so concurrent
+		// spans never collide.
+		z := s.state.Add(0x9E3779B97F4A7C15)
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		if z != 0 {
+			return z
+		}
+	}
+}
+
+// TraceID draws a fresh trace identifier.
+func (s *IDSource) TraceID() TraceID { return TraceID(s.next()) }
+
+// SpanID draws a fresh span identifier.
+func (s *IDSource) SpanID() SpanID { return SpanID(s.next()) }
+
+// SpanContext is the portable identity of a span: what flows through
+// context.Context between layers and across the replication wire (the
+// frame header's trace-context field). The zero value is "no trace".
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 && sc.Span != 0 }
+
+// ctxKey is the context.Context key for the active SpanContext.
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying sc; spans started under it
+// (Tracer.StartRemote via FromContext) join sc's trace as children.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the active span context, or the zero (invalid)
+// SpanContext when none is set.
+func FromContext(ctx context.Context) SpanContext {
+	if ctx == nil {
+		return SpanContext{}
+	}
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// incidentMinGap rate-limits automatic dumps: a panic storm or a fenced
+// primary retrying in a loop produces one dump per window, not one per
+// failure.
+const incidentMinGap = time.Second
+
+var (
+	incidentMu   sync.Mutex
+	incidentSink io.Writer    = os.Stderr
+	incidentLast atomic.Int64 // unix nanos of the last dump
+)
+
+// SetIncidentSink redirects automatic incident dumps (default os.Stderr).
+// Pass nil to discard them. Returns the previous sink so tests can
+// restore it.
+func SetIncidentSink(w io.Writer) io.Writer {
+	incidentMu.Lock()
+	defer incidentMu.Unlock()
+	prev := incidentSink
+	incidentSink = w
+	return prev
+}
+
+// Incident records that something went badly enough to want forensic
+// state — a contained panic, a fenced ex-primary, a staleness-budget
+// refusal — and dumps the flight recorder and slow log to the incident
+// sink, rate-limited to one dump per second. The counter increments for
+// every call; only the dump is rate-limited.
+func Incident(reason string, err error) {
+	IncidentsTotal(reason).Inc()
+	now := time.Now().UnixNano()
+	last := incidentLast.Load()
+	if now-last < int64(incidentMinGap) || !incidentLast.CompareAndSwap(last, now) {
+		return
+	}
+	incidentMu.Lock()
+	w := incidentSink
+	incidentMu.Unlock()
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, "--- commongraph incident: %s", reason)
+	if err != nil {
+		fmt.Fprintf(w, " (%v)", err)
+	}
+	fmt.Fprintf(w, " at %s ---\nflight recorder:\n", time.Unix(0, now).UTC().Format(time.RFC3339Nano))
+	if e := Flight().WriteJSON(w); e != nil {
+		fmt.Fprintf(w, "(flight dump failed: %v)\n", e)
+	}
+	fmt.Fprint(w, "slow log:\n")
+	if e := Slow().WriteJSON(w); e != nil {
+		fmt.Fprintf(w, "(slowlog dump failed: %v)\n", e)
+	}
+	fmt.Fprint(w, "--- end incident ---\n")
+}

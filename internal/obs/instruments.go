@@ -49,6 +49,16 @@ const (
 	helpReplPromotions = "Follower promotions (epoch bumps) completed."
 	helpReplSnapshots  = "Full snapshot bootstraps shipped to followers (catch-up was impossible incrementally)."
 	helpReplStaleReads = "Follower reads served (or refused) beyond the staleness budget, by outcome (served, refused)."
+
+	helpTraceDropped = "Trace events discarded because a tracer's event buffer was full (a synthetic trace.dropped event marks the gap in the export)."
+	helpSlowQueries  = "Queries slower than the slow-log threshold, by strategy."
+	helpIncidents    = "Incident dumps triggered (panic, fenced, stale refusal), by reason; flight-recorder/slow-log dumps are rate-limited, the counter is not."
+
+	helpGoroutines  = "Live goroutines (runtime/metrics /sched/goroutines:goroutines)."
+	helpHeapBytes   = "Heap memory occupied by live objects plus unswept spans (runtime/metrics /memory/classes/heap/objects:bytes)."
+	helpGCPauseP99  = "99th-percentile stop-the-world GC pause, seconds, over the process lifetime (runtime/metrics /sched/pauses/total/gc:seconds)."
+	helpSchedLatP99 = "99th-percentile time goroutines spent runnable before running, seconds, over the process lifetime (runtime/metrics /sched/latencies:seconds)."
+	helpGCCycles    = "Completed GC cycles (runtime/metrics /gc/cycles/total:gc-cycles)."
 )
 
 // Queries counts evaluated queries for one strategy slug.
@@ -230,4 +240,45 @@ func ReplSnapshotShips() *Counter {
 // for the fail-fast path).
 func ReplStaleReads(outcome string) *Counter {
 	return Default().Counter("commongraph_repl_stale_reads_total", helpReplStaleReads, "outcome", outcome)
+}
+
+// TraceDropped counts events a full tracer buffer discarded.
+func TraceDropped() *Counter {
+	return Default().Counter("obs_trace_dropped_total", helpTraceDropped)
+}
+
+// SlowQueries counts threshold-crossing queries per strategy slug.
+func SlowQueries(strategy string) *Counter {
+	return Default().Counter("commongraph_slow_queries_total", helpSlowQueries, "strategy", strategy)
+}
+
+// IncidentsTotal counts incident triggers per reason (panic, fenced,
+// stale).
+func IncidentsTotal(reason string) *Counter {
+	return Default().Counter("commongraph_incidents_total", helpIncidents, "reason", reason)
+}
+
+// Goroutines is the live-goroutine runtime gauge.
+func Goroutines() *Gauge {
+	return Default().Gauge("go_goroutines", helpGoroutines)
+}
+
+// HeapBytes is the live-heap runtime gauge.
+func HeapBytes() *Gauge {
+	return Default().Gauge("go_memstats_heap_objects_bytes", helpHeapBytes)
+}
+
+// GCPauseP99Seconds is the GC pause tail-latency runtime gauge.
+func GCPauseP99Seconds() *FloatGauge {
+	return Default().FloatGauge("go_gc_pause_p99_seconds", helpGCPauseP99)
+}
+
+// SchedLatencyP99Seconds is the scheduler-latency tail runtime gauge.
+func SchedLatencyP99Seconds() *FloatGauge {
+	return Default().FloatGauge("go_sched_latency_p99_seconds", helpSchedLatP99)
+}
+
+// GCCycles is the completed-GC-cycle runtime gauge.
+func GCCycles() *Gauge {
+	return Default().Gauge("go_gc_cycles_total", helpGCCycles)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"regexp"
 	"sort"
 	"strconv"
@@ -106,6 +107,16 @@ func (g *Gauge) Add(n int64) { g.v.Add(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 — runtime/metrics samples
+// (pause seconds, heap fractions) that don't fit an integer gauge.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // DefDurationBuckets are the default histogram bounds for latencies, in
 // seconds: decades from a microsecond to ten seconds, the range a
 // schedule edge or hop plausibly spans.
@@ -147,6 +158,13 @@ func (r *Registry) Counter(name, help string, labelPairs ...string) *Counter {
 func (r *Registry) Gauge(name, help string, labelPairs ...string) *Gauge {
 	f := r.family(name, help, "gauge")
 	return getOrCreate(f, labelPairs, func() *Gauge { return &Gauge{} })
+}
+
+// FloatGauge returns (registering on first use) the float gauge of the
+// named family.
+func (r *Registry) FloatGauge(name, help string, labelPairs ...string) *FloatGauge {
+	f := r.family(name, help, "gauge")
+	return getOrCreate(f, labelPairs, func() *FloatGauge { return &FloatGauge{} })
 }
 
 // Histogram returns (registering on first use) the histogram of the named
@@ -238,6 +256,9 @@ func writePromMetric(w io.Writer, name, labels string, m any) error {
 	case *Gauge:
 		_, err := fmt.Fprintf(w, "%s%s %d\n", name, wrap(""), v.Value())
 		return err
+	case *FloatGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, wrap(""), formatFloat(v.Value()))
+		return err
 	case *Histogram:
 		var cum int64
 		for i, b := range v.bounds {
@@ -289,6 +310,8 @@ func jsonMetric(m any) any {
 	case *Counter:
 		return v.Value()
 	case *Gauge:
+		return v.Value()
+	case *FloatGauge:
 		return v.Value()
 	case *Histogram:
 		buckets := make(map[string]int64, len(v.bounds)+1)

@@ -1,0 +1,707 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- identity ------------------------------------------------------------
+
+func TestIDSourceDeterministicAndNonZero(t *testing.T) {
+	a, b := NewIDSource(42), NewIDSource(42)
+	for i := 0; i < 1000; i++ {
+		ta, tb := a.TraceID(), b.TraceID()
+		if ta != tb {
+			t.Fatalf("seeded sources diverged at %d: %s vs %s", i, ta, tb)
+		}
+		if ta == 0 {
+			t.Fatal("ID source produced zero (the no-trace sentinel)")
+		}
+	}
+	if NewIDSource(7).TraceID() == NewIDSource(8).TraceID() {
+		t.Error("different seeds produced the same first ID")
+	}
+	// The zero seed must still work (splitmix of the Weyl increment).
+	if NewIDSource(0).TraceID() == 0 {
+		t.Error("zero seed produced a zero ID")
+	}
+}
+
+func TestParseTraceIDRoundTrip(t *testing.T) {
+	id := NewIDSource(99).TraceID()
+	back, err := ParseTraceID(id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip: %s != %s", back, id)
+	}
+	if _, err := ParseTraceID("zz"); err == nil {
+		t.Error("garbage trace id parsed")
+	}
+	if _, err := ParseTraceID(""); err == nil {
+		t.Error("empty trace id parsed")
+	}
+}
+
+func TestSpanIdentityLineage(t *testing.T) {
+	tr := New(WithIDSource(NewIDSource(1)), WithFlightRecorder(nil))
+	root := tr.StartSpan("root")
+	child := root.StartChild("child")
+	fork := root.Fork("fork")
+	if child.TraceID() != root.TraceID() || fork.TraceID() != root.TraceID() {
+		t.Fatal("children left the trace")
+	}
+	fork.End()
+	child.End()
+	root.End()
+
+	byName := map[string]Event{}
+	for _, e := range tr.Events() {
+		byName[e.Name] = e
+	}
+	rootE := byName["root"]
+	if rootE.Parent != 0 {
+		t.Errorf("root has parent %s", rootE.Parent)
+	}
+	if byName["child"].Parent != rootE.ID || byName["fork"].Parent != rootE.ID {
+		t.Error("child/fork parent is not the root span")
+	}
+	if byName["fork"].Track == rootE.Track {
+		t.Error("fork should render on its own track")
+	}
+	if byName["child"].Track != rootE.Track {
+		t.Error("sequential child should share the root's track")
+	}
+}
+
+func TestStartRemoteJoinsTrace(t *testing.T) {
+	// Two tracers = two processes. The remote span must join the sender's
+	// trace with the sender's span as parent.
+	primary := New(WithIDSource(NewIDSource(2)), WithFlightRecorder(nil))
+	follower := New(WithIDSource(NewIDSource(3)), WithFlightRecorder(nil))
+
+	ship := primary.StartSpan("repl.ship")
+	sc := ship.Context()
+	ship.End()
+
+	replay := follower.StartRemote(sc, "repl.replay")
+	if replay.TraceID() != sc.Trace {
+		t.Fatalf("remote span trace %s, want %s", replay.TraceID(), sc.Trace)
+	}
+	replay.End()
+	ev := follower.Events()
+	if len(ev) != 1 || ev[0].Parent != sc.Span {
+		t.Fatalf("replay parent = %v, want %s", ev, sc.Span)
+	}
+
+	// Invalid context: fresh trace, never zero.
+	orphan := follower.StartRemote(SpanContext{}, "orphan")
+	if orphan.TraceID() == 0 || orphan.TraceID() == sc.Trace {
+		t.Error("invalid remote context should start a fresh trace")
+	}
+	orphan.End()
+}
+
+func TestContextPropagation(t *testing.T) {
+	sc := SpanContext{Trace: 7, Span: 9}
+	ctx := ContextWithSpan(t.Context(), sc)
+	if got := FromContext(ctx); got != sc {
+		t.Fatalf("FromContext = %+v, want %+v", got, sc)
+	}
+	if FromContext(t.Context()).Valid() {
+		t.Error("empty context carries a valid span")
+	}
+	if FromContext(nil).Valid() { //nolint:staticcheck // nil-safety is the contract under test
+		t.Error("nil context carries a valid span")
+	}
+}
+
+// --- flight recorder -----------------------------------------------------
+
+// flightTracer builds a ring-only tracer attached to a private ring, the
+// production Recorder() shape without the process singleton.
+func flightTracer(maxBytes int64, seed uint64) (*Tracer, *FlightRecorder) {
+	ring := NewFlightRecorder(maxBytes)
+	return New(WithRingOnly(), WithFlightRecorder(ring), WithIDSource(NewIDSource(seed))), ring
+}
+
+func TestFlightRecorderRetainsCompletedRoots(t *testing.T) {
+	tr, ring := flightTracer(1<<20, 4)
+	root := tr.StartSpan("evaluate", String("strategy", "kickstarter"))
+	child := root.StartChild("hop")
+	child.End()
+	root.End()
+
+	recs := ring.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Trace != root.TraceID() || r.Root.Name != "evaluate" {
+		t.Fatalf("wrong record: %+v", r.Root)
+	}
+	// Subtree: child first (ended first), root last.
+	if len(r.Events) != 2 || r.Events[0].Name != "hop" || r.Events[1].Name != "evaluate" {
+		t.Fatalf("subtree = %v", r.Events)
+	}
+	if ring.Find(root.TraceID()) != r {
+		t.Error("Find missed the record")
+	}
+	if ring.Find(TraceID(0xdead)) != nil {
+		t.Error("Find invented a record")
+	}
+	// Ring-only: the tracer's own buffer stays empty.
+	if n := len(tr.Events()); n != 0 {
+		t.Errorf("ring-only tracer buffered %d events", n)
+	}
+}
+
+func TestFlightRecorderBytesBounded(t *testing.T) {
+	const budget = 8 << 10
+	tr, ring := flightTracer(budget, 5)
+	for i := 0; i < 500; i++ {
+		root := tr.StartSpan("op", String("pad", strings.Repeat("x", 100)))
+		root.StartChild("child").End()
+		root.End()
+	}
+	if got := ring.Bytes(); got > budget {
+		t.Fatalf("ring holds %d bytes, budget %d", got, budget)
+	}
+	recs := ring.Records()
+	if len(recs) == 0 {
+		t.Fatal("ring evicted everything")
+	}
+	// The newest record must always survive.
+	last := recs[len(recs)-1]
+	if last.Root.Name != "op" {
+		t.Fatalf("newest record lost: %+v", last.Root)
+	}
+}
+
+func TestFlightRecorderPerTraceTruncation(t *testing.T) {
+	tr, ring := flightTracer(1<<22, 6)
+	root := tr.StartSpan("big")
+	// recMaxBytes is 256KiB; each child ~64+name+attr bytes. Blow past it.
+	pad := strings.Repeat("y", 1024)
+	for i := 0; i < 1000; i++ {
+		root.StartChild("c", String("pad", pad)).End()
+	}
+	root.End()
+	r := ring.Find(root.TraceID())
+	if r == nil {
+		t.Fatal("record missing")
+	}
+	if r.Truncated == 0 {
+		t.Error("per-trace cap never truncated a 1MB subtree")
+	}
+	if r.Bytes > recMaxBytes+4096 {
+		t.Errorf("record bytes %d blew past the per-trace cap %d", r.Bytes, recMaxBytes)
+	}
+}
+
+func TestFlightRecorderConcurrentChaos(t *testing.T) {
+	tr, ring := flightTracer(32<<10, 7)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: complete root spans as fast as possible.
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				root := tr.StartSpan("op", Int("writer", w))
+				root.StartChild("c").End()
+				root.End()
+			}
+		}(w)
+	}
+	// Readers: snapshot and dump concurrently until the writers finish.
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range ring.Records() {
+					if rec.Root.Name == "" {
+						t.Error("torn record")
+						return
+					}
+				}
+				ring.WriteJSON(&bytes.Buffer{})
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if ring.Bytes() > ring.MaxBytes() {
+		t.Fatalf("quiesced ring over budget: %d > %d", ring.Bytes(), ring.MaxBytes())
+	}
+}
+
+func TestSetFlightRecordingTogglesRecorder(t *testing.T) {
+	prev := SetFlightRecording(true)
+	defer SetFlightRecording(prev)
+	if Recorder() == nil {
+		t.Fatal("recorder nil while enabled")
+	}
+	if Active() == nil {
+		t.Fatal("Active() nil while recording enabled and no env tracer")
+	}
+	SetFlightRecording(false)
+	if Recorder() != nil {
+		t.Fatal("recorder should be nil while disabled (the pre-recorder path)")
+	}
+	if Recorder().Detailed() {
+		t.Fatal("nil recorder claims detail")
+	}
+}
+
+func TestFlightRecordWriteChromeTrace(t *testing.T) {
+	tr, ring := flightTracer(1<<20, 8)
+	root := tr.StartSpan("evaluate")
+	root.StartChild("hop").End()
+	root.End()
+	var buf bytes.Buffer
+	if err := ring.Find(root.TraceID()).WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if len(out.TraceEvents) != 2 {
+		t.Fatalf("events = %d, want 2", len(out.TraceEvents))
+	}
+	// A nil record still writes a well-formed empty trace.
+	buf.Reset()
+	var nilRec *FlightRecord
+	if err := nilRec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("nil record dump not JSON: %s", buf.String())
+	}
+}
+
+// --- dropped-event gap (satellite: obs_trace_dropped_total) --------------
+
+func TestTraceDroppedGapMaterializes(t *testing.T) {
+	before := TraceDropped().Value()
+	tr := New(WithEventLimit(2), WithIDSource(NewIDSource(9)), WithFlightRecorder(nil))
+	tr.Event("a")
+	tr.Event("b")
+	tr.Event("overflow-1") // dropped
+	tr.Event("overflow-2") // dropped
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	if got := TraceDropped().Value() - before; got != 2 {
+		t.Fatalf("obs_trace_dropped_total moved by %d, want 2", got)
+	}
+	// Free space; the next successful record must materialize the gap as a
+	// synthetic trace.dropped instant carrying the count.
+	tr.Reset()
+	tr.Event("overflow-3") // dropped counter reset too; record a fresh gap
+	tr2 := New(WithEventLimit(2), WithIDSource(NewIDSource(9)), WithFlightRecorder(nil))
+	tr2.Event("a")
+	tr2.Event("b")
+	tr2.Event("dropped-1")
+	tr2.Event("dropped-2")
+	tr2.mu.Lock()
+	tr2.events = tr2.events[:0] // free space without clearing gapPending
+	tr2.mu.Unlock()
+	tr2.Event("after-gap")
+	var gap *Event
+	for _, e := range tr2.Events() {
+		if e.Name == "trace.dropped" {
+			ge := e
+			gap = &ge
+		}
+	}
+	if gap == nil {
+		t.Fatal("no synthetic trace.dropped event after the gap")
+	}
+	if !gap.Instant || gap.Attr("dropped_events") != "2" {
+		t.Fatalf("gap event wrong: %+v", *gap)
+	}
+}
+
+// --- slow-query log ------------------------------------------------------
+
+func TestSlowLogThresholdGates(t *testing.T) {
+	l := NewSlowLog(50*time.Millisecond, 1)
+	l.Observe(SlowEntry{Strategy: "fast", Dur: 10 * time.Millisecond})
+	l.Observe(SlowEntry{Strategy: "slow", Dur: 80 * time.Millisecond})
+	entries, seen := l.Snapshot()
+	if len(entries["fast"]) != 0 {
+		t.Error("fast query logged")
+	}
+	if len(entries["slow"]) != 1 || seen["slow"] != 1 {
+		t.Errorf("slow query missing: %v %v", entries, seen)
+	}
+	// Runtime threshold change applies immediately and returns the old one.
+	if old := l.SetThreshold(5 * time.Millisecond); old != 50*time.Millisecond {
+		t.Errorf("SetThreshold returned %v", old)
+	}
+	l.Observe(SlowEntry{Strategy: "fast", Dur: 10 * time.Millisecond})
+	if entries, _ := l.Snapshot(); len(entries["fast"]) != 1 {
+		t.Error("lowered threshold not applied")
+	}
+}
+
+func TestSlowLogReservoirBounded(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 2)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		l.Observe(SlowEntry{Strategy: "s", Dur: time.Duration(i+2) * time.Millisecond})
+	}
+	entries, seen := l.Snapshot()
+	if len(entries["s"]) != slowReservoirK {
+		t.Fatalf("reservoir holds %d, want %d", len(entries["s"]), slowReservoirK)
+	}
+	if seen["s"] != n {
+		t.Fatalf("seen = %d, want %d", seen["s"], n)
+	}
+	// Reservoir sampling: late entries must be able to displace early ones.
+	late := false
+	for _, e := range entries["s"] {
+		if e.Dur > time.Duration(slowReservoirK+2)*time.Millisecond {
+			late = true
+		}
+	}
+	if !late {
+		t.Error("reservoir only kept the first K entries — not sampling")
+	}
+}
+
+func TestSlowLogWriteJSONShape(t *testing.T) {
+	l := NewSlowLog(time.Millisecond, 3)
+	l.Observe(SlowEntry{Trace: 0xabc, Strategy: "work-sharing", Dur: 30 * time.Millisecond, From: 1, To: 5})
+	l.Observe(SlowEntry{Strategy: "kickstarter", Dur: 90 * time.Millisecond, Stale: true})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		ThresholdMS float64 `json:"threshold_ms"`
+		Strategies  map[string]struct {
+			Seen    int64 `json:"seen"`
+			Sampled []struct {
+				TraceID string  `json:"trace_id"`
+				DurMS   float64 `json:"dur_ms"`
+				Stale   bool    `json:"stale"`
+			} `json:"sampled"`
+		} `json:"strategies"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("slowlog JSON: %v\n%s", err, buf.String())
+	}
+	if out.ThresholdMS != 1 {
+		t.Errorf("threshold_ms = %v, want 1", out.ThresholdMS)
+	}
+	if len(out.Strategies) != 2 {
+		t.Fatalf("strategies = %d, want 2", len(out.Strategies))
+	}
+	// The trace id is exported in the hex form queryable at /debug/trace.
+	ws := out.Strategies["work-sharing"]
+	if len(ws.Sampled) != 1 || ws.Sampled[0].TraceID != TraceID(0xabc).String() {
+		t.Errorf("work-sharing sample wrong: %+v", ws.Sampled)
+	}
+	ks := out.Strategies["kickstarter"]
+	if len(ks.Sampled) != 1 || !ks.Sampled[0].Stale || ks.Sampled[0].DurMS != 90 {
+		t.Errorf("kickstarter sample wrong: %+v", ks.Sampled)
+	}
+}
+
+// --- incidents -----------------------------------------------------------
+
+func TestIncidentDumpAndRateLimit(t *testing.T) {
+	var buf bytes.Buffer
+	prev := SetIncidentSink(&buf)
+	defer SetIncidentSink(prev)
+	// Reset the rate limiter window.
+	incidentLast.Store(time.Now().Add(-2 * time.Second).UnixNano())
+
+	before := IncidentsTotal("test-reason").Value()
+	Incident("test-reason", os.ErrClosed)
+	Incident("test-reason", os.ErrClosed) // inside the gap: counted, not dumped
+	if got := IncidentsTotal("test-reason").Value() - before; got != 2 {
+		t.Fatalf("incident counter moved %d, want 2", got)
+	}
+	dump := buf.String()
+	if strings.Count(dump, "--- commongraph incident: test-reason") != 1 {
+		t.Fatalf("want exactly one rate-limited dump, got:\n%s", dump)
+	}
+	for _, want := range []string{"flight recorder:", "slow log:", "--- end incident ---"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+// --- runtime metrics -----------------------------------------------------
+
+func TestCollectRuntimeMetrics(t *testing.T) {
+	CollectRuntimeMetrics()
+	if Goroutines().Value() <= 0 {
+		t.Error("goroutine gauge not populated")
+	}
+	if HeapBytes().Value() <= 0 {
+		t.Error("heap gauge not populated")
+	}
+	// The p99 gauges may legitimately be zero right after start; they just
+	// must not be negative or NaN.
+	for _, g := range []*FloatGauge{GCPauseP99Seconds(), SchedLatencyP99Seconds()} {
+		v := g.Value()
+		if v < 0 || v != v {
+			t.Errorf("p99 gauge = %v", v)
+		}
+	}
+}
+
+func TestRuntimeCollectorRefcount(t *testing.T) {
+	stop1 := StartRuntimeCollector(time.Hour)
+	stop2 := StartRuntimeCollector(time.Hour)
+	runtimeMu.Lock()
+	refs := runtimeRefs
+	runtimeMu.Unlock()
+	if refs != 2 {
+		t.Fatalf("refs = %d, want 2", refs)
+	}
+	stop1()
+	stop1() // idempotent
+	runtimeMu.Lock()
+	refs = runtimeRefs
+	stillRunning := runtimeStop != nil
+	runtimeMu.Unlock()
+	if refs != 1 || !stillRunning {
+		t.Fatalf("after one release: refs=%d running=%v", refs, stillRunning)
+	}
+	stop2()
+	runtimeMu.Lock()
+	refs, stopped := runtimeRefs, runtimeStop == nil
+	runtimeMu.Unlock()
+	if refs != 0 || !stopped {
+		t.Fatalf("after last release: refs=%d stopped=%v", refs, stopped)
+	}
+}
+
+// --- stitched export -----------------------------------------------------
+
+func TestWriteStitchedChromeTrace(t *testing.T) {
+	primary := New(WithIDSource(NewIDSource(11)), WithFlightRecorder(nil))
+	follower := New(WithIDSource(NewIDSource(12)), WithFlightRecorder(nil))
+
+	commit := primary.StartSpan("store.commit")
+	ship := primary.StartRemote(commit.Context(), "repl.ship")
+	sc := ship.Context()
+	ship.End()
+	commit.End()
+	replay := follower.StartRemote(sc, "repl.replay")
+	replay.End()
+
+	var buf bytes.Buffer
+	err := WriteStitchedChromeTrace(&buf,
+		TraceProcess{Name: "primary", Tracer: primary},
+		TraceProcess{Name: "follower", Tracer: follower},
+		TraceProcess{Name: "absent", Tracer: nil}, // skipped, not fatal
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Args map[string]any
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("stitched trace not JSON: %v", err)
+	}
+	names := map[string]int{} // process_name metadata per pid
+	pids := map[string]int{}
+	var traceIDs []string
+	for _, e := range out.TraceEvents {
+		if e.Ph == "M" && e.Name == "process_name" {
+			names[e.Args["name"].(string)] = e.Pid
+			continue
+		}
+		pids[e.Name] = e.Pid
+		if tid, ok := e.Args["trace_id"].(string); ok {
+			traceIDs = append(traceIDs, tid)
+		}
+	}
+	if len(names) != 2 {
+		t.Fatalf("process metadata = %v, want primary+follower", names)
+	}
+	if pids["store.commit"] != names["primary"] || pids["repl.replay"] != names["follower"] {
+		t.Fatalf("events landed in the wrong process rows: %v / %v", pids, names)
+	}
+	if len(traceIDs) != 3 {
+		t.Fatalf("trace ids on %d events, want 3", len(traceIDs))
+	}
+	for _, tid := range traceIDs[1:] {
+		if tid != traceIDs[0] {
+			t.Fatalf("spans did not share a TraceID: %v", traceIDs)
+		}
+	}
+}
+
+// --- exposition parser + golden file (satellite a) -----------------------
+
+// goldenRegistry builds the deterministic registry the golden file pins:
+// every metric type, labels needing escapes, and a histogram whose
+// exposition exercises cumulative buckets, +Inf, _sum and _count.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("cg_requests_total", "Requests served.", "strategy", "work-sharing").Add(42)
+	r.Counter("cg_requests_total", "Requests served.", "strategy", "kickstarter").Add(7)
+	r.Gauge("cg_window_size", "Maintained window width.").Set(16)
+	r.FloatGauge("cg_pause_p99_seconds", "GC pause p99.").Set(0.000125)
+	r.Counter("cg_weird_label_total", "Escape handling.", "path", "a\\b\"c\nd").Inc()
+	h := r.Histogram("cg_hop_seconds", "Hop latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(2 * time.Second) // lands in +Inf
+	return r
+}
+
+func TestHistogramExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("REGEN_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", goldenPath, buf.Len())
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with REGEN_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file %s:\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, buf.String(), want)
+	}
+
+	// The hand-rolled parser must accept its own exposition and recover
+	// the exact numbers.
+	fams, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parser rejected our own exposition: %v", err)
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	hist, ok := byName["cg_hop_seconds"]
+	if !ok || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing: %v", byName)
+	}
+	var infV, countV, sumV float64
+	for _, s := range hist.Samples {
+		switch {
+		case s.Name == "cg_hop_seconds_bucket" && s.Labels["le"] == "+Inf":
+			infV = s.Value
+		case s.Name == "cg_hop_seconds_count":
+			countV = s.Value
+		case s.Name == "cg_hop_seconds_sum":
+			sumV = s.Value
+		}
+	}
+	if infV != 4 || countV != 4 {
+		t.Errorf("histogram +Inf=%v count=%v, want 4/4", infV, countV)
+	}
+	if sumV < 2.01 || sumV > 2.02 {
+		t.Errorf("histogram sum = %v, want ≈2.0115", sumV)
+	}
+	req := byName["cg_requests_total"]
+	if len(req.Samples) != 2 {
+		t.Errorf("labelled counter series = %d, want 2", len(req.Samples))
+	}
+	esc := byName["cg_weird_label_total"]
+	if len(esc.Samples) != 1 || esc.Samples[0].Labels["path"] != "a\\b\"c\nd" {
+		t.Errorf("label escapes did not round-trip: %+v", esc.Samples)
+	}
+}
+
+func TestParseExpositionRejectsMalformedHistograms(t *testing.T) {
+	cases := map[string]string{
+		"non-monotonic buckets": `# HELP h x
+# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="1"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+		"missing +Inf": `# HELP h x
+# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_sum 1
+h_count 5
+`,
+		"count mismatch": `# HELP h x
+# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 9
+`,
+		"TYPE after samples": `# HELP h x
+# TYPE h counter
+h 1
+# TYPE h2 counter
+# HELP h2 late help
+h 2
+`,
+		"sample without TYPE": `orphan_metric 3
+`,
+		"duplicate label": `# HELP c x
+# TYPE c counter
+c{a="1",a="2"} 3
+`,
+	}
+	for name, text := range cases {
+		if _, err := ParseExposition([]byte(text)); err == nil {
+			t.Errorf("%s: parser accepted malformed exposition", name)
+		}
+	}
+}
+
+func TestParseExpositionAcceptsDefaultRegistry(t *testing.T) {
+	// The live registry (whatever other tests populated) must always parse:
+	// this is the same property the /metrics endpoint relies on.
+	QueriesTotal := Default()
+	var buf bytes.Buffer
+	if err := QueriesTotal.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseExposition(buf.Bytes()); err != nil {
+		t.Fatalf("default registry exposition rejected: %v", err)
+	}
+}

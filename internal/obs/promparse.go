@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family: its # HELP/# TYPE metadata and
+// samples in document order. Histogram families gather their _bucket,
+// _sum and _count series.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParseExposition is a strict, promtool-style parser for the Prometheus
+// text exposition format (version 0.0.4), hand-rolled on the stdlib. It
+// parses label values with full escape handling (\\, \", \n), checks
+// sample/metadata ordering, histogram bucket monotonicity and the
+// mandatory +Inf bucket, and returns the families in document order.
+// The golden-file test and cgtop both consume it, so the registry's
+// output is held to what a real scraper would accept.
+func ParseExposition(text []byte) ([]PromFamily, error) {
+	var (
+		fams  []PromFamily
+		index = map[string]int{}
+	)
+	current := -1
+	for ln, line := range strings.Split(string(text), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			kind := line[2:6]
+			rest := line[7:]
+			sp := strings.IndexByte(rest, ' ')
+			name, val := rest, ""
+			if sp >= 0 {
+				name, val = rest[:sp], rest[sp+1:]
+			}
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q in # %s", lineNo, name, kind)
+			}
+			i, ok := index[name]
+			if !ok {
+				index[name] = len(fams)
+				i = len(fams)
+				fams = append(fams, PromFamily{Name: name})
+			}
+			current = i
+			if kind == "HELP" {
+				fams[i].Help = val
+			} else {
+				switch val {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, val)
+				}
+				if fams[i].Type != "" {
+					return nil, fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, name)
+				}
+				if len(fams[i].Samples) > 0 {
+					return nil, fmt.Errorf("line %d: # TYPE for %s after its samples", lineNo, name)
+				}
+				fams[i].Type = val
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		famName := s.Name
+		if current >= 0 && fams[current].Type == "histogram" {
+			base := fams[current].Name
+			if s.Name == base+"_bucket" || s.Name == base+"_sum" || s.Name == base+"_count" {
+				famName = base
+			}
+		}
+		i, ok := index[famName]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q without preceding metadata", lineNo, s.Name)
+		}
+		fams[i].Samples = append(fams[i].Samples, s)
+		current = i
+	}
+	for _, f := range fams {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s has no # TYPE", f.Name)
+		}
+		if len(f.Samples) == 0 {
+			return nil, fmt.Errorf("family %s declared but has no samples", f.Name)
+		}
+		if f.Type == "histogram" {
+			if err := checkHistogramFamily(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// checkHistogramFamily verifies cumulative bucket monotonicity, the
+// mandatory le="+Inf" bucket, and that _count equals the +Inf bucket, for
+// every label subset of the family.
+func checkHistogramFamily(f PromFamily) error {
+	type series struct {
+		last     float64
+		infSeen  bool
+		infValue float64
+		count    float64
+		hasCount bool
+	}
+	bySubset := map[string]*series{}
+	subsetKey := func(labels map[string]string) string {
+		parts := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k == "le" {
+				continue
+			}
+			parts = append(parts, k+"="+v)
+		}
+		// Tiny n: insertion sort keeps this dependency-free of sort pkg churn.
+		for i := 1; i < len(parts); i++ {
+			for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+				parts[j], parts[j-1] = parts[j-1], parts[j]
+			}
+		}
+		return strings.Join(parts, ",")
+	}
+	get := func(labels map[string]string) *series {
+		k := subsetKey(labels)
+		s := bySubset[k]
+		if s == nil {
+			s = &series{}
+			bySubset[k] = s
+		}
+		return s
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			ser := get(s.Labels)
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			if s.Value < ser.last {
+				return fmt.Errorf("histogram %s: bucket le=%q not cumulative (%g < %g)", f.Name, le, s.Value, ser.last)
+			}
+			ser.last = s.Value
+			if le == "+Inf" {
+				ser.infSeen = true
+				ser.infValue = s.Value
+			}
+		case f.Name + "_count":
+			ser := get(s.Labels)
+			ser.count = s.Value
+			ser.hasCount = true
+		case f.Name + "_sum":
+			// value unconstrained
+		default:
+			return fmt.Errorf("histogram %s: unexpected series %s", f.Name, s.Name)
+		}
+	}
+	for k, ser := range bySubset {
+		if !ser.infSeen {
+			return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", f.Name, k)
+		}
+		if ser.hasCount && ser.count != ser.infValue {
+			return fmt.Errorf("histogram %s{%s}: _count %g != +Inf bucket %g", f.Name, k, ser.count, ser.infValue)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		letter := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !letter && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		letter := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !letter && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample parses `name{k="v",...} value` with full label-value
+// escape handling.
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		labels, tail, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = tail
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// Timestamps (a trailing integer field) are legal in the format; the
+	// registry never emits them, so reject extra fields here to keep the
+	// golden test strict.
+	if strings.ContainsRune(rest, ' ') {
+		return s, fmt.Errorf("unexpected extra fields in %q", line)
+	}
+	v, err := parsePromValue(rest)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(tok string) (float64, error) {
+	switch tok {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", tok)
+	}
+	return v, nil
+}
+
+// parseLabels parses `{k="v",...}` returning the labels and what follows
+// the closing brace.
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i == len(s) {
+			return nil, "", fmt.Errorf("unterminated label in %q", s)
+		}
+		name := s[start:i]
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label %s: value not quoted", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(s) {
+					return nil, "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[i] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", name, s[i])
+				}
+				i++
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %s", name)
+		}
+		labels[name] = b.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		return nil, "", fmt.Errorf("expected ',' or '}' after label %s", name)
+	}
+}

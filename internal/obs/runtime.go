@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// DefaultRuntimeInterval is the runtime-metrics sampling cadence.
+const DefaultRuntimeInterval = 5 * time.Second
+
+// The runtime/metrics samples the collector reads each tick. Kept as one
+// batch: metrics.Read with a prebuilt sample slice is the cheap bulk API.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds",
+	"/sched/latencies:seconds",
+}
+
+// CollectRuntimeMetrics reads one batch of runtime/metrics samples into
+// the Default registry gauges. Exported so tests and one-shot tools can
+// sample without running the ticker.
+func CollectRuntimeMetrics() {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			v := int64(s.Value.Uint64())
+			switch s.Name {
+			case "/sched/goroutines:goroutines":
+				Goroutines().Set(v)
+			case "/memory/classes/heap/objects:bytes":
+				HeapBytes().Set(v)
+			case "/gc/cycles/total:gc-cycles":
+				GCCycles().Set(v)
+			}
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			switch s.Name {
+			case "/sched/pauses/total/gc:seconds":
+				GCPauseP99Seconds().Set(histQuantile(h, 0.99))
+			case "/sched/latencies:seconds":
+				SchedLatencyP99Seconds().Set(histQuantile(h, 0.99))
+			}
+		case metrics.KindBad:
+			// Metric unsupported on this runtime version: skip silently;
+			// the gauge just stays at its last (or zero) value.
+		}
+	}
+}
+
+// histQuantile extracts the q-quantile from a runtime/metrics histogram:
+// the lowest bucket upper bound at which the cumulative count crosses q.
+// Infinite bounds fall back to the nearest finite neighbour.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Bucket i spans Buckets[i] .. Buckets[i+1].
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) { // overflow bucket
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// The process runtime collector is refcounted: every ops/metrics server
+// holds a reference while serving, so one goroutine samples no matter how
+// many servers run, and it stops when the last closes.
+var (
+	runtimeMu   sync.Mutex
+	runtimeRefs int
+	runtimeStop chan struct{}
+	runtimeDone chan struct{}
+)
+
+// StartRuntimeCollector begins (or joins) the process's runtime-metrics
+// sampling loop at the given interval (DefaultRuntimeInterval when
+// non-positive). The returned stop function releases the reference; the
+// loop exits when the last holder stops. One immediate sample is taken
+// before the ticker so scrapes right after startup see real values.
+func StartRuntimeCollector(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = DefaultRuntimeInterval
+	}
+	runtimeMu.Lock()
+	runtimeRefs++
+	if runtimeRefs == 1 {
+		CollectRuntimeMetrics()
+		stopCh := make(chan struct{})
+		doneCh := make(chan struct{})
+		runtimeStop, runtimeDone = stopCh, doneCh
+		go func() {
+			defer close(doneCh)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					CollectRuntimeMetrics()
+				case <-stopCh:
+					return
+				}
+			}
+		}()
+	}
+	runtimeMu.Unlock()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			runtimeMu.Lock()
+			runtimeRefs--
+			var wait chan struct{}
+			if runtimeRefs == 0 {
+				close(runtimeStop)
+				wait = runtimeDone
+				runtimeStop, runtimeDone = nil, nil
+			}
+			runtimeMu.Unlock()
+			if wait != nil {
+				<-wait
+			}
+		})
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSlowThreshold is the latency past which a query lands in the
+// slow log.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// slowReservoirK is the per-strategy reservoir size: enough to see the
+// shape of a strategy's tail without the log growing with traffic.
+const slowReservoirK = 32
+
+// SlowEntry is one slow-query record.
+type SlowEntry struct {
+	Trace    TraceID       `json:"-"`
+	TraceHex string        `json:"trace_id"`
+	Strategy string        `json:"strategy"`
+	Dur      time.Duration `json:"-"`
+	DurMS    float64       `json:"dur_ms"`
+	Start    time.Time     `json:"start"`
+	From     int           `json:"from"`
+	To       int           `json:"to"`
+	Stale    bool          `json:"stale,omitempty"`
+	Err      string        `json:"error,omitempty"`
+}
+
+// slowReservoir holds one strategy's samples: Vitter's algorithm R over a
+// seeded splitmix stream, so the kept set is a uniform sample of that
+// strategy's slow queries and tests are deterministic.
+type slowReservoir struct {
+	seen    int64
+	entries []SlowEntry
+}
+
+// SlowLog keeps a per-strategy reservoir sample of queries slower than a
+// settable threshold. It is process-global (see Slow()) and always on;
+// fast queries cost one atomic load and a comparison.
+type SlowLog struct {
+	thresholdNs atomic.Int64
+	rng         *IDSource // reused splitmix stream for reservoir draws
+	mu          sync.Mutex
+	strategies  map[string]*slowReservoir
+}
+
+// NewSlowLog creates a log with the given threshold (DefaultSlowThreshold
+// when zero) and RNG seed for reservoir draws.
+func NewSlowLog(threshold time.Duration, seed uint64) *SlowLog {
+	if threshold <= 0 {
+		threshold = DefaultSlowThreshold
+	}
+	l := &SlowLog{rng: NewIDSource(seed), strategies: make(map[string]*slowReservoir)}
+	l.thresholdNs.Store(int64(threshold))
+	return l
+}
+
+// Threshold returns the current slow threshold.
+func (l *SlowLog) Threshold() time.Duration { return time.Duration(l.thresholdNs.Load()) }
+
+// SetThreshold changes the slow threshold at runtime (ops endpoint /
+// tests) and returns the previous threshold. Non-positive restores the
+// default.
+func (l *SlowLog) SetThreshold(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = DefaultSlowThreshold
+	}
+	return time.Duration(l.thresholdNs.Swap(int64(d)))
+}
+
+// Observe offers a completed query to the log; it is kept only when dur
+// crosses the threshold, and then only with reservoir probability once
+// the strategy's sample is full.
+func (l *SlowLog) Observe(e SlowEntry) {
+	if l == nil || int64(e.Dur) < l.thresholdNs.Load() {
+		return
+	}
+	e.TraceHex = e.Trace.String()
+	e.DurMS = float64(e.Dur) / float64(time.Millisecond)
+	SlowQueries(e.Strategy).Inc()
+	l.mu.Lock()
+	r := l.strategies[e.Strategy]
+	if r == nil {
+		r = &slowReservoir{}
+		l.strategies[e.Strategy] = r
+	}
+	r.seen++
+	if len(r.entries) < slowReservoirK {
+		r.entries = append(r.entries, e)
+	} else if j := l.rng.next() % uint64(r.seen); j < slowReservoirK {
+		r.entries[j] = e
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns the sampled entries per strategy plus total-seen
+// counts.
+func (l *SlowLog) Snapshot() (map[string][]SlowEntry, map[string]int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	entries := make(map[string][]SlowEntry, len(l.strategies))
+	seen := make(map[string]int64, len(l.strategies))
+	for s, r := range l.strategies {
+		out := make([]SlowEntry, len(r.entries))
+		copy(out, r.entries)
+		entries[s] = out
+		seen[s] = r.seen
+	}
+	return entries, seen
+}
+
+// Reset discards all samples (tests).
+func (l *SlowLog) Reset() {
+	l.mu.Lock()
+	l.strategies = make(map[string]*slowReservoir)
+	l.mu.Unlock()
+}
+
+// slowlogJSON is the /debug/slowlog dump shape.
+type slowlogJSON struct {
+	ThresholdMS float64                 `json:"threshold_ms"`
+	Strategies  map[string]slowlogStrat `json:"strategies"`
+}
+
+type slowlogStrat struct {
+	Seen    int64       `json:"seen"`
+	Sampled []SlowEntry `json:"sampled"`
+}
+
+// WriteJSON dumps the log: threshold plus, per strategy, the total count
+// of slow queries seen and the reservoir sample sorted slowest-first.
+func (l *SlowLog) WriteJSON(w io.Writer) error {
+	entries, seen := l.Snapshot()
+	out := slowlogJSON{
+		ThresholdMS: float64(l.Threshold()) / float64(time.Millisecond),
+		Strategies:  make(map[string]slowlogStrat, len(entries)),
+	}
+	for s, es := range entries {
+		sort.Slice(es, func(i, j int) bool { return es[i].Dur > es[j].Dur })
+		out.Strategies[s] = slowlogStrat{Seen: seen[s], Sampled: es}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+var (
+	slowOnce sync.Once
+	slowLog  *SlowLog
+)
+
+// Slow returns the process slow-query log.
+func Slow() *SlowLog {
+	slowOnce.Do(func() {
+		slowLog = NewSlowLog(DefaultSlowThreshold, uint64(time.Now().UnixNano()))
+	})
+	return slowLog
+}

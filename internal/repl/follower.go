@@ -56,6 +56,11 @@ type Options struct {
 	// OnLag, when set, observes every staleness update (heartbeats and
 	// replays). Called on the session goroutine; keep it cheap.
 	OnLag func(l Lag)
+	// Trace, when set, overrides the tracer replay/promote spans record
+	// on (default: the process's ambient tracer, obs.Active()). Tests
+	// inject one per side to stitch a primary and follower running in
+	// one process.
+	Trace *obs.Tracer
 }
 
 // Follower replicates a primary's history into a local durable store.
@@ -75,6 +80,36 @@ type Follower struct {
 	seen       bool
 	promoted   bool
 	closed     bool
+	// lastTrace is the trace context of the most recent frame that
+	// carried one — the primary-side span a staleness-budgeted read or a
+	// promotion links itself to.
+	lastTrace obs.SpanContext
+}
+
+func (f *Follower) tracer() *obs.Tracer {
+	if f.opt.Trace != nil {
+		return f.opt.Trace
+	}
+	return obs.Active()
+}
+
+// LastTrace returns the trace context of the most recently replayed
+// primary span (zero before any frame carried one). Follower-side read
+// spans join it so a stitched export links reads to the ingest that fed
+// them.
+func (f *Follower) LastTrace() obs.SpanContext {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastTrace
+}
+
+func (f *Follower) noteTrace(sc obs.SpanContext) {
+	if !sc.Valid() {
+		return
+	}
+	f.mu.Lock()
+	f.lastTrace = sc
+	f.mu.Unlock()
 }
 
 // OpenFollower opens (or prepares to create) the replica store in dir.
@@ -282,9 +317,19 @@ func (f *Follower) session(ctx context.Context, conn net.Conn) (progress bool, e
 			if aerr := st.AdoptEpoch(fr.epoch); aerr != nil {
 				return progress, aerr
 			}
-			if rerr := f.replay(st, msg); rerr != nil {
+			// The replay span is a remote child of the primary's ship
+			// span: the cross-process edge of the stitched timeline.
+			sp := f.tracer().StartRemote(fr.trace, "repl.replay",
+				obs.Int("transition", msg.transition),
+				obs.Int("adds", len(msg.adds)), obs.Int("dels", len(msg.dels)))
+			rerr := f.replay(st, msg)
+			if rerr != nil {
+				sp.SetAttr(obs.String("error", rerr.Error()))
+				sp.End()
 				return progress, rerr
 			}
+			sp.End()
+			f.noteTrace(fr.trace)
 			progress = true
 			f.observeLag()
 
@@ -305,6 +350,7 @@ func (f *Follower) session(ctx context.Context, conn net.Conn) (progress bool, e
 			}
 			f.primaryT, f.primarySeq, f.seen = msg.transitions, msg.walSeq, true
 			f.mu.Unlock()
+			f.noteTrace(fr.trace)
 			f.observeLag()
 
 		case frameFence:
@@ -419,21 +465,35 @@ func (f *Follower) Promote() (*store.Store, uint64, error) {
 	}
 	f.promoted = true
 	conn := f.conn
+	lastTrace := f.lastTrace
 	f.mu.Unlock()
 
+	// The promotion joins the trace of the last replayed primary span, so
+	// a mid-trace failover keeps one TraceID lineage: primary ingest →
+	// ship → replay → promote → (via the fence frame) the fenced
+	// ex-primary's final span.
+	sp := f.tracer().StartRemote(lastTrace, "repl.promote")
 	epoch, err := st.BumpEpoch()
 	if err != nil {
 		f.mu.Lock()
 		f.promoted = false
 		f.mu.Unlock()
+		sp.SetAttr(obs.String("error", err.Error()))
+		sp.End()
 		return nil, 0, err
+	}
+	sp.SetAttr(obs.Int64("epoch", int64(epoch)))
+	fenceSc := sp.Context()
+	if !fenceSc.Valid() {
+		fenceSc = lastTrace
 	}
 	if conn != nil {
 		// Best-effort immediate fence; errors are fine — the epoch is
 		// already durable and will fence the primary on any later contact.
-		_ = f.write(conn, frame{typ: frameFence, epoch: epoch})
+		_ = f.write(conn, frame{typ: frameFence, epoch: epoch, trace: fenceSc})
 		conn.Close()
 	}
+	sp.End()
 	obs.Env().Event("repl.promoted", obs.Int64("epoch", int64(epoch)))
 	return st, epoch, nil
 }

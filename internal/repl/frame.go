@@ -12,13 +12,16 @@ import (
 	"commongraph/internal/obs"
 )
 
-// The wire format, documented in DESIGN.md "Replication". Every frame is
+// The wire format (v2), documented in DESIGN.md "Replication". Every
+// frame is
 //
-//	magic   u32  (0xC6C09417, "cg" + format)
+//	magic   u32  (0xC6C09418, "cg" + format; v1 was ...17)
 //	type    u8
 //	flags   u8   (per-type; hello uses bit 0 = has-store)
 //	pad     u16  (zero)
 //	epoch   u64  (sender's replication epoch — the fencing carrier)
+//	trace   u64  (trace-context TraceID; 0 = none)
+//	span    u64  (trace-context SpanID; 0 = none)
 //	length  u32  (payload bytes)
 //	payload length bytes
 //	crc32   u32  (IEEE, over header + payload)
@@ -27,10 +30,17 @@ import (
 // detected protocol error (the session drops and the catch-up loop
 // re-handshakes) rather than silent divergence; the epoch in every
 // header — not just hellos — means a fence cannot be missed by a peer
-// that is still reading.
+// that is still reading. The trace-context pair rides in every header
+// for the same reason: a batch frame carries the primary's ingest-commit
+// span so follower replay (and staleness-budgeted reads) link to it,
+// heartbeats re-carry the last shipped one, and a fence carries the
+// promotion span so a fenced ex-primary's final spans join the new
+// authority's trace. The magic bump makes a v1 peer a clean protocol
+// error instead of a silent 16-byte misparse.
 const (
-	frameMagic      = 0xC6C09417
-	frameHeaderLen  = 20
+	frameMagic      = 0xC6C09418
+	frameMagicV1    = 0xC6C09417
+	frameHeaderLen  = 36
 	maxFramePayload = 1 << 30
 
 	// edgeWireLen is one edge on the wire: src u32, dst u32, weight i32.
@@ -85,6 +95,7 @@ type frame struct {
 	typ     frameType
 	flags   uint8
 	epoch   uint64
+	trace   obs.SpanContext
 	payload []byte
 }
 
@@ -104,7 +115,9 @@ func writeFrame(w io.Writer, f frame) error {
 	buf[4] = uint8(f.typ)
 	buf[5] = f.flags
 	binary.LittleEndian.PutUint64(buf[8:], f.epoch)
-	binary.LittleEndian.PutUint32(buf[16:], uint32(len(f.payload)))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(f.trace.Trace))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(f.trace.Span))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(len(f.payload)))
 	copy(buf[frameHeaderLen:], f.payload)
 	sum := crc32.ChecksumIEEE(buf[:frameHeaderLen+len(f.payload)])
 	binary.LittleEndian.PutUint32(buf[frameHeaderLen+len(f.payload):], sum)
@@ -126,10 +139,13 @@ func readFrame(r io.Reader) (frame, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return frame{}, err
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
-		return frame{}, fmt.Errorf("%w: bad magic %08x", ErrProto, binary.LittleEndian.Uint32(hdr[0:]))
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != frameMagic {
+		if got == frameMagicV1 {
+			return frame{}, fmt.Errorf("%w: peer speaks frame format v1 (magic %08x); v2 headers carry trace context", ErrProto, got)
+		}
+		return frame{}, fmt.Errorf("%w: bad magic %08x", ErrProto, got)
 	}
-	n := binary.LittleEndian.Uint32(hdr[16:])
+	n := binary.LittleEndian.Uint32(hdr[32:])
 	if n > maxFramePayload {
 		return frame{}, fmt.Errorf("%w: payload length %d exceeds cap", ErrProto, n)
 	}
@@ -142,9 +158,13 @@ func readFrame(r io.Reader) (frame, error) {
 		return frame{}, fmt.Errorf("%w: frame CRC %08x != recorded %08x", ErrProto, want, got)
 	}
 	f := frame{
-		typ:     frameType(hdr[4]),
-		flags:   hdr[5],
-		epoch:   binary.LittleEndian.Uint64(hdr[8:]),
+		typ:   frameType(hdr[4]),
+		flags: hdr[5],
+		epoch: binary.LittleEndian.Uint64(hdr[8:]),
+		trace: obs.SpanContext{
+			Trace: obs.TraceID(binary.LittleEndian.Uint64(hdr[16:])),
+			Span:  obs.SpanID(binary.LittleEndian.Uint64(hdr[24:])),
+		},
 		payload: body[:n:n],
 	}
 	obs.ReplFramesReceived(f.typ.String()).Inc()

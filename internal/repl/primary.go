@@ -35,10 +35,30 @@ type Primary struct {
 	cancel context.CancelFunc
 
 	mu     sync.Mutex
+	trace  *obs.Tracer
 	conns  map[net.Conn]struct{}
 	lns    map[net.Listener]struct{}
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// SetTracer overrides the tracer ship spans record on (default: the
+// process's ambient tracer, obs.Active()). Tests inject one per side to
+// stitch a primary and follower running in one process.
+func (p *Primary) SetTracer(t *obs.Tracer) {
+	p.mu.Lock()
+	p.trace = t
+	p.mu.Unlock()
+}
+
+func (p *Primary) tracer() *obs.Tracer {
+	p.mu.Lock()
+	t := p.trace
+	p.mu.Unlock()
+	if t != nil {
+		return t
+	}
+	return obs.Active()
 }
 
 // NewPrimary wraps an open store for serving. heartbeat <= 0 uses
@@ -175,10 +195,17 @@ func (p *Primary) serveSession(conn net.Conn) error {
 				return
 			}
 			if f.typ == frameFence {
+				// The fence carries the promotion span's context: this
+				// final span of the fenced ex-primary joins the new
+				// authority's trace, so failover reads as one lineage.
+				sp := p.tracer().StartRemote(f.trace, "repl.fenced",
+					obs.Int("epoch", int(f.epoch)))
 				oerr := p.st.ObserveEpoch(f.epoch)
 				if oerr == nil || errors.Is(oerr, store.ErrFenced) {
 					oerr = fmt.Errorf("repl: fence at epoch %d: %w", f.epoch, ErrSuperseded)
 				}
+				sp.End()
+				obs.Incident("fenced", oerr)
 				fromFollower <- oerr
 				return
 			}
@@ -202,6 +229,11 @@ func (p *Primary) serveSession(conn net.Conn) error {
 
 	tick := time.NewTicker(p.heartbeat)
 	defer tick.Stop()
+	// lastSc is the trace context of the most recently shipped batch; the
+	// heartbeat re-carries it so a follower that connects between commits
+	// still links its lag observations to the trace that produced the
+	// position it is chasing.
+	var lastSc obs.SpanContext
 	for {
 		// Arm the commit signal before reading the position: a commit
 		// landing between the two fires the already-armed signal, so the
@@ -217,7 +249,11 @@ func (p *Primary) serveSession(conn net.Conn) error {
 				return berr
 			}
 			msg := snapshotMsg{vertices: p.st.NumVertices(), baseVersion: bv, base: base}
-			if err := writeFrame(conn, frame{typ: frameSnapshot, epoch: epoch, payload: msg.encode()}); err != nil {
+			sp := p.tracer().StartSpan("repl.ship_snapshot",
+				obs.Int("base_version", bv), obs.Int("edges", len(base)))
+			err := writeFrame(conn, frame{typ: frameSnapshot, epoch: epoch, trace: sp.Context(), payload: msg.encode()})
+			sp.End()
+			if err != nil {
 				return err
 			}
 			obs.ReplSnapshotShips().Inc()
@@ -239,21 +275,35 @@ func (p *Primary) serveSession(conn net.Conn) error {
 				msg.upToSeq = seq
 				sentSeq = seq
 			}
-			if err := writeFrame(conn, frame{typ: frameBatch, epoch: epoch, payload: msg.encode()}); err != nil {
+			// The ship span joins the trace of the commit that produced
+			// this transition, so a stitched export shows ingest → wire →
+			// replay as one tree; the frame carries the ship span's own
+			// context for the follower to hang its replay span off.
+			sp := p.tracer().StartRemote(p.st.CommitTrace(sentT), "repl.ship",
+				obs.Int("transition", sentT),
+				obs.Int("adds", len(adds)), obs.Int("dels", len(dels)))
+			sc := sp.Context()
+			if !sc.Valid() {
+				sc = p.st.CommitTrace(sentT)
+			}
+			err := writeFrame(conn, frame{typ: frameBatch, epoch: epoch, trace: sc, payload: msg.encode()})
+			sp.End()
+			if err != nil {
 				return err
 			}
+			lastSc = sc
 			sentT++
 		}
 		if sentT == t && sentSeq < seq {
 			// Net-zero windows: the pointer advanced without a transition.
 			msg := batchMsg{transition: -1, upToSeq: seq}
-			if err := writeFrame(conn, frame{typ: frameBatch, epoch: epoch, payload: msg.encode()}); err != nil {
+			if err := writeFrame(conn, frame{typ: frameBatch, epoch: epoch, trace: lastSc, payload: msg.encode()}); err != nil {
 				return err
 			}
 			sentSeq = seq
 		}
 		hb := heartbeatMsg{transitions: t, walSeq: seq}
-		if err := writeFrame(conn, frame{typ: frameHeartbeat, epoch: epoch, payload: hb.encode()}); err != nil {
+		if err := writeFrame(conn, frame{typ: frameHeartbeat, epoch: epoch, trace: lastSc, payload: hb.encode()}); err != nil {
 			return err
 		}
 

@@ -42,6 +42,11 @@ type Store struct {
 	// on CommitSignal wakes exactly when the position it cached went stale.
 	commitCh chan struct{}
 
+	// traceTab maps recent transitions to the trace context of the commit
+	// that produced them, so the replication ship loop can stamp batch
+	// frames with the ingest span that caused each transition (tracetab.go).
+	traceTab commitTraceTable
+
 	closed bool
 }
 

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"sync"
+
+	"commongraph/internal/obs"
+)
+
+// commitTraceBuckets bounds the table: replication ships transitions
+// promptly, so only the most recent few dozen need their trace context
+// retrievable. Power of two for the cheap modulo.
+const commitTraceBuckets = 64
+
+// commitTraceTable associates committed transitions with the trace
+// context of the commit span that produced them. It lives on the Store —
+// not in a process global — so two stores in one process (a test's
+// primary and follower, parallel test stores) never see each other's
+// traces. The write path stamps it after a successful AppendBatch; the
+// replication ship loop reads it when framing that transition's batch.
+type commitTraceTable struct {
+	mu      sync.Mutex
+	entries [commitTraceBuckets]struct {
+		transition int
+		sc         obs.SpanContext
+	}
+	armed bool
+}
+
+// NoteCommitTrace records the trace context that committed transition.
+// An invalid context is ignored (tracing off).
+func (s *Store) NoteCommitTrace(transition int, sc obs.SpanContext) {
+	if !sc.Valid() || transition < 0 {
+		return
+	}
+	t := &s.traceTab
+	t.mu.Lock()
+	e := &t.entries[transition%commitTraceBuckets]
+	e.transition = transition
+	e.sc = sc
+	t.armed = true
+	t.mu.Unlock()
+}
+
+// CommitTrace returns the trace context recorded for transition, or the
+// zero SpanContext when it was never noted or has been overwritten.
+func (s *Store) CommitTrace(transition int) obs.SpanContext {
+	if transition < 0 {
+		return obs.SpanContext{}
+	}
+	t := &s.traceTab
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.armed {
+		return obs.SpanContext{}
+	}
+	e := t.entries[transition%commitTraceBuckets]
+	if e.transition != transition {
+		return obs.SpanContext{}
+	}
+	return e.sc
+}

@@ -37,6 +37,10 @@ type ReplicationOptions struct {
 	// Heartbeat is the position-broadcast period on quiet stores
 	// (followers derive lag from it). 0 means 100ms.
 	Heartbeat time.Duration
+	// Trace overrides the tracer ship spans record on (default: the
+	// process's ambient tracer). Tests inject one per process side when
+	// stitching a primary and follower running in one test.
+	Trace *Tracer
 }
 
 // ReplicationServer streams a GraphStore's committed history — WAL
@@ -55,6 +59,9 @@ type ReplicationServer struct {
 // pipes).
 func (gs *GraphStore) ServeReplication(ln net.Listener, opt ReplicationOptions) *ReplicationServer {
 	p := repl.NewPrimary(gs.s, opt.Heartbeat)
+	if opt.Trace != nil {
+		p.SetTracer(opt.Trace)
+	}
 	if ln != nil {
 		//cgvet:ignore goleak -- accept loop exits when ReplicationServer.Close closes the listener
 		go p.Serve(ln) //nolint:errcheck // Serve returns nil after Close
@@ -120,6 +127,10 @@ type FollowerConfig struct {
 	// (it grows exponentially with jitter, and resets after a session
 	// that makes progress). 0 means 20ms.
 	RetryBackoff time.Duration
+	// Trace overrides the tracer replay/read spans record on (default:
+	// the process's ambient tracer). Tests inject one per process side
+	// when stitching a primary and follower running in one test.
+	Trace *Tracer
 }
 
 // Follower is a live read replica: a catch-up loop replays the primary's
@@ -162,6 +173,7 @@ func Follow(cfg FollowerConfig) (*Follower, error) {
 		Backoff:   repl.Backoff{Base: cfg.RetryBackoff},
 		Apply:     f.apply,
 		Bootstrap: f.bootstrap,
+		Trace:     cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -333,7 +345,21 @@ func (f *Follower) Run(ctx context.Context, req Request) (*Result, error) {
 	}
 	if w == nil {
 		obs.ReplStaleReads("refused").Inc()
-		return nil, fmt.Errorf("commongraph: follower awaiting bootstrap: %w", ErrStale)
+		err := fmt.Errorf("commongraph: follower awaiting bootstrap: %w", ErrStale)
+		obs.Incident("stale", err)
+		return nil, err
+	}
+	if req.Options.Trace == nil {
+		req.Options.Trace = f.cfg.Trace
+	}
+	// Adopt the trace of the last replayed batch: the read span becomes a
+	// remote child of the primary's ingest trace, so a stitched export
+	// shows commit → ship → replay → read as one lineage. An explicit
+	// trace context already on ctx wins.
+	if !obs.FromContext(ctx).Valid() {
+		if sc := f.inner.LastTrace(); sc.Valid() {
+			ctx = obs.ContextWithSpan(ctx, sc)
+		}
 	}
 	if !f.overBudget() {
 		return w.Run(ctx, req)
@@ -341,8 +367,10 @@ func (f *Follower) Run(ctx context.Context, req Request) (*Result, error) {
 	if !f.cfg.ServeStale {
 		obs.ReplStaleReads("refused").Inc()
 		l := f.Lag()
-		return nil, fmt.Errorf("commongraph: lag %d seqs / %d windows (known=%v): %w",
+		err := fmt.Errorf("commongraph: lag %d seqs / %d windows (known=%v): %w",
 			l.Seq, l.Windows, l.Known, ErrStale)
+		obs.Incident("stale", err)
+		return nil, err
 	}
 	res, err := w.Run(ctx, req)
 	if err != nil {

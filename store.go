@@ -2,11 +2,13 @@ package commongraph
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
 	"commongraph/internal/graph"
 	"commongraph/internal/ingest"
+	"commongraph/internal/obs"
 	"commongraph/internal/store"
 )
 
@@ -20,12 +22,30 @@ type GraphStore struct {
 	s *store.Store
 
 	mu         sync.Mutex
+	trace      *obs.Tracer     // explicit tracer override (SetTracer)
 	pending    []ingest.Update // in-flight window recovered from the WAL
 	pendingSeq uint64          // journal sequence of pending[0]
 	ingesting  bool
 	// compactMu serializes background compactions so successive window
 	// slides fold in order instead of aborting each other.
 	compactMu sync.Mutex
+}
+
+// SetTracer overrides the tracer commit spans record on (default: the
+// process's ambient tracer, obs.Active()). Tests inject one per process
+// side when stitching a primary and follower running in one test.
+func (gs *GraphStore) SetTracer(t *Tracer) {
+	gs.mu.Lock()
+	gs.trace = t
+	gs.mu.Unlock()
+}
+
+// tracerLocked resolves the commit tracer; callers hold gs.mu.
+func (gs *GraphStore) tracerLocked() *obs.Tracer {
+	if gs.trace != nil {
+		return gs.trace
+	}
+	return obs.Active()
 }
 
 // Persist writes the graph's entire current history (base snapshot plus
@@ -149,13 +169,39 @@ func (gs *GraphStore) commit(adds, dels graph.EdgeList, lastSeq uint64) (int, er
 		}
 		return 0, fmt.Errorf("commongraph: empty update batch")
 	}
+	// The commit span is the root of the ingest trace: replication ship
+	// spans (and through them follower replay and read spans) join it via
+	// the store's commit-trace table.
+	sp := gs.tracerLocked().StartSpan("store.commit",
+		obs.Int("adds", len(adds)), obs.Int("dels", len(dels)))
 	if err := gs.g.store.CheckBatch(adds, dels); err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+		sp.End()
 		return 0, err
 	}
+	// Note the trace BEFORE the append: AppendBatch wakes the replication
+	// ship loop, which looks the commit trace up by transition index — a
+	// note after the wake-up races and ships an unlinked frame. A failed
+	// append leaves a harmless entry for a transition that never existed
+	// (the bucket is overwritten when that index commits for real).
+	transition := gs.s.Transitions()
+	gs.s.NoteCommitTrace(transition, sp.Context())
 	if err := gs.s.AppendBatch(adds, dels, lastSeq); err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+		sp.End()
+		if errors.Is(err, store.ErrFenced) {
+			obs.Incident("fenced", err)
+		}
 		return 0, err
 	}
-	return gs.g.store.NewVersion(adds, dels)
+	v, err := gs.g.store.NewVersion(adds, dels)
+	if err != nil {
+		sp.SetAttr(obs.String("error", err.Error()))
+	} else {
+		sp.SetAttr(obs.Int("version", v))
+	}
+	sp.End()
+	return v, err
 }
 
 // Ingestor returns a durable stream front-end: every raw update is

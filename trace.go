@@ -1,8 +1,10 @@
 package commongraph
 
 import (
+	"context"
 	"io"
 	"net/http"
+	"time"
 
 	"commongraph/internal/obs"
 )
@@ -69,3 +71,71 @@ func MetricsHandler() http.Handler { return obs.Default().Handler() }
 // text exposition format — the same bytes MetricsHandler serves —
 // for commands that dump metrics on exit instead of serving HTTP.
 func WriteMetricsPrometheus(w io.Writer) error { return obs.Default().WritePrometheus(w) }
+
+// TraceID identifies one request's entire span tree — across goroutines,
+// and across processes when it rides a replication frame header. Spans
+// that share a TraceID stitch into one timeline in WriteChromeTrace and
+// WriteStitchedChromeTrace.
+type TraceID = obs.TraceID
+
+// SpanContext is the wire-propagated identity of a span: the pair a
+// remote child (a follower replay, a read at bounded staleness) needs to
+// join its parent's trace. The zero value is "no trace".
+type SpanContext = obs.SpanContext
+
+// ParseTraceID parses the 16-hex-digit form TraceID.String produces —
+// the ?id= parameter of the /debug/trace ops endpoint.
+func ParseTraceID(s string) (TraceID, error) { return obs.ParseTraceID(s) }
+
+// ContextWithSpan returns ctx carrying sc; spans started under it (the
+// evaluate root span, watcher reads) become remote children of sc.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return obs.ContextWithSpan(ctx, sc)
+}
+
+// SpanFromContext returns the span context carried by ctx, or the zero
+// SpanContext.
+func SpanFromContext(ctx context.Context) SpanContext { return obs.FromContext(ctx) }
+
+// WithTraceIDSource seeds the tracer's trace/span ID generator — tests
+// use it for deterministic IDs.
+func WithTraceIDSource(seed uint64) TracerOption {
+	return obs.WithIDSource(obs.NewIDSource(seed))
+}
+
+// TraceProcess names one tracer's buffer for a stitched export.
+type TraceProcess = obs.TraceProcess
+
+// WriteStitchedChromeTrace merges several tracers' buffers — typically a
+// primary's and a follower's — into one Chrome trace_event JSON timeline,
+// one named process row each. Spans sharing a TraceID (propagated over
+// the replication wire) line up as a single cross-process request tree.
+func WriteStitchedChromeTrace(w io.Writer, procs ...TraceProcess) error {
+	return obs.WriteStitchedChromeTrace(w, procs...)
+}
+
+// SetFlightRecording toggles the always-on flight recorder (default on).
+// Off restores the exact pre-recorder instrumentation cost: ambient
+// tracing sites see a nil tracer. Returns the previous state.
+func SetFlightRecording(on bool) bool { return obs.SetFlightRecording(on) }
+
+// WriteFlightRecorder dumps the flight recorder's retained root-span
+// subtrees as JSON — the same document the /debug/flightrecorder ops
+// endpoint serves.
+func WriteFlightRecorder(w io.Writer) error { return obs.Flight().WriteJSON(w) }
+
+// WriteSlowLog dumps the slow-query log (per-strategy reservoirs,
+// slowest first) as JSON — the same document /debug/slowlog serves.
+func WriteSlowLog(w io.Writer) error { return obs.Slow().WriteJSON(w) }
+
+// SetSlowQueryThreshold sets the latency at or above which a query is
+// recorded in the slow-query log (default 100ms). Returns the previous
+// threshold.
+func SetSlowQueryThreshold(d time.Duration) time.Duration {
+	return obs.Slow().SetThreshold(d)
+}
+
+// SetIncidentSink redirects automatic incident dumps (panic, fencing,
+// staleness refusals) to w — stderr by default — and returns the
+// previous sink.
+func SetIncidentSink(w io.Writer) io.Writer { return obs.SetIncidentSink(w) }

@@ -1,0 +1,281 @@
+package commongraph
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"commongraph/internal/gen"
+	"commongraph/internal/obs"
+)
+
+// tracedPair builds a primary/follower pair with separate injected
+// tracers on each side — two processes in one test. Tracers use seeded
+// ID sources so runs are reproducible.
+func tracedPair(t *testing.T, seed uint64, transitions int) (*GraphStore, *ReplicationServer, *Follower, *Tracer, *Tracer) {
+	t.Helper()
+	tracerP := NewTracer(WithTraceIDSource(0xA11CE))
+	tracerF := NewTracer(WithTraceIDSource(0xB0B))
+	g, _ := buildEvolving(t, seed, transitions, 40, 40)
+	gs, err := g.Persist(filepath.Join(t.TempDir(), "primary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs.SetTracer(tracerP)
+	rs := gs.ServeReplication(nil, ReplicationOptions{
+		Heartbeat: 2 * time.Millisecond,
+		Trace:     tracerP,
+	})
+	f, err := Follow(FollowerConfig{
+		Dir:          filepath.Join(t.TempDir(), "replica"),
+		Dial:         pipeDial(rs),
+		RetryBackoff: time.Millisecond,
+		Trace:        tracerF,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFollowerSync(t, f, g.NumSnapshots())
+	return gs, rs, f, tracerP, tracerF
+}
+
+// applyLive commits count fresh transitions on the primary; each commit
+// records a store.commit root span whose trace context rides the
+// replication wire.
+func applyLive(t *testing.T, gs *GraphStore, count int, seed uint64) {
+	t.Helper()
+	g := gs.Graph()
+	latest, err := g.Snapshot(g.NumSnapshots() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := gen.Stream(g.NumVertices(), latest,
+		gen.StreamConfig{Transitions: count, Additions: 20, Deletions: 20, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range more {
+		if _, err := gs.ApplyUpdates(tr.Additions, tr.Deletions); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStitchedTraceAcrossReplication is the PR acceptance trace: a
+// follower query under live ingest yields ONE stitched Chrome trace in
+// which the primary's store.commit and repl.ship spans and the
+// follower's repl.replay and evaluate spans all share a TraceID — the
+// commit's identity, carried across the wire in frame headers.
+func TestStitchedTraceAcrossReplication(t *testing.T) {
+	gs, rs, f, tracerP, tracerF := tracedPair(t, 7, 3)
+	defer gs.Close()
+	defer rs.Close()
+	defer f.Close()
+
+	// Live ingest while the follower session is up: these commits are the
+	// traces that ship over the wire.
+	applyLive(t, gs, 2, 19)
+	waitFollowerSync(t, f, gs.Graph().NumSnapshots())
+
+	// Follower read with no caller span: Run adopts the trace of the last
+	// replayed commit, so the read links to the ingest that produced the
+	// data it serves.
+	if _, err := f.Run(context.Background(), Request{
+		Query: Query{Algorithm: BFS, Source: 0}, Strategy: DirectHop,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Index spans by name on each side. The primary's ship span ends only
+	// after the frame is on the wire, so the follower can replay (and we
+	// can query) before the ship event is recorded — poll briefly until
+	// the primary side quiesces.
+	spansByName := func(tr *Tracer) map[string][]obs.Event {
+		m := map[string][]obs.Event{}
+		for _, e := range tr.Events() {
+			m[e.Name] = append(m[e.Name], e)
+		}
+		return m
+	}
+	foll := spansByName(tracerF)
+	if len(foll["repl.replay"]) < 2 {
+		t.Fatalf("follower replays traced: %d, want ≥2", len(foll["repl.replay"]))
+	}
+	if len(foll["evaluate"]) < 1 {
+		t.Fatal("follower read span missing")
+	}
+
+	// The follower read must share the TraceID of the last live commit —
+	// the whole chain commit → ship → replay → read is one trace.
+	read := foll["evaluate"][len(foll["evaluate"])-1]
+	if read.Trace == 0 {
+		t.Fatal("read span has no trace")
+	}
+	inTrace := func(events []obs.Event, want TraceID) *obs.Event {
+		for i := range events {
+			if events[i].Trace == want {
+				return &events[i]
+			}
+		}
+		return nil
+	}
+	var prim map[string][]obs.Event
+	var commit, ship, replay *obs.Event
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		prim = spansByName(tracerP)
+		commit = inTrace(prim["store.commit"], read.Trace)
+		ship = inTrace(prim["repl.ship"], read.Trace)
+		replay = inTrace(foll["repl.replay"], read.Trace)
+		if commit != nil && ship != nil && replay != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s does not span the wire: commit=%v ship=%v replay=%v",
+				read.Trace, commit != nil, ship != nil, replay != nil)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(prim["store.commit"]) < 2 {
+		t.Fatalf("primary commits traced: %d, want ≥2", len(prim["store.commit"]))
+	}
+	// Parent lineage within the trace: ship's parent is the commit span,
+	// replay's parent is the ship span.
+	if ship.Parent != commit.ID {
+		t.Errorf("ship parent %s, want commit span %s", ship.Parent, commit.ID)
+	}
+	if replay.Parent != ship.ID {
+		t.Errorf("replay parent %s, want ship span %s", replay.Parent, ship.ID)
+	}
+
+	// The stitched export renders both processes into one viewer file
+	// with the shared trace id on each event.
+	var buf bytes.Buffer
+	if err := WriteStitchedChromeTrace(&buf,
+		TraceProcess{Name: "primary", Tracer: tracerP},
+		TraceProcess{Name: "follower", Tracer: tracerF},
+	); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("stitched trace not JSON: %v", err)
+	}
+	want := read.Trace.String()
+	seen := map[string]map[int]bool{} // name -> pids carrying the shared trace
+	for _, e := range out.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		if e.Args["trace_id"] == want {
+			if seen[e.Name] == nil {
+				seen[e.Name] = map[int]bool{}
+			}
+			seen[e.Name][e.Pid] = true
+		}
+	}
+	for _, name := range []string{"store.commit", "repl.ship", "repl.replay", "evaluate"} {
+		if len(seen[name]) == 0 {
+			t.Errorf("stitched trace missing %s in trace %s", name, want)
+		}
+	}
+	// commit/ship live in the primary process row, replay/evaluate in the
+	// follower's — the stitch crosses process boundaries.
+	for pid := range seen["store.commit"] {
+		if seen["repl.replay"][pid] {
+			t.Error("commit and replay rendered in the same process row")
+		}
+	}
+}
+
+// TestFailoverTraceLineage promotes a follower mid-trace: the promote
+// span joins the trace of the last replayed commit, and the fence
+// observed by the old primary records a repl.fenced span in that same
+// trace — the whole failover is one causally-linked story across both
+// processes, and the fence raises a "fenced" incident.
+func TestFailoverTraceLineage(t *testing.T) {
+	gs, rs, f, tracerP, tracerF := tracedPair(t, 13, 3)
+	defer gs.Close()
+	defer rs.Close()
+
+	applyLive(t, gs, 1, 29)
+	waitFollowerSync(t, f, gs.Graph().NumSnapshots())
+
+	// Capture the fence incident dump instead of spraying test output.
+	var sink bytes.Buffer
+	prevSink := SetIncidentSink(&sink)
+	defer SetIncidentSink(prevSink)
+
+	fencedBefore := obs.IncidentsTotal("fenced").Value()
+	ngs, err := f.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer ngs.Close()
+	defer f.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !gs.FencedByReplication() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !gs.FencedByReplication() {
+		t.Fatal("old primary never fenced after promotion")
+	}
+
+	find := func(tr *Tracer, name string) *obs.Event {
+		for _, e := range tr.Events() {
+			if e.Name == name {
+				ev := e
+				return &ev
+			}
+		}
+		return nil
+	}
+	// The fenced span ends on the primary's session goroutine; give it a
+	// moment to record after the fence flag flips.
+	for deadline := time.Now().Add(5 * time.Second); find(tracerP, "repl.fenced") == nil && time.Now().Before(deadline); {
+		time.Sleep(2 * time.Millisecond)
+	}
+	promote := find(tracerF, "repl.promote")
+	if promote == nil {
+		t.Fatal("no repl.promote span on the follower")
+	}
+	if promote.Trace == 0 {
+		t.Fatal("promote span has no trace")
+	}
+	// The promote joins the last replayed commit's trace...
+	replays := 0
+	for _, e := range tracerF.Events() {
+		if e.Name == "repl.replay" && e.Trace == promote.Trace {
+			replays++
+		}
+	}
+	if replays == 0 {
+		t.Errorf("promote trace %s does not contain a replayed commit", promote.Trace)
+	}
+	// ...and the fence lands on the OLD primary in the same trace: the
+	// operator can follow promotion → fence across processes.
+	fenced := find(tracerP, "repl.fenced")
+	if fenced == nil {
+		t.Fatal("no repl.fenced span on the fenced primary")
+	}
+	if fenced.Trace != promote.Trace {
+		t.Errorf("fenced trace %s, promote trace %s — lineage broken", fenced.Trace, promote.Trace)
+	}
+	if fenced.Parent != promote.ID {
+		t.Errorf("fenced parent %s, want promote span %s", fenced.Parent, promote.ID)
+	}
+	if got := obs.IncidentsTotal("fenced").Value() - fencedBefore; got < 1 {
+		t.Errorf("fence raised %d incidents, want ≥1", got)
+	}
+}

@@ -158,7 +158,7 @@ func (w *Watcher) Close() error {
 // tracer, the maintenance op/error counters by kind, and the retry
 // counter per transient re-attempt.
 func (w *Watcher) maintain(kind string, step func(*core.MaintainedRep) error) error {
-	sp := obs.Env().StartSpan("watcher." + kind)
+	sp := obs.Active().StartSpan("watcher." + kind)
 	defer sp.End()
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -247,11 +247,14 @@ func (w *Watcher) evaluate(q Query, strategy Strategy, opt Options) (*Result, er
 	rep := w.m.Rep()
 	w.mu.RUnlock()
 	slug := strategy.Slug()
-	sp := opt.tracer().StartSpan("evaluate",
+	// Join any trace context on the request context — a follower read
+	// under a live ingest trace links back to the primary's commit spans.
+	sp := opt.tracer().StartRemote(obs.FromContext(opt.context()), "evaluate",
 		obs.String("strategy", slug), obs.String("algo", q.Algorithm.Name()),
 		obs.Int("source", int(q.Source)), obs.String("origin", "watcher"),
 		obs.Int("from", rep.Window.From), obs.Int("to", rep.Window.To))
 	cfg.Trace = sp
+	start := time.Now()
 	var (
 		inner *core.Result
 		err   error
@@ -270,13 +273,19 @@ func (w *Watcher) evaluate(q Query, strategy Strategy, opt Options) (*Result, er
 		return nil, fmt.Errorf("commongraph: watcher supports only CommonGraph strategies, not %v", strategy)
 	}
 	obs.Queries(slug).Inc()
+	slow := obs.SlowEntry{Trace: sp.TraceID(), Strategy: slug,
+		Dur: time.Since(start), Start: start,
+		From: rep.Window.From, To: rep.Window.To}
 	if err != nil {
 		obs.QueryErrors(slug).Inc()
 		sp.SetAttr(obs.String("error", err.Error()))
 		sp.End()
+		slow.Err = err.Error()
+		obs.Slow().Observe(slow)
 		return nil, err
 	}
 	res := convertResult(inner, rep.Window.From, strategy)
+	obs.Slow().Observe(slow)
 	obs.AdditionsStreamed(slug).Add(res.AdditionsProcessed)
 	obs.SnapshotsEvaluated(slug).Add(int64(len(res.Snapshots)))
 	sp.SetAttr(obs.Int64("additions_processed", res.AdditionsProcessed))
@@ -293,6 +302,13 @@ type MetricsServer struct {
 	srv *http.Server
 	ln  net.Listener
 
+	// stopRuntime releases this server's reference on the process
+	// runtime-metrics collector (refcounted: the sampling goroutine stops
+	// when the last ops server closes).
+	stopRuntime func()
+	closeOnce   sync.Once
+	closeErr    error
+
 	readyMu sync.Mutex
 	ready   func() (ok bool, detail string)
 }
@@ -304,8 +320,17 @@ func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
 func (m *MetricsServer) URL() string { return "http://" + m.Addr() + "/metrics" }
 
 // Close stops the server immediately, closing the listener and every
-// accepted connection, idle ones included.
-func (m *MetricsServer) Close() error { return m.srv.Close() }
+// accepted connection, idle ones included, and releases its reference on
+// the runtime-metrics collector. Idempotent.
+func (m *MetricsServer) Close() error {
+	m.closeOnce.Do(func() {
+		m.closeErr = m.srv.Close()
+		if m.stopRuntime != nil {
+			m.stopRuntime()
+		}
+	})
+	return m.closeErr
+}
 
 // SetReadiness replaces the /readyz probe. The default always reports
 // ready; a replication follower installs its staleness-budget check.
@@ -326,23 +351,47 @@ func (m *MetricsServer) readiness() (bool, string) {
 }
 
 // newOpsServer builds the shared HTTP ops surface: /metrics (process
-// registry), /healthz (liveness — the process is serving), /readyz
-// (readiness — 503 with a reason until the owner's probe passes), plus
-// whatever routes the owner adds. The http.Server carries conservative
-// timeouts so a client that never finishes its request headers, or
-// parks an idle keep-alive connection, cannot hold resources
-// indefinitely.
+// registry, with runtime/metrics gauges refreshed by a background
+// sampler while any ops server runs), /healthz (liveness — the process
+// is serving), /readyz (readiness — 503 with a reason until the owner's
+// probe passes), the /debug forensic endpoints (flight recorder, slow
+// log, single-trace export), plus whatever routes the owner adds. The
+// http.Server carries conservative timeouts so a client that never
+// finishes its request headers, or parks an idle keep-alive connection,
+// cannot hold resources indefinitely.
 func newOpsServer(addr string, configure func(mux *http.ServeMux, m *MetricsServer)) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("commongraph: ops listener: %w", err)
 	}
-	m := &MetricsServer{ln: ln}
+	m := &MetricsServer{ln: ln, stopRuntime: obs.StartRuntimeCollector(0)}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler())
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(rw, "ok")
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		obs.Flight().WriteJSON(rw)
+	})
+	mux.HandleFunc("/debug/slowlog", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		obs.Slow().WriteJSON(rw)
+	})
+	mux.HandleFunc("/debug/trace", func(rw http.ResponseWriter, r *http.Request) {
+		id, err := obs.ParseTraceID(r.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec := obs.Flight().Find(id)
+		if rec == nil {
+			http.Error(rw, "trace not in flight recorder", http.StatusNotFound)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		rec.WriteChromeTrace(rw)
 	})
 	mux.HandleFunc("/readyz", func(rw http.ResponseWriter, _ *http.Request) {
 		ok, detail := m.readiness()
@@ -375,6 +424,9 @@ func newOpsServer(addr string, configure func(mux *http.ServeMux, m *MetricsServ
 //	/readyz   readiness probe (200 by default; see SetReadiness)
 //	/window   the watcher's current window as JSON
 //	          {"from":F,"to":T,"width":W,"common_edges":E}
+//	/debug/flightrecorder  completed root spans retained in the flight ring
+//	/debug/slowlog         slow-query reservoir samples, by strategy
+//	/debug/trace?id=<hex>  one retained trace as Chrome trace JSON
 //
 // The registry is process-wide (every watcher, evaluation, ingest batcher
 // and fault injection in the process feeds it); /window is this watcher's
