@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 # bench-json: which experiments to snapshot and where. CI commits one
 # BENCH_PR<n>.json per PR so the performance trajectory is diffable.
-BENCH_JSON_OUT ?= BENCH_PR8.json
+BENCH_JSON_OUT ?= BENCH_PR9.json
 BENCH_JSON_FLAGS ?= -exp all
 # perf-smoke: the committed engine-benchmark baseline of the previous PR
 # and where to write this run's numbers. The store pair covers the durable
@@ -13,7 +13,7 @@ PERF_STORE_BASELINE ?= bench/store-PR5.txt
 PERF_STORE_OUT ?= /tmp/store-perf.txt
 PERF_COUNT ?= 5
 
-.PHONY: all build test race vet check sarif fuzz-smoke chaos bench-json metrics-smoke obs-bench obs-overhead perf-smoke store-crash repl-crash ci
+.PHONY: all build test race vet check sarif fuzz-smoke chaos bench-json metrics-smoke obs-bench obs-overhead perf-smoke store-crash repl-crash serve-soak ci
 
 all: build vet test
 
@@ -30,7 +30,7 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # vet = the standard toolchain vet plus cgvet, the repo's own
-# invariant-checking analyzers (seven syntactic + the v2 flow tier:
+# invariant-checking analyzers (eight syntactic + the v2 flow tier:
 # goleak, ctxflow, atomicguard, errflow, plus ignore hygiene). Both must
 # be clean; cgvet gates on .cgvet.baseline.json, so only *fresh*
 # findings fail.
@@ -135,4 +135,13 @@ repl-crash:
 	$(GO) test -race ./internal/store -count=1 -run 'Epoch|Fenc'
 	$(GO) test -race . -count=1 -run 'TestFailoverPromotion|TestFailoverTraceLineage|TestStitchedTraceAcrossReplication|TestFollowerReadEquivalence|TestFollowerStalenessBudget|TestFollowerReopenServesOffline|TestFollowerWindowWidthSlides'
 
-ci: check test race fuzz-smoke chaos metrics-smoke obs-overhead store-crash repl-crash
+# Query-service soak under the race detector: concurrent mixed-tenant
+# load with live window commits (admission, quotas, result-cache
+# invalidation, cross-query ICG sharing), the commit-vs-cache-insert
+# race injected at faults.ServeCacheInsert, and the wire golden files.
+serve-soak:
+	$(GO) test -race ./internal/serve -count=1
+	$(GO) test -race ./api/v1 -count=1
+	$(GO) test -race . -count=1 -run 'TestPlanCache'
+
+ci: check test race fuzz-smoke chaos metrics-smoke obs-overhead store-crash repl-crash serve-soak

@@ -1,0 +1,112 @@
+package apiv1
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RunPath is the v1 query endpoint every server mounts.
+const RunPath = "/v1/run"
+
+// TenantHeader carries the caller's tenant identity; the service keys
+// its token-bucket quotas on it. Empty means the default tenant.
+const TenantHeader = "X-CG-Tenant"
+
+// Client is a thin v1 wire client: it speaks only the apiv1 JSON schema
+// and never imports the in-process evaluation types.
+type Client struct {
+	base   string
+	tenant string
+	hc     *http.Client
+}
+
+// Option customizes Dial.
+type Option func(*Client)
+
+// WithTenant sets the X-CG-Tenant header on every request.
+func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tenant } }
+
+// WithHTTPClient replaces the underlying HTTP client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// Dial validates the server's base URL ("http://host:port") and returns
+// a client for it. No connection is made until the first Run.
+func Dial(base string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("apiv1: bad base URL %q: %w", base, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("apiv1: base URL %q must be http or https", base)
+	}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: 60 * time.Second}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Run posts the request to /v1/run and decodes the result. Non-2xx
+// responses decode to *Error (errors.As-able), with Status and any
+// Retry-After header mapped onto it.
+func (c *Client) Run(ctx context.Context, req *RunRequest) (*RunResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("apiv1: encode request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+RunPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.tenant != "" {
+		hreq.Header.Set(TenantHeader, c.tenant)
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("apiv1: read response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		werr := &Error{Status: resp.StatusCode}
+		if jerr := json.Unmarshal(raw, werr); jerr != nil || werr.Code == "" {
+			// Not a v1 error body (a proxy's HTML, a panic page): surface
+			// the transport truth instead of an empty decode.
+			werr.Code = CodeInternal
+			werr.Message = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, truncate(string(raw), 200))
+		}
+		if werr.RetryAfterMillis == 0 {
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, perr := strconv.ParseFloat(s, 64); perr == nil {
+					werr.RetryAfterMillis = int64(secs * 1000)
+				}
+			}
+		}
+		return nil, werr
+	}
+	var res RunResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return nil, fmt.Errorf("apiv1: decode result: %w", err)
+	}
+	return &res, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

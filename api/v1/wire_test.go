@@ -1,0 +1,209 @@
+package apiv1
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// goldenRequest / goldenResult / goldenError are the in-memory twins of
+// the testdata fixtures. Changing either side of a pair is a wire-format
+// break — that is exactly what these tests exist to catch.
+func goldenRequest() *RunRequest {
+	return &RunRequest{
+		Algorithm:       "SSSP",
+		Source:          42,
+		Window:          &Window{From: 3, To: 9},
+		Strategy:        "work-sharing-parallel",
+		KeepValues:      true,
+		OptimalSchedule: true,
+		Trace:           "00c0ffee00c0ffee",
+	}
+}
+
+func goldenResult() *RunResult {
+	return &RunResult{
+		Strategy:   "work-sharing-parallel",
+		Window:     Window{From: 3, To: 9},
+		Generation: 17,
+		Cached:     true,
+		Stale:      true,
+		Degraded:   true,
+		Trace:      "00c0ffee00c0ffee",
+		Snapshots: []Snapshot{
+			{Index: 3, Reached: 812, Checksum: 0x00ab54a98ceb1f0a, Values: []int64{0, 7, 2147483647}},
+			{Index: 4, Reached: 813, Checksum: 0xffffffffffffffff},
+		},
+	}
+}
+
+func goldenError() *Error {
+	return &Error{
+		Code:             CodeQueueFull,
+		Message:          "admission queue at capacity (64 queued)",
+		RetryAfterMillis: 250,
+		Trace:            "00c0ffee00c0ffee",
+	}
+}
+
+// checkGolden asserts both directions against the golden file: the Go
+// value encodes to exactly the golden bytes, and the golden bytes decode
+// to exactly the Go value.
+func checkGolden[T any](t *testing.T, file string, want T) {
+	t.Helper()
+	golden, err := os.ReadFile(filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if !bytes.Equal(enc, golden) {
+		t.Errorf("%s: encode drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", file, enc, golden)
+	}
+	var got T
+	if err := json.Unmarshal(golden, &got); err != nil {
+		t.Fatalf("%s: decode: %v", file, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: decode drifted from golden value\ngot:  %+v\nwant: %+v", file, got, want)
+	}
+}
+
+func TestGoldenRunRequest(t *testing.T) { checkGolden(t, "run_request.json", goldenRequest()) }
+func TestGoldenRunResult(t *testing.T)  { checkGolden(t, "run_result.json", goldenResult()) }
+func TestGoldenError(t *testing.T)      { checkGolden(t, "error.json", goldenError()) }
+
+// TestChecksumRoundTrip: the hex-string encoding survives extreme values
+// and rejects non-hex garbage.
+func TestChecksumRoundTrip(t *testing.T) {
+	for _, v := range []Checksum{0, 1, 0xdeadbeef, ^Checksum(0)} {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Checksum
+		if err := json.Unmarshal(b, &got); err != nil || got != v {
+			t.Fatalf("round-trip %x -> %s -> %x (%v)", uint64(v), b, uint64(got), err)
+		}
+	}
+	var c Checksum
+	if err := json.Unmarshal([]byte(`"not-hex"`), &c); err == nil {
+		t.Fatal("want error for non-hex checksum")
+	}
+	if err := json.Unmarshal([]byte(`123`), &c); err == nil {
+		t.Fatal("want error for numeric checksum")
+	}
+}
+
+// TestOmittedFieldsStayOmitted: a minimal request encodes without the
+// optional fields — wire compatibility includes what we do NOT send.
+func TestOmittedFieldsStayOmitted(t *testing.T) {
+	b, err := json.Marshal(&RunRequest{Algorithm: "BFS", Source: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"algorithm":"BFS","source":0}` {
+		t.Fatalf("minimal request encodes extra fields: %s", b)
+	}
+}
+
+// TestClientRun exercises Dial + Run against a stub server: tenant
+// header, request round-trip, and error decoding with Retry-After.
+func TestClientRun(t *testing.T) {
+	var gotTenant string
+	var gotReq RunRequest
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != RunPath || r.Method != http.MethodPost {
+			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+		}
+		gotTenant = r.Header.Get(TenantHeader)
+		if err := json.NewDecoder(r.Body).Decode(&gotReq); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		json.NewEncoder(w).Encode(goldenResult())
+	}))
+	defer srv.Close()
+
+	c, err := Dial(srv.URL, WithTenant("team-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(t.Context(), goldenRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTenant != "team-a" {
+		t.Fatalf("tenant header = %q", gotTenant)
+	}
+	if !reflect.DeepEqual(&gotReq, goldenRequest()) {
+		t.Fatalf("server saw %+v", gotReq)
+	}
+	if !reflect.DeepEqual(res, goldenResult()) {
+		t.Fatalf("client decoded %+v", res)
+	}
+}
+
+// TestClientRunError: a 429 with a v1 error body surfaces as *Error with
+// the status and retry hint attached.
+func TestClientRunError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(&Error{Code: CodeQuotaExhausted, Message: "tenant bucket empty"})
+	}))
+	defer srv.Close()
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(t.Context(), &RunRequest{Algorithm: "BFS"})
+	var werr *Error
+	if !errors.As(err, &werr) {
+		t.Fatalf("want *Error, got %T: %v", err, err)
+	}
+	if werr.Code != CodeQuotaExhausted || werr.Status != http.StatusTooManyRequests {
+		t.Fatalf("error = %+v", werr)
+	}
+	if werr.RetryAfterMillis != 2000 {
+		t.Fatalf("Retry-After header not mapped: %+v", werr)
+	}
+}
+
+// TestClientRunNonJSONError: a proxy-style HTML error page still comes
+// back as a usable *Error rather than a decode failure.
+func TestClientRunNonJSONError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "<html>bad gateway</html>", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	c, err := Dial(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(t.Context(), &RunRequest{Algorithm: "BFS"})
+	var werr *Error
+	if !errors.As(err, &werr) {
+		t.Fatalf("want *Error, got %T: %v", err, err)
+	}
+	if werr.Code != CodeInternal || werr.Status != http.StatusBadGateway {
+		t.Fatalf("error = %+v", werr)
+	}
+}
+
+// TestDialRejectsGarbage pins Dial's URL validation.
+func TestDialRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "ftp://x", "not a url", "//missing-scheme"} {
+		if _, err := Dial(bad); err == nil {
+			t.Errorf("Dial(%q) should fail", bad)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"commongraph"
 	"commongraph/internal/bench"
+	_ "commongraph/internal/bench/serveexp" // registers the serve experiment
 	"commongraph/internal/obs"
 )
 

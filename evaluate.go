@@ -175,6 +175,13 @@ type Options struct {
 	// the always-on ring-only flight recorder, whose completed root spans
 	// land in a bounded ring instead of an event buffer.
 	Trace *Tracer
+	// Plan, when non-nil, shares work with every other evaluation using
+	// the same cache: window representations, Triangular-Grid schedules,
+	// and — the important one — solved common-graph states, so concurrent
+	// queries with overlapping windows do ~1x the common-graph work
+	// between them (see PlanCache). Applies to the CommonGraph strategies
+	// only; KickStarter and Independent ignore it.
+	Plan *PlanCache
 }
 
 // tracer resolves the evaluation's tracer: the explicit option, else the
@@ -477,27 +484,65 @@ func (g *EvolvingGraph) evaluateKickStarter(q Query, w core.Window, opt Options,
 }
 
 func (g *EvolvingGraph) evaluateCommonGraph(q Query, w core.Window, strategy Strategy, opt Options, sp *obs.Span) (*Result, error) {
-	rep, err := core.BuildRep(w)
+	cfg := opt.config(q)
+	cfg.Trace = sp
+	var (
+		rep *core.Rep
+		err error
+	)
+	if opt.Plan != nil {
+		rep, err = opt.Plan.rep(w, cfg.Ctx)
+	} else {
+		rep, err = core.BuildRep(w)
+	}
 	if err != nil {
 		return nil, err
 	}
-	cfg := opt.config(q)
-	cfg.Trace = sp
-	var inner *core.Result
-	switch strategy {
-	case DirectHop:
-		inner, err = core.DirectHop(rep, cfg)
-	case DirectHopParallel:
-		inner, err = core.DirectHopParallel(rep, cfg)
-	case WorkSharing:
-		inner, _, err = core.EvaluateWorkSharing(rep, cfg)
-	case WorkSharingParallel:
-		inner, _, err = core.EvaluateWorkSharingParallel(rep, cfg)
-	}
+	inner, err := runCommonGraph(rep, strategy, opt, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return convertResult(inner, w.From, strategy), nil
+}
+
+// runCommonGraph executes one CommonGraph strategy over a built
+// representation — the shared tail of the EvolvingGraph and Watcher
+// evaluation paths. With a PlanCache configured it first resolves the
+// cache's shared common-graph state and memoized schedule, so the
+// strategy's own from-scratch solve is skipped.
+func runCommonGraph(rep *core.Rep, strategy Strategy, opt Options, cfg core.Config) (*core.Result, error) {
+	if opt.Plan != nil {
+		st, err := opt.Plan.commonState(rep, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Common = st
+	}
+	switch strategy {
+	case DirectHop:
+		return core.DirectHop(rep, cfg)
+	case DirectHopParallel:
+		return core.DirectHopParallel(rep, cfg)
+	case WorkSharing, WorkSharingParallel:
+		var (
+			tg    *core.TG
+			sched *core.Schedule
+			err   error
+		)
+		if opt.Plan != nil {
+			tg, sched, err = opt.Plan.schedule(rep.Window, cfg.OptimalSchedule, cfg.Ctx)
+		} else {
+			tg, sched, err = buildSchedule(rep.Window, cfg.OptimalSchedule)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if strategy == WorkSharing {
+			return core.WorkSharing(rep, tg, sched, cfg)
+		}
+		return core.WorkSharingParallel(rep, tg, sched, cfg)
+	}
+	return nil, fmt.Errorf("commongraph: %v is not a CommonGraph strategy", strategy)
 }
 
 // Plan describes the evaluation schedules available for a window without

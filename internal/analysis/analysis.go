@@ -87,6 +87,7 @@ type Analyzer struct {
 // the CFG in flow.go), then the suppression auditor.
 var All = []*Analyzer{
 	CSRImmutable, LockDiscipline, StateWrite, Determinism, GoPanic, ObsDiscipline, CloseCheck,
+	DeprecatedAPI,
 	GoLeak, CtxFlow, AtomicGuard, ErrFlow, SpanEnd,
 	IgnoreHygiene,
 }

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeprecatedAPI finishes a migration instead of letting it linger: the
+// pre-context evaluation entry points (EvolvingGraph.Evaluate,
+// EvolvingGraph.EvaluateMulti, Watcher.Evaluate) and the Options.Context
+// field are Deprecated in favor of Run/RunMulti, which take the context
+// as a parameter. The old names still work — which is exactly how new
+// call sites sneak in. This check fails the build on any use outside the
+// defining package, so the deprecated surface can only shrink.
+var DeprecatedAPI = &Analyzer{
+	Name: "deprecatedapi",
+	Doc:  "forbid new call sites of deprecated commongraph APIs (Evaluate*, Options.Context)",
+	Run:  runDeprecatedAPI,
+}
+
+// deprecatedMethods maps receiver type name -> method names -> suggested
+// replacement, all on the root commongraph package.
+var deprecatedMethods = map[string]map[string]string{
+	"EvolvingGraph": {"Evaluate": "Run", "EvaluateMulti": "RunMulti"},
+	"Watcher":       {"Evaluate": "Run", "EvaluateMulti": "RunMulti"},
+}
+
+// isRootCommongraph reports whether pkg is the module's root package. The
+// fixture loader type-checks fixtures under synthetic module paths, so the
+// fake package lands at ".../commongraph" rather than exactly
+// "commongraph"; no real module package has that suffix except the root.
+func isRootCommongraph(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "commongraph" || strings.HasSuffix(pkg.Path(), "/commongraph")
+}
+
+func runDeprecatedAPI(pass *Pass) {
+	if isRootCommongraph(pass.Pkg) {
+		return // the defining package may keep the shims alive
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if obj == nil || !isRootCommongraph(obj.Pkg()) {
+				return true
+			}
+			switch o := obj.(type) {
+			case *types.Func:
+				recv := o.Type().(*types.Signature).Recv()
+				if recv == nil {
+					return true
+				}
+				if repl, ok := deprecatedMethods[namedTypeName(recv.Type())][o.Name()]; ok {
+					pass.Reportf(sel.Sel.Pos(),
+						"%s.%s is deprecated; use %s and pass the context as a parameter",
+						namedTypeName(recv.Type()), o.Name(), repl)
+				}
+			case *types.Var:
+				if o.IsField() && o.Name() == "Context" {
+					pass.Reportf(sel.Sel.Pos(),
+						"Options.Context is deprecated; pass the context to Run/RunMulti instead")
+				}
+			}
+			return true
+		})
+		// Composite literals set the field without a SelectorExpr:
+		// Options{Context: ctx}.
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if v, ok := pass.Info.Uses[key].(*types.Var); ok &&
+					v.IsField() && v.Name() == "Context" && isRootCommongraph(v.Pkg()) {
+					pass.Reportf(key.Pos(),
+						"Options.Context is deprecated; pass the context to Run/RunMulti instead")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// namedTypeName unwraps pointers and returns the named type's name, or "".
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,38 @@
+// Fake commongraph package for the deprecatedapi fixture: just enough
+// surface for the consumer file to exercise the deprecated entry points
+// and their replacements. The analyzer matches it by its ".../commongraph"
+// import-path suffix.
+package commongraph
+
+import "context"
+
+type Query struct{ Source int }
+
+type Options struct {
+	Context    context.Context // the deprecated field
+	KeepValues bool
+}
+
+type Request struct {
+	Query   Query
+	Options Options
+}
+
+type Result struct{}
+
+type EvolvingGraph struct{}
+
+func (g *EvolvingGraph) Evaluate(q Query, from, to int, opt Options) (*Result, error) {
+	return nil, nil
+}
+func (g *EvolvingGraph) EvaluateMulti(qs []Query, from, to int, opt Options) ([]*Result, error) {
+	return nil, nil
+}
+func (g *EvolvingGraph) Run(ctx context.Context, req Request) (*Result, error) { return nil, nil }
+
+type Watcher struct{}
+
+func (w *Watcher) Evaluate(q Query, opt Options) (*Result, error)            { return nil, nil }
+func (w *Watcher) EvaluateMulti(qs []Query, opt Options) ([]*Result, error)  { return nil, nil }
+func (w *Watcher) Run(ctx context.Context, req Request) (*Result, error)     { return nil, nil }
+func (w *Watcher) RunMulti(ctx context.Context, qs []Query) ([]*Result, error) { return nil, nil }

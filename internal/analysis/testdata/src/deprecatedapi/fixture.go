@@ -1,0 +1,47 @@
+// Fixture for the deprecatedapi analyzer, loaded as a consumer package
+// (import path app): every pre-context evaluation entry point and use of
+// Options.Context must be flagged; the Run/RunMulti replacements, other
+// Options fields, and unrelated Context identifiers stay allowed.
+package app
+
+import (
+	"context"
+
+	"app/commongraph"
+)
+
+func graphCalls(g *commongraph.EvolvingGraph) {
+	g.Evaluate(commongraph.Query{}, 0, 3, commongraph.Options{})      // want `EvolvingGraph\.Evaluate is deprecated; use Run`
+	g.EvaluateMulti(nil, 0, 3, commongraph.Options{})                 // want `EvolvingGraph\.EvaluateMulti is deprecated; use RunMulti`
+	g.Run(context.Background(), commongraph.Request{})                // replacement: allowed
+}
+
+func watcherCalls(w *commongraph.Watcher) {
+	w.Evaluate(commongraph.Query{}, commongraph.Options{}) // want `Watcher\.Evaluate is deprecated; use Run`
+	w.EvaluateMulti(nil, commongraph.Options{})            // want `Watcher\.EvaluateMulti is deprecated; use RunMulti`
+	w.Run(context.Background(), commongraph.Request{})     // allowed
+	w.RunMulti(context.Background(), nil)                  // allowed
+}
+
+func methodValue(g *commongraph.EvolvingGraph) func(commongraph.Query, int, int, commongraph.Options) (*commongraph.Result, error) {
+	return g.Evaluate // want `EvolvingGraph\.Evaluate is deprecated; use Run`
+}
+
+func contextField(opt commongraph.Options) {
+	opt.Context = context.Background() // want `Options\.Context is deprecated`
+	_ = opt.Context                    // want `Options\.Context is deprecated`
+}
+
+func contextLiteral() commongraph.Options {
+	return commongraph.Options{Context: context.Background()} // want `Options\.Context is deprecated`
+}
+
+type ownOptions struct{ Context context.Context }
+
+func unrelated(o ownOptions) context.Context {
+	return o.Context // a Context field on a local type: allowed
+}
+
+func keepValues() commongraph.Options {
+	return commongraph.Options{KeepValues: true} // other fields: allowed
+}

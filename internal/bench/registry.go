@@ -15,8 +15,25 @@ type Experiment struct {
 	Run   func(Params) (*Table, error)
 }
 
-// Experiments lists every regenerable table and figure plus the ablations.
+// extra holds experiments registered from outside this package. Some
+// experiments exercise the public commongraph API, which this package
+// cannot import (the root package's own tests import bench — the import
+// would cycle through the test binary); they live in subpackages and
+// register themselves at init, and only binaries that import them (cgbench)
+// see them.
+var extra []Experiment
+
+// Register adds an externally defined experiment to the registry. Call it
+// from init only — the registry is not synchronized.
+func Register(e Experiment) { extra = append(extra, e) }
+
+// Experiments lists every regenerable table and figure plus the ablations
+// and any registered extras.
 func Experiments() []Experiment {
+	return append(builtins(), extra...)
+}
+
+func builtins() []Experiment {
 	return []Experiment{
 		{Name: "fig1", Paper: "Figure 1", Run: Fig1},
 		{Name: "table2", Paper: "Table 2", Run: Table2},

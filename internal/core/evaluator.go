@@ -49,6 +49,13 @@ type Config struct {
 	// disables tracing at one pointer test per span site; the hot
 	// per-vertex loop is never instrumented either way.
 	Trace *obs.Span
+	// Common, when non-nil, is a pre-solved fixpoint state for the
+	// window's common graph: solveCommon clones it instead of running the
+	// from-scratch solve. The caller owns correctness — the state must be
+	// the exact fixpoint of (Algo, Source) on the rep's base graph. The
+	// cross-query PlanCache uses this to share one common-graph solve
+	// among overlapping concurrent queries.
+	Common *engine.State
 }
 
 // nodeRef renders a schedule node as "i,j" for span attributes. In a
@@ -59,6 +66,12 @@ func nodeRef(n *ScheduleNode) string { return fmt.Sprintf("%d,%d", n.I, n.J) }
 // solveCommon is the shared from-scratch solve on the common graph, under
 // a "common.solve" span (with the engine's own pass span nested inside).
 func solveCommon(g delta.Graph, cfg Config) (*engine.State, engine.Stats) {
+	if cfg.Common != nil {
+		sp := cfg.Trace.StartChild("common.reuse")
+		st := cfg.Common.Clone()
+		sp.End()
+		return st, engine.Stats{}
+	}
 	sp := cfg.Trace.StartChild("common.solve")
 	st, stats := engine.Run(g, cfg.Algo, cfg.Source, cfg.Engine.WithSpan(sp))
 	sp.End()

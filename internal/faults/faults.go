@@ -74,6 +74,12 @@ const (
 	ReplRecvFrame   Point = "repl.recv-frame"
 	ReplReplayBatch Point = "repl.replay-batch"
 	ReplPromote     Point = "repl.promote"
+	// ServeCacheInsert gates the query service's result-cache insert,
+	// between the evaluation (keyed by the generation observed at lookup)
+	// and the cache write. The invalidation race test parks a request
+	// here, commits a window behind its back, and asserts the stale-keyed
+	// insert can never be served.
+	ServeCacheInsert Point = "serve.cache-insert"
 )
 
 // Points returns every named injection point, in declaration order — the
@@ -85,6 +91,7 @@ func Points() []Point {
 		StoreWALAppend, StoreWALSync, StoreSegmentWrite, StoreManifestSwap,
 		StoreWALRotate, StoreCompact,
 		ReplShipFrame, ReplRecvFrame, ReplReplayBatch, ReplPromote,
+		ServeCacheInsert,
 	}
 }
 

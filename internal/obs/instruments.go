@@ -50,6 +50,14 @@ const (
 	helpReplSnapshots  = "Full snapshot bootstraps shipped to followers (catch-up was impossible incrementally)."
 	helpReplStaleReads = "Follower reads served (or refused) beyond the staleness budget, by outcome (served, refused)."
 
+	helpServeRequests  = "Query-service requests, by tenant and outcome (ok, error, bad-request, rejected-queue, rejected-quota)."
+	helpServeQueue     = "Query-service jobs currently queued awaiting a worker."
+	helpServeInflight  = "Query-service jobs currently executing on a worker."
+	helpServeLatency   = "Query-service end-to-end request latency, seconds (admission through response)."
+	helpServeCache     = "Query-service result-cache events (hit, miss, insert, skip, invalidate)."
+	helpServeICG       = "ICG (intermediate common graph) evaluations by the cross-query sharing layer, by kind: solve (from-scratch on a union interval), derive (incremental from a containing interval's state), shared (clone of a memoized state)."
+	helpServePlanCache = "Plan-cache events of the sharing layer (rep-hit, rep-miss, sched-hit, sched-miss, invalidate)."
+
 	helpTraceDropped = "Trace events discarded because a tracer's event buffer was full (a synthetic trace.dropped event marks the gap in the export)."
 	helpSlowQueries  = "Queries slower than the slow-log threshold, by strategy."
 	helpIncidents    = "Incident dumps triggered (panic, fenced, stale refusal), by reason; flight-recorder/slow-log dumps are rate-limited, the counter is not."
@@ -240,6 +248,44 @@ func ReplSnapshotShips() *Counter {
 // for the fail-fast path).
 func ReplStaleReads(outcome string) *Counter {
 	return Default().Counter("commongraph_repl_stale_reads_total", helpReplStaleReads, "outcome", outcome)
+}
+
+// ServeRequests counts query-service requests per tenant and outcome.
+func ServeRequests(tenant, outcome string) *Counter {
+	return Default().Counter("commongraph_serve_requests_total", helpServeRequests,
+		"tenant", tenant, "outcome", outcome)
+}
+
+// ServeQueueDepth is the queued-job gauge of the query service.
+func ServeQueueDepth() *Gauge {
+	return Default().Gauge("commongraph_serve_queue_depth", helpServeQueue)
+}
+
+// ServeInflight is the executing-job gauge of the query service.
+func ServeInflight() *Gauge {
+	return Default().Gauge("commongraph_serve_inflight", helpServeInflight)
+}
+
+// ServeLatency is the end-to-end request latency histogram.
+func ServeLatency() *Histogram {
+	return Default().Histogram("commongraph_serve_request_seconds", helpServeLatency, nil)
+}
+
+// ServeCacheEvents counts result-cache events by kind.
+func ServeCacheEvents(event string) *Counter {
+	return Default().Counter("commongraph_serve_result_cache_total", helpServeCache, "event", event)
+}
+
+// ServeICG counts ICG evaluations by the sharing layer, by kind. The
+// overlap tests assert on the "solve" series: N concurrent
+// overlapping-window queries must cost one solve.
+func ServeICG(kind string) *Counter {
+	return Default().Counter("commongraph_serve_icg_evaluations_total", helpServeICG, "kind", kind)
+}
+
+// ServePlanCache counts plan-cache (rep/schedule memoization) events.
+func ServePlanCache(event string) *Counter {
+	return Default().Counter("commongraph_serve_plan_cache_total", helpServePlanCache, "event", event)
 }
 
 // TraceDropped counts events a full tracer buffer discarded.

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// OpsMux is the one operational HTTP surface every server in the repo
+// mounts — Watcher.ServeMetrics, Follower.ServeOps, and the cgserve
+// query service used to each assemble their own mux, drifting apart one
+// endpoint at a time. Building the shared routes here keeps the contract
+// in one place:
+//
+//	/metrics               process metric registry (Prometheus text, or
+//	                       JSON with ?format=json)
+//	/healthz               liveness — 200 while the process serves
+//	/readyz                readiness — 200 by default; owners install a
+//	                       probe with SetReadiness (503 + reason until it
+//	                       passes)
+//	/debug/flightrecorder  completed root spans retained in the flight ring
+//	/debug/slowlog         slow-query reservoir samples, by strategy
+//	/debug/trace?id=<hex>  one retained trace as Chrome trace JSON
+//
+// Owners add their own routes with Handle/HandleFunc (a watcher's
+// /window, a follower's /lag and /promote, cgserve's /v1 query API).
+type OpsMux struct {
+	mux *http.ServeMux
+
+	readyMu sync.Mutex
+	ready   func() (ok bool, detail string)
+}
+
+// NewOpsMux builds the shared ops surface with the default always-ready
+// probe.
+func NewOpsMux() *OpsMux {
+	m := &OpsMux{mux: http.NewServeMux()}
+	m.mux.Handle("/metrics", Default().Handler())
+	m.mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(rw, "ok")
+	})
+	m.mux.HandleFunc("/readyz", func(rw http.ResponseWriter, _ *http.Request) {
+		ok, detail := m.readiness()
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ok {
+			rw.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(rw, detail)
+	})
+	m.mux.HandleFunc("/debug/flightrecorder", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		Flight().WriteJSON(rw)
+	})
+	m.mux.HandleFunc("/debug/slowlog", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		Slow().WriteJSON(rw)
+	})
+	m.mux.HandleFunc("/debug/trace", func(rw http.ResponseWriter, r *http.Request) {
+		id, err := ParseTraceID(r.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rec := Flight().Find(id)
+		if rec == nil {
+			http.Error(rw, "trace not in flight recorder", http.StatusNotFound)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		rec.WriteChromeTrace(rw)
+	})
+	return m
+}
+
+// Handle mounts an owner-specific route next to the shared ones.
+func (m *OpsMux) Handle(pattern string, h http.Handler) { m.mux.Handle(pattern, h) }
+
+// HandleFunc mounts an owner-specific route next to the shared ones.
+func (m *OpsMux) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	m.mux.HandleFunc(pattern, h)
+}
+
+// SetReadiness replaces the /readyz probe. The default always reports
+// ready; a replication follower installs its staleness-budget check, the
+// query service its queue-saturation check.
+func (m *OpsMux) SetReadiness(f func() (ok bool, detail string)) {
+	m.readyMu.Lock()
+	m.ready = f
+	m.readyMu.Unlock()
+}
+
+func (m *OpsMux) readiness() (bool, string) {
+	m.readyMu.Lock()
+	f := m.ready
+	m.readyMu.Unlock()
+	if f == nil {
+		return true, "ok"
+	}
+	return f()
+}
+
+// ServeHTTP makes the OpsMux itself mountable as a handler.
+func (m *OpsMux) ServeHTTP(rw http.ResponseWriter, r *http.Request) { m.mux.ServeHTTP(rw, r) }

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"commongraph"
+	apiv1 "commongraph/api/v1"
+	"commongraph/internal/obs"
+)
+
+// cacheKey identifies one servable response. The generation field is the
+// safety argument: it is read BEFORE the evaluation snapshots the window
+// representation, so a result is always at least as fresh as its key. A
+// commit racing the evaluation bumps the source's generation, every
+// later lookup presents the new generation, and the stale-keyed entry is
+// structurally unreachable — invalidation does not depend on the purge
+// hook firing first.
+type cacheKey struct {
+	algo       string
+	source     int
+	window     commongraph.Window
+	strategy   commongraph.Strategy
+	optimal    bool
+	keepValues bool
+	gen        uint64
+}
+
+// resultCache is a small LRU over wire-shaped results. Entries are
+// value-copied out so callers can mark their copy (Cached, Trace)
+// without mutating the cached one.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[cacheKey]*list.Element
+	order   *list.List // front = most recent
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res apiv1.RunResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*list.Element),
+		order:   list.New(),
+	}
+}
+
+func (c *resultCache) get(k cacheKey) (apiv1.RunResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		obs.ServeCacheEvents("miss").Inc()
+		return apiv1.RunResult{}, false
+	}
+	c.order.MoveToFront(el)
+	obs.ServeCacheEvents("hit").Inc()
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(k cacheKey, res apiv1.RunResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, res: res})
+	obs.ServeCacheEvents("insert").Inc()
+	for len(c.entries) > c.cap {
+		oldest := c.order.Back()
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.order.Remove(oldest)
+		obs.ServeCacheEvents("evict").Inc()
+	}
+}
+
+// purge drops everything — the commit hook's path. Entries keyed by
+// older generations are already unreachable; purging just returns their
+// memory early.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) == 0 {
+		return
+	}
+	c.entries = make(map[cacheKey]*list.Element)
+	c.order.Init()
+	obs.ServeCacheEvents("purge").Inc()
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is one tenant's quota: capacity `burst`, refilled at
+// `rate` tokens per second. Buckets start full — a new tenant gets its
+// burst immediately.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotas keys token buckets by tenant. Buckets for tenants idle long
+// enough to have refilled completely are dropped opportunistically, so
+// an adversarial stream of unique tenant names cannot grow the map
+// without bound.
+type quotas struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables quotas
+	burst  float64
+	byName map[string]*tokenBucket
+	now    func() time.Time // test hook
+	sweep  int              // allow() calls until the next idle sweep
+}
+
+const quotaSweepEvery = 256
+
+func newQuotas(rate float64, burst int) *quotas {
+	b := float64(burst)
+	if b <= 0 {
+		b = rate // default burst: one second of rate
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &quotas{
+		rate:   rate,
+		burst:  b,
+		byName: make(map[string]*tokenBucket),
+		now:    time.Now,
+		sweep:  quotaSweepEvery,
+	}
+}
+
+// allow spends one token from the tenant's bucket. Denials return the
+// wait until a token will be available — the Retry-After hint.
+func (q *quotas) allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	if q.sweep--; q.sweep <= 0 {
+		q.sweep = quotaSweepEvery
+		for name, b := range q.byName {
+			if now.Sub(b.last).Seconds()*q.rate >= q.burst {
+				delete(q.byName, name) // fully refilled = indistinguishable from new
+			}
+		}
+	}
+	b := q.byName[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: q.burst, last: now}
+		q.byName[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.rate
+	return false, time.Duration(need * float64(time.Second))
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"context"
+
+	"commongraph"
+)
+
+// Source is the evaluable substrate behind a Server: a maintained window
+// on the primary (Watcher), a replica's window (Follower), or a whole
+// static evolving graph. The serve layer is indifferent to which — it
+// needs evaluation, a serving window to default requests onto, and the
+// commit generation that keys its result cache.
+type Source interface {
+	// Run evaluates one request, like commongraph.Run.
+	Run(ctx context.Context, req commongraph.Request) (*commongraph.Result, error)
+	// Window returns the currently served snapshot range and whether it
+	// is fixed (maintained by the source, so requests cannot choose
+	// their own).
+	Window() (from, to int, fixed bool)
+	// Generation is the source's window-commit counter; results are
+	// cached keyed by it, so it must change whenever the served window's
+	// contents change.
+	Generation() uint64
+	// OnCommit registers an invalidation hook (see Watcher.OnCommit). A
+	// static source never calls it.
+	OnCommit(func(gen uint64))
+}
+
+// WatchSource serves a Watcher's maintained window on the primary.
+func WatchSource(w *commongraph.Watcher) Source { return watchSource{w} }
+
+type watchSource struct{ w *commongraph.Watcher }
+
+func (s watchSource) Run(ctx context.Context, req commongraph.Request) (*commongraph.Result, error) {
+	return s.w.Run(ctx, req)
+}
+func (s watchSource) Window() (int, int, bool) {
+	from, to := s.w.Window()
+	return from, to, true
+}
+func (s watchSource) Generation() uint64        { return s.w.Generation() }
+func (s watchSource) OnCommit(f func(uint64))   { s.w.OnCommit(f) }
+
+// FollowSource serves a replication Follower's mirrored window —
+// follower-backed serving, with the follower's staleness budget applied
+// per request.
+func FollowSource(f *commongraph.Follower) Source { return followSource{f} }
+
+type followSource struct{ f *commongraph.Follower }
+
+func (s followSource) Run(ctx context.Context, req commongraph.Request) (*commongraph.Result, error) {
+	return s.f.Run(ctx, req)
+}
+func (s followSource) Window() (int, int, bool) {
+	if w := s.f.Watcher(); w != nil {
+		from, to := w.Window()
+		return from, to, true
+	}
+	return 0, -1, true // not bootstrapped: no servable window yet
+}
+func (s followSource) Generation() uint64      { return s.f.Generation() }
+func (s followSource) OnCommit(f func(uint64)) { s.f.OnCommit(f) }
+
+// GraphSource serves a whole evolving graph. Requests may pick any
+// window (defaulting to all snapshots). Meant for static datasets: the
+// generation never changes, so if the graph is mutated while serving,
+// cached results can outlive their window — put a Watcher in front for
+// live data.
+func GraphSource(g *commongraph.EvolvingGraph) Source { return graphSource{g} }
+
+type graphSource struct{ g *commongraph.EvolvingGraph }
+
+func (s graphSource) Run(ctx context.Context, req commongraph.Request) (*commongraph.Result, error) {
+	return s.g.Run(ctx, req)
+}
+func (s graphSource) Window() (int, int, bool) { return 0, s.g.NumSnapshots() - 1, false }
+func (s graphSource) Generation() uint64       { return 0 }
+func (s graphSource) OnCommit(func(uint64))    {}

@@ -149,6 +149,13 @@ type Follower struct {
 	g        *EvolvingGraph
 	w        *Watcher
 	promoted *GraphStore // non-nil once Promote succeeded
+
+	// commitNotifier is the follower's own monotonic window generation:
+	// it advances on every replayed maintenance commit AND on every
+	// (re-)bootstrap, so a serving layer keyed on it never confuses
+	// windows across a mirror swap (each swapped-in Watcher restarts its
+	// own counter at zero).
+	commitNotifier
 }
 
 // Follow opens (or prepares) the replica at cfg.Dir and starts the
@@ -220,10 +227,14 @@ func (f *Follower) mirror(st *store.Store) error {
 	if err != nil {
 		return err
 	}
+	// Chain the new watcher's commits into the follower's own generation;
+	// the bootstrap itself is also a commit (the whole window changed).
+	w.OnCommit(func(uint64) { f.notifyCommit() })
 	f.mu.Lock()
 	old := f.w
 	f.g, f.w = g, w
 	f.mu.Unlock()
+	f.notifyCommit()
 	if old != nil {
 		//cgvet:ignore errflow -- the superseded window has no background persistence attached, so its Close reports nothing actionable
 		old.Close() //nolint:errcheck
@@ -433,7 +444,7 @@ func (f *Follower) Promoted() *GraphStore {
 //
 // The server runs until MetricsServer.Close.
 func (f *Follower) ServeOps(addr string) (*MetricsServer, error) {
-	return newOpsServer(addr, func(mux *http.ServeMux, m *MetricsServer) {
+	return newOpsServer(addr, func(mux *obs.OpsMux, m *MetricsServer) {
 		m.SetReadiness(f.Ready)
 		mux.HandleFunc("/lag", func(rw http.ResponseWriter, _ *http.Request) {
 			l := f.Lag()

@@ -1,0 +1,520 @@
+package commongraph
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"commongraph/internal/core"
+	"commongraph/internal/engine"
+	"commongraph/internal/graph"
+	"commongraph/internal/obs"
+	"commongraph/internal/snapshot"
+)
+
+// PlanCache shares evaluation work across concurrent queries over the same
+// evolving graph — the cross-query generalization of the paper's
+// cross-snapshot sharing. The Triangular-Grid schedule already shares
+// common-graph work among a window's snapshots; a long-lived service also
+// sees many *queries* whose windows overlap, and each would otherwise
+// re-solve a nearly identical common graph from scratch. The cache
+// memoizes three layers:
+//
+//   - representations: BuildRep per window (EvolvingGraph entry points; a
+//     Watcher maintains its own rep incrementally and skips this layer),
+//   - schedules: the TG and Steiner schedule per (window, solver) — pure
+//     functions of the window,
+//   - ICG states: the solved common-graph fixpoint per (algorithm, source,
+//     window) — the intermediate common graph states of §3.2, lifted out
+//     of single evaluations.
+//
+// The ICG layer is where overlapping queries actually converge. For any
+// window U ⊇ w, C(U) ⊆ C(w) (the common graph over more snapshots is a
+// subgraph), so a fixpoint solved on C(U) reaches the fixpoint on C(w) by
+// streaming the additions C(w)\C(U) — the paper's §3.1 Direct-Hop argument
+// with C(U) playing the common graph. Concurrent requests therefore
+// single-flight one solve of the *union* of their announced windows and
+// each derives its own window's state with one cheap incremental pass:
+// N overlapping queries do ~1x the common-graph work.
+//
+// Correctness across commits: the snapshot store is append-only and
+// version indices are stable, so an entry keyed by an absolute window
+// never goes stale — maintenance commits only make new windows reachable.
+// The cache binds to one store pointer and resets itself if it sees
+// another (a follower re-bootstrap swaps stores); Invalidate drops
+// everything explicitly.
+//
+// All methods are safe for concurrent use. A PlanCache reaches an
+// evaluation via Options.Plan.
+type PlanCache struct {
+	mu    sync.Mutex
+	store *snapshot.Store
+
+	reps      map[Window]*repEntry
+	scheds    map[schedKey]*schedEntry
+	groups    map[groupKey]*icgGroup
+	announced map[Window]int
+
+	stats planStats
+}
+
+// maxICGEntries bounds the solved states retained per (algorithm, source)
+// group; past it the oldest solved entries are dropped (they can always be
+// re-derived). In-flight entries are never evicted.
+const maxICGEntries = 64
+
+type repEntry struct {
+	done chan struct{}
+	rep  *core.Rep
+	err  error
+}
+
+type schedKey struct {
+	w       Window
+	optimal bool
+}
+
+type schedEntry struct {
+	done  chan struct{}
+	tg    *core.TG
+	sched *core.Schedule
+	err   error
+}
+
+// groupKey identifies one family of ICG states. Engine tuning (workers,
+// scheduler mode) is deliberately absent: the programs are monotonic, so
+// the fixpoint is schedule-independent and any configuration's solve is
+// reusable by every other.
+type groupKey struct {
+	algo   string
+	source VertexID
+}
+
+type icgGroup struct {
+	entries []*icgEntry // insertion order; scanned for exact/containing hits
+}
+
+// icgEntry is one solved (or in-flight) common-graph fixpoint. st is
+// shared read-only among every evaluation that hits it — solveCommon
+// clones before mutating.
+type icgEntry struct {
+	w    Window
+	done chan struct{}
+	st   *engine.State
+	err  error
+}
+
+type planStats struct {
+	solves, derives, shared    atomic.Uint64
+	repHits, repMisses         atomic.Uint64
+	schedHits, schedMisses     atomic.Uint64
+	invalidations, announceNow atomic.Uint64
+}
+
+// PlanCacheStats is a point-in-time snapshot of the cache's counters —
+// the per-instance view of the commongraph_serve_icg_evaluations_total and
+// commongraph_serve_plan_cache_total process metrics.
+type PlanCacheStats struct {
+	// Solves counts from-scratch common-graph solves (each covering the
+	// union of the announced overlapping windows at solve time). Derives
+	// counts states reached from a containing window's state by one
+	// incremental pass; Shared counts exact-window reuses.
+	Solves, Derives, Shared uint64
+	// RepHits/RepMisses and SchedHits/SchedMisses count the
+	// representation and schedule memoization layers.
+	RepHits, RepMisses     uint64
+	SchedHits, SchedMisses uint64
+	// Invalidations counts full resets (explicit or store-swap).
+	Invalidations uint64
+	// Announced is the number of windows currently announced by admitted
+	// in-flight requests.
+	Announced uint64
+}
+
+// NewPlanCache returns an empty cross-query plan cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{
+		reps:      make(map[Window]*repEntry),
+		scheds:    make(map[schedKey]*schedEntry),
+		groups:    make(map[groupKey]*icgGroup),
+		announced: make(map[Window]int),
+	}
+}
+
+// Stats snapshots the cache's counters.
+func (pc *PlanCache) Stats() PlanCacheStats {
+	pc.mu.Lock()
+	announced := uint64(len(pc.announced))
+	pc.mu.Unlock()
+	return PlanCacheStats{
+		Solves:        pc.stats.solves.Load(),
+		Derives:       pc.stats.derives.Load(),
+		Shared:        pc.stats.shared.Load(),
+		RepHits:       pc.stats.repHits.Load(),
+		RepMisses:     pc.stats.repMisses.Load(),
+		SchedHits:     pc.stats.schedHits.Load(),
+		SchedMisses:   pc.stats.schedMisses.Load(),
+		Invalidations: pc.stats.invalidations.Load(),
+		Announced:     announced,
+	}
+}
+
+// Announce registers a window as requested-but-not-yet-solved and returns
+// a release function the caller must run when its request finishes. The
+// query service announces at admission, before the request waits for a
+// worker: by the time the first of a batch of concurrent requests reaches
+// its common-graph solve, every overlapping announced window widens that
+// solve's union, so the batch converges on one solve instead of racing to
+// N. Announce never blocks.
+func (pc *PlanCache) Announce(w Window) (release func()) {
+	pc.mu.Lock()
+	pc.announced[w]++
+	pc.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			pc.mu.Lock()
+			if pc.announced[w]--; pc.announced[w] <= 0 {
+				delete(pc.announced, w)
+			}
+			pc.mu.Unlock()
+		})
+	}
+}
+
+// Invalidate drops every memoized representation, schedule, and ICG state.
+// Announced windows survive — they describe in-flight requests, not cached
+// results.
+func (pc *PlanCache) Invalidate() {
+	pc.mu.Lock()
+	pc.resetLocked()
+	pc.mu.Unlock()
+}
+
+func (pc *PlanCache) resetLocked() {
+	pc.reps = make(map[Window]*repEntry)
+	pc.scheds = make(map[schedKey]*schedEntry)
+	pc.groups = make(map[groupKey]*icgGroup)
+	pc.stats.invalidations.Add(1)
+}
+
+// bindLocked resets the cache if w's store is not the one the cached
+// entries were built from (first use, or a follower re-bootstrap swapping
+// its mirrored store).
+func (pc *PlanCache) bindLocked(s *snapshot.Store) {
+	if pc.store != s {
+		if pc.store != nil {
+			pc.resetLocked()
+		}
+		pc.store = s
+	}
+}
+
+// await blocks until e's channel closes or ctx (nil = never) is done.
+func await(ctx context.Context, done <-chan struct{}) error {
+	if ctx == nil {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("commongraph: cancelled waiting for shared evaluation: %w", ctx.Err())
+	}
+}
+
+// rep returns the memoized CommonGraph representation of w, building it
+// single-flight on first use.
+func (pc *PlanCache) rep(w core.Window, ctx context.Context) (*core.Rep, error) {
+	key := Window{From: w.From, To: w.To}
+	pc.mu.Lock()
+	pc.bindLocked(w.Store)
+	if e, ok := pc.reps[key]; ok {
+		pc.mu.Unlock()
+		pc.stats.repHits.Add(1)
+		obs.ServePlanCache("rep-hit").Inc()
+		if err := await(ctx, e.done); err != nil {
+			return nil, err
+		}
+		return e.rep, e.err
+	}
+	e := &repEntry{done: make(chan struct{})}
+	pc.reps[key] = e
+	pc.mu.Unlock()
+	pc.stats.repMisses.Add(1)
+	obs.ServePlanCache("rep-miss").Inc()
+	e.rep, e.err = core.BuildRep(w)
+	if e.err != nil {
+		pc.mu.Lock()
+		if pc.reps[key] == e {
+			delete(pc.reps, key) // let a later call retry
+		}
+		pc.mu.Unlock()
+	}
+	close(e.done)
+	return e.rep, e.err
+}
+
+// schedule returns the memoized Triangular Grid and Steiner schedule for
+// w under the given solver, building them single-flight on first use.
+func (pc *PlanCache) schedule(w core.Window, optimal bool, ctx context.Context) (*core.TG, *core.Schedule, error) {
+	key := schedKey{w: Window{From: w.From, To: w.To}, optimal: optimal}
+	pc.mu.Lock()
+	pc.bindLocked(w.Store)
+	if e, ok := pc.scheds[key]; ok {
+		pc.mu.Unlock()
+		pc.stats.schedHits.Add(1)
+		obs.ServePlanCache("sched-hit").Inc()
+		if err := await(ctx, e.done); err != nil {
+			return nil, nil, err
+		}
+		return e.tg, e.sched, e.err
+	}
+	e := &schedEntry{done: make(chan struct{})}
+	pc.scheds[key] = e
+	pc.mu.Unlock()
+	pc.stats.schedMisses.Add(1)
+	obs.ServePlanCache("sched-miss").Inc()
+	e.tg, e.sched, e.err = buildSchedule(w, optimal)
+	if e.err != nil {
+		pc.mu.Lock()
+		if pc.scheds[key] == e {
+			delete(pc.scheds, key)
+		}
+		pc.mu.Unlock()
+	}
+	close(e.done)
+	return e.tg, e.sched, e.err
+}
+
+func buildSchedule(w core.Window, optimal bool) (*core.TG, *core.Schedule, error) {
+	tg, err := core.BuildTG(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree := core.SteinerGreedy(tg)
+	if optimal {
+		tree = core.SteinerIntervalDP(tg)
+	}
+	sched, err := core.NewSchedule(tg, tree)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tg, sched, nil
+}
+
+// commonState returns the solved fixpoint of (cfg.Algo, cfg.Source) on
+// rep's common graph, sharing work with every other query in flight. The
+// returned state is owned by the cache and must be treated as read-only
+// (solveCommon clones it). Lookup order:
+//
+//  1. exact window already solved or in flight → share it,
+//  2. a containing window solved or in flight → derive by streaming the
+//     additions C(w)\C(U) from its state,
+//  3. otherwise solve from scratch — over the union of w with every
+//     announced window transitively overlapping it, so concurrent
+//     overlapping requests fold into this one solve and take path 1 or 2.
+func (pc *PlanCache) commonState(rep *core.Rep, cfg core.Config) (*engine.State, error) {
+	win := Window{From: rep.Window.From, To: rep.Window.To}
+	key := groupKey{algo: cfg.Algo.Name(), source: VertexID(cfg.Source)}
+
+	pc.mu.Lock()
+	pc.bindLocked(rep.Window.Store)
+	grp := pc.groups[key]
+	if grp == nil {
+		grp = &icgGroup{}
+		pc.groups[key] = grp
+	}
+	// Path 1: exact hit.
+	if e := grp.find(win); e != nil {
+		pc.mu.Unlock()
+		if err := await(cfg.Ctx, e.done); err != nil {
+			return nil, err
+		}
+		if e.err != nil {
+			return nil, e.err
+		}
+		pc.stats.shared.Add(1)
+		obs.ServeICG("shared").Inc()
+		return e.st, nil
+	}
+	// Path 2: a containing window's state can be specialized to ours. Take
+	// the narrowest container — its common graph is closest to ours, so
+	// the derivation batch is smallest.
+	if src := grp.findContaining(win); src != nil {
+		dst := &icgEntry{w: win, done: make(chan struct{})}
+		grp.entries = append(grp.entries, dst)
+		pc.mu.Unlock()
+		return pc.derive(dst, src, rep, cfg)
+	}
+	// Path 3: solve, widened to the union of announced overlapping
+	// windows so the requests that announced them land on paths 1–2.
+	union := widen(win, pc.announced)
+	uEntry := &icgEntry{w: union, done: make(chan struct{})}
+	grp.entries = append(grp.entries, uEntry)
+	var dst *icgEntry
+	if union != win {
+		dst = &icgEntry{w: win, done: make(chan struct{})}
+		grp.entries = append(grp.entries, dst)
+	}
+	grp.evict()
+	pc.mu.Unlock()
+
+	if err := pc.solve(uEntry, rep, cfg); err != nil {
+		if dst != nil {
+			pc.fail(dst, err)
+		}
+		return nil, err
+	}
+	if dst == nil {
+		return uEntry.st, nil
+	}
+	return pc.derive(dst, uEntry, rep, cfg)
+}
+
+// solve runs the from-scratch fixpoint on the common graph of e.w and
+// publishes it. Failures unpublish the entry so later requests retry.
+func (pc *PlanCache) solve(e *icgEntry, rep *core.Rep, cfg core.Config) error {
+	defer close(e.done)
+	solveRep := rep
+	if e.w != (Window{From: rep.Window.From, To: rep.Window.To}) {
+		var err error
+		solveRep, err = pc.rep(core.Window{Store: rep.Window.Store, From: e.w.From, To: e.w.To}, cfg.Ctx)
+		if err != nil {
+			e.err = err
+			pc.unpublish(e)
+			return err
+		}
+	}
+	sp := cfg.Trace.StartChild("icg.solve",
+		obs.Int("from", e.w.From), obs.Int("to", e.w.To))
+	e.st, _ = engine.Run(solveRep.Base, cfg.Algo, cfg.Source, cfg.Engine.WithSpan(sp))
+	sp.End()
+	pc.stats.solves.Add(1)
+	obs.ServeICG("solve").Inc()
+	return nil
+}
+
+// derive specializes src's fixpoint (on C(src.w), src.w ⊇ dst.w) to
+// dst.w's common graph by streaming the additions C(dst.w)\C(src.w) —
+// one Direct-Hop over the interval containment instead of a full solve.
+func (pc *PlanCache) derive(dst, src *icgEntry, rep *core.Rep, cfg core.Config) (*engine.State, error) {
+	if err := await(cfg.Ctx, src.done); err != nil {
+		pc.fail(dst, err)
+		return nil, err
+	}
+	if src.err != nil {
+		pc.fail(dst, src.err)
+		return nil, src.err
+	}
+	srcRep, err := pc.rep(core.Window{Store: rep.Window.Store, From: src.w.From, To: src.w.To}, cfg.Ctx)
+	if err != nil {
+		pc.fail(dst, err)
+		return nil, err
+	}
+	sp := cfg.Trace.StartChild("icg.derive",
+		obs.Int("from", dst.w.From), obs.Int("to", dst.w.To),
+		obs.Int("src_from", src.w.From), obs.Int("src_to", src.w.To))
+	batch := graph.Minus(rep.Common, srcRep.Common)
+	st := src.st.Clone()
+	engine.IncrementalAdd(rep.Base, st, batch, cfg.Engine.WithSpan(sp))
+	sp.SetAttr(obs.Int("batch", len(batch)))
+	sp.End()
+	dst.st = st
+	close(dst.done)
+	pc.stats.derives.Add(1)
+	obs.ServeICG("derive").Inc()
+	return st, nil
+}
+
+// fail publishes an error on a pre-registered entry and unpublishes it so
+// later requests retry instead of caching the failure.
+func (pc *PlanCache) fail(e *icgEntry, err error) {
+	e.err = err
+	pc.unpublish(e)
+	close(e.done)
+}
+
+// unpublish removes a failed entry from its group so later requests retry
+// instead of caching the failure.
+func (pc *PlanCache) unpublish(e *icgEntry) {
+	pc.mu.Lock()
+	for _, grp := range pc.groups {
+		for i, g := range grp.entries {
+			if g == e {
+				grp.entries = append(grp.entries[:i], grp.entries[i+1:]...)
+				pc.mu.Unlock()
+				return
+			}
+		}
+	}
+	pc.mu.Unlock()
+}
+
+func (g *icgGroup) find(w Window) *icgEntry {
+	for _, e := range g.entries {
+		if e.w == w {
+			return e
+		}
+	}
+	return nil
+}
+
+// findContaining returns the narrowest entry whose window contains w.
+func (g *icgGroup) findContaining(w Window) *icgEntry {
+	var best *icgEntry
+	for _, e := range g.entries {
+		if e.w.From <= w.From && e.w.To >= w.To {
+			if best == nil || e.w.Width() < best.w.Width() {
+				best = e
+			}
+		}
+	}
+	return best
+}
+
+// evict drops the oldest solved entries past the per-group cap; in-flight
+// entries (channel still open) are kept.
+func (g *icgGroup) evict() {
+	if len(g.entries) <= maxICGEntries {
+		return
+	}
+	kept := g.entries[:0]
+	drop := len(g.entries) - maxICGEntries
+	for _, e := range g.entries {
+		solved := false
+		select {
+		case <-e.done:
+			solved = true
+		default:
+		}
+		if drop > 0 && solved {
+			drop--
+			continue
+		}
+		kept = append(kept, e)
+	}
+	g.entries = kept
+}
+
+// widen unions w with every announced window transitively overlapping it.
+func widen(w Window, announced map[Window]int) Window {
+	u := w
+	for changed := true; changed; {
+		changed = false
+		for a := range announced {
+			if a.From <= u.To && a.To >= u.From && (a.From < u.From || a.To > u.To) {
+				if a.From < u.From {
+					u.From = a.From
+				}
+				if a.To > u.To {
+					u.To = a.To
+				}
+				changed = true
+			}
+		}
+	}
+	return u
+}

@@ -1,0 +1,222 @@
+package commongraph
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// commonGraphStrategies are the strategies the PlanCache applies to.
+func commonGraphStrategies() []Strategy {
+	return []Strategy{DirectHop, DirectHopParallel, WorkSharing, WorkSharingParallel}
+}
+
+// TestPlanCacheDifferential: with a PlanCache configured, every
+// CommonGraph strategy must produce exactly the results of the uncached
+// path, for several algorithms and overlapping windows — the shared
+// common state is an optimization, never an approximation.
+func TestPlanCacheDifferential(t *testing.T) {
+	g, _ := buildEvolving(t, 53, 6, 70, 70)
+	pc := NewPlanCache()
+	windows := []Window{{From: 0, To: 4}, {From: 1, To: 5}, {From: 2, To: 6}, {From: 0, To: 6}, {From: 3, To: 3}}
+	for _, q := range []Query{{Algorithm: BFS, Source: 0}, {Algorithm: SSSP, Source: 2}} {
+		for _, s := range commonGraphStrategies() {
+			for _, w := range windows {
+				req := Request{Query: q, Window: w, Strategy: s}
+				plain, err := g.Run(context.Background(), req)
+				if err != nil {
+					t.Fatalf("%s %v %v: uncached: %v", q.Algorithm.Name(), s, w, err)
+				}
+				req.Options.Plan = pc
+				cached, err := g.Run(context.Background(), req)
+				if err != nil {
+					t.Fatalf("%s %v %v: cached: %v", q.Algorithm.Name(), s, w, err)
+				}
+				if len(cached.Snapshots) != len(plain.Snapshots) {
+					t.Fatalf("%s %v %v: snapshot count %d vs %d",
+						q.Algorithm.Name(), s, w, len(cached.Snapshots), len(plain.Snapshots))
+				}
+				for i := range cached.Snapshots {
+					if cached.Snapshots[i].Checksum != plain.Snapshots[i].Checksum ||
+						cached.Snapshots[i].Reached != plain.Snapshots[i].Reached {
+						t.Fatalf("%s %v %v: snapshot %d diverges under plan cache",
+							q.Algorithm.Name(), s, w, i)
+					}
+				}
+			}
+		}
+	}
+	st := pc.Stats()
+	if st.Solves == 0 || st.Shared == 0 {
+		t.Fatalf("cache never engaged: %+v", st)
+	}
+}
+
+// TestPlanCacheSharedSolveOnce is the overlap acceptance test: N
+// concurrent queries with overlapping (but distinct, staggered) windows,
+// all announced before any solve starts, must do exactly ONE from-scratch
+// common-graph solve between them — every other request shares or derives
+// its state from the union solve.
+func TestPlanCacheSharedSolveOnce(t *testing.T) {
+	g, _ := buildEvolving(t, 59, 9, 80, 80)
+	pc := NewPlanCache()
+	q := Query{Algorithm: SSSP, Source: 1}
+	windows := []Window{
+		{From: 0, To: 4}, {From: 1, To: 5}, {From: 2, To: 6},
+		{From: 3, To: 7}, {From: 4, To: 8}, {From: 0, To: 8},
+		{From: 2, To: 5}, {From: 1, To: 7},
+	}
+	// Admission announces every window before any evaluation begins —
+	// the serve layer's contract.
+	releases := make([]func(), len(windows))
+	for i, w := range windows {
+		releases[i] = pc.Announce(w)
+	}
+	results := make([]*Result, len(windows))
+	errs := make([]error, len(windows))
+	var wg sync.WaitGroup
+	for i, w := range windows {
+		wg.Add(1)
+		go func(i int, w Window) {
+			defer wg.Done()
+			defer releases[i]()
+			results[i], errs[i] = g.Run(context.Background(), Request{
+				Query: q, Window: w, Strategy: DirectHop,
+				Options: Options{Plan: pc},
+			})
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("window %v: %v", windows[i], err)
+		}
+	}
+	st := pc.Stats()
+	if st.Solves != 1 {
+		t.Fatalf("want exactly 1 shared common-graph solve for %d overlapping queries, got %d (stats %+v)",
+			len(windows), st.Solves, st)
+	}
+	if st.Derives+st.Shared < uint64(len(windows)-1) {
+		t.Fatalf("remaining queries should share or derive: %+v", st)
+	}
+	// And the shared results must still be exact: re-run one window
+	// uncached and compare.
+	check, err := g.Run(context.Background(), Request{Query: q, Window: windows[2], Strategy: DirectHop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range check.Snapshots {
+		if results[2].Snapshots[i].Checksum != check.Snapshots[i].Checksum {
+			t.Fatalf("snapshot %d: shared result diverges from uncached", i)
+		}
+	}
+}
+
+// TestPlanCacheExactReuse: identical repeated requests single-flight to
+// one solve and then share the cached state.
+func TestPlanCacheExactReuse(t *testing.T) {
+	g, _ := buildEvolving(t, 61, 4, 50, 50)
+	pc := NewPlanCache()
+	req := Request{
+		Query: Query{Algorithm: BFS, Source: 0}, Window: Window{From: 0, To: 4},
+		Strategy: WorkSharing, Options: Options{Plan: pc},
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := g.Run(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pc.Stats()
+	if st.Solves != 1 || st.Shared != 4 {
+		t.Fatalf("want 1 solve + 4 shared, got %+v", st)
+	}
+	if st.SchedMisses != 1 || st.SchedHits != 4 {
+		t.Fatalf("schedule should memoize: %+v", st)
+	}
+	if st.RepMisses != 1 || st.RepHits != 4 {
+		t.Fatalf("rep should memoize: %+v", st)
+	}
+}
+
+// TestPlanCacheWatcherPath: a Watcher evaluation with a PlanCache matches
+// the watcher's own uncached evaluation, and a second watcher query over
+// the same window shares the solve.
+func TestPlanCacheWatcherPath(t *testing.T) {
+	g, _ := buildEvolving(t, 67, 5, 60, 60)
+	w, err := g.Watch(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	pc := NewPlanCache()
+	q := Query{Algorithm: SSSP, Source: 0}
+	plain, err := w.Run(context.Background(), Request{Query: q, Strategy: WorkSharingParallel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		cached, err := w.Run(context.Background(), Request{
+			Query: q, Strategy: WorkSharingParallel, Options: Options{Plan: pc},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range cached.Snapshots {
+			if cached.Snapshots[j].Checksum != plain.Snapshots[j].Checksum {
+				t.Fatalf("run %d snapshot %d diverges under plan cache", i, j)
+			}
+		}
+	}
+	if st := pc.Stats(); st.Solves != 1 || st.Shared != 1 {
+		t.Fatalf("watcher path should share the solve: %+v", st)
+	}
+}
+
+// TestPlanCacheStoreSwap: pointing the same cache at a different evolving
+// graph must reset it (the follower re-bootstrap case), never serve
+// states solved on the old store.
+func TestPlanCacheStoreSwap(t *testing.T) {
+	g1, _ := buildEvolving(t, 71, 3, 40, 40)
+	g2, _ := buildEvolving(t, 73, 3, 40, 40)
+	pc := NewPlanCache()
+	req := Request{
+		Query: Query{Algorithm: BFS, Source: 0}, Window: Window{From: 0, To: 3},
+		Strategy: DirectHop, Options: Options{Plan: pc},
+	}
+	r1, err := g1.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g2.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached2, err := g2.Run(context.Background(), Request{Query: req.Query, Window: req.Window, Strategy: DirectHop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r2.Snapshots {
+		if r2.Snapshots[i].Checksum != uncached2.Snapshots[i].Checksum {
+			t.Fatalf("snapshot %d served from the wrong store's cache", i)
+		}
+	}
+	st := pc.Stats()
+	if st.Invalidations == 0 || st.Solves != 2 {
+		t.Fatalf("store swap should reset the cache: %+v (r1 had %d snapshots)", st, len(r1.Snapshots))
+	}
+}
+
+// TestPlanCacheWidenTransitive: the announced-window union is transitive —
+// a chain of pairwise-overlapping windows folds into one solve even though
+// the endpoints do not overlap each other.
+func TestPlanCacheWidenTransitive(t *testing.T) {
+	got := widen(Window{From: 0, To: 3}, map[Window]int{
+		{From: 2, To: 5}: 1,
+		{From: 5, To: 8}: 1,
+		{From: 9, To: 9}: 1, // disjoint from the chain: must not widen
+	})
+	if got != (Window{From: 0, To: 8}) {
+		t.Fatalf("widen = %+v, want [0,8]", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"commongraph/internal/core"
@@ -32,6 +33,10 @@ type Watcher struct {
 	mu    sync.RWMutex
 	m     *core.MaintainedRep
 	retry RetryPolicy
+
+	// commitNotifier counts successful maintenance commits (Append,
+	// Advance, Slide) and fans each one out to registered hooks.
+	commitNotifier
 
 	// Slide persistence (PersistMaintenance): after the window moves
 	// forward, snapshots behind it fold into the durable store's base
@@ -84,6 +89,47 @@ func (w *Watcher) SetRetry(p RetryPolicy) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.retry = p
+}
+
+// commitNotifier is the window-generation counter and commit-hook fan-out
+// shared by the Watcher and the replication Follower: anything that
+// serves cached results over a maintained window keys its cache on the
+// generation and invalidates from the hooks.
+type commitNotifier struct {
+	gen   atomic.Uint64
+	hookM sync.Mutex
+	hooks []func(gen uint64)
+}
+
+// Generation returns the window-commit counter: it increments once per
+// successful maintenance step (Append, Advance, Slide — and, on a
+// follower, each re-bootstrap). A result evaluated at generation G
+// describes the window as of G; the query service keys its result cache
+// on (query, window, generation) so a commit immediately invalidates
+// every cached response.
+func (c *commitNotifier) Generation() uint64 { return c.gen.Load() }
+
+// OnCommit registers f to run after every successful maintenance commit,
+// with the new generation. Hooks run synchronously on the maintaining
+// goroutine, after the window lock is released — they may call back into
+// the owner, but should stay cheap (cache invalidation, a metric).
+func (c *commitNotifier) OnCommit(f func(gen uint64)) {
+	c.hookM.Lock()
+	c.hooks = append(c.hooks, f)
+	c.hookM.Unlock()
+}
+
+// notifyCommit bumps the generation and runs the registered hooks.
+// Called without the owner's window lock held.
+func (c *commitNotifier) notifyCommit() {
+	gen := c.gen.Add(1)
+	c.hookM.Lock()
+	hooks := make([]func(uint64), len(c.hooks))
+	copy(hooks, c.hooks)
+	c.hookM.Unlock()
+	for _, f := range hooks {
+		f(gen)
+	}
 }
 
 // Window returns the watcher's current snapshot range.
@@ -158,6 +204,17 @@ func (w *Watcher) Close() error {
 // tracer, the maintenance op/error counters by kind, and the retry
 // counter per transient re-attempt.
 func (w *Watcher) maintain(kind string, step func(*core.MaintainedRep) error) error {
+	err := w.maintainLocked(kind, step)
+	if err == nil {
+		// The commit hooks (generation bump, serve-cache invalidation) run
+		// after the window lock is released so they can call back into the
+		// watcher without deadlocking.
+		w.notifyCommit()
+	}
+	return err
+}
+
+func (w *Watcher) maintainLocked(kind string, step func(*core.MaintainedRep) error) error {
 	sp := obs.Active().StartSpan("watcher." + kind)
 	defer sp.End()
 	w.mu.Lock()
@@ -255,23 +312,13 @@ func (w *Watcher) evaluate(q Query, strategy Strategy, opt Options) (*Result, er
 		obs.Int("from", rep.Window.From), obs.Int("to", rep.Window.To))
 	cfg.Trace = sp
 	start := time.Now()
-	var (
-		inner *core.Result
-		err   error
-	)
 	switch strategy {
-	case DirectHop:
-		inner, err = core.DirectHop(rep, cfg)
-	case DirectHopParallel:
-		inner, err = core.DirectHopParallel(rep, cfg)
-	case WorkSharing:
-		inner, _, err = core.EvaluateWorkSharing(rep, cfg)
-	case WorkSharingParallel:
-		inner, _, err = core.EvaluateWorkSharingParallel(rep, cfg)
+	case DirectHop, DirectHopParallel, WorkSharing, WorkSharingParallel:
 	default:
 		sp.End()
 		return nil, fmt.Errorf("commongraph: watcher supports only CommonGraph strategies, not %v", strategy)
 	}
+	inner, err := runCommonGraph(rep, strategy, opt, cfg)
 	obs.Queries(slug).Inc()
 	slow := obs.SlowEntry{Trace: sp.TraceID(), Strategy: slug,
 		Dur: time.Since(start), Start: start,
@@ -301,6 +348,7 @@ func (w *Watcher) evaluate(q Query, strategy Strategy, opt Options) (*Result, er
 type MetricsServer struct {
 	srv *http.Server
 	ln  net.Listener
+	ops *obs.OpsMux
 
 	// stopRuntime releases this server's reference on the process
 	// runtime-metrics collector (refcounted: the sampling goroutine stops
@@ -308,9 +356,6 @@ type MetricsServer struct {
 	stopRuntime func()
 	closeOnce   sync.Once
 	closeErr    error
-
-	readyMu sync.Mutex
-	ready   func() (ok bool, detail string)
 }
 
 // Addr returns the server's bound address (useful with ":0").
@@ -335,77 +380,27 @@ func (m *MetricsServer) Close() error {
 // SetReadiness replaces the /readyz probe. The default always reports
 // ready; a replication follower installs its staleness-budget check.
 func (m *MetricsServer) SetReadiness(f func() (ok bool, detail string)) {
-	m.readyMu.Lock()
-	m.ready = f
-	m.readyMu.Unlock()
+	m.ops.SetReadiness(f)
 }
 
-func (m *MetricsServer) readiness() (bool, string) {
-	m.readyMu.Lock()
-	f := m.ready
-	m.readyMu.Unlock()
-	if f == nil {
-		return true, "ok"
-	}
-	return f()
-}
-
-// newOpsServer builds the shared HTTP ops surface: /metrics (process
-// registry, with runtime/metrics gauges refreshed by a background
-// sampler while any ops server runs), /healthz (liveness — the process
-// is serving), /readyz (readiness — 503 with a reason until the owner's
-// probe passes), the /debug forensic endpoints (flight recorder, slow
-// log, single-trace export), plus whatever routes the owner adds. The
-// http.Server carries conservative timeouts so a client that never
+// newOpsServer builds the shared HTTP ops surface — obs.NewOpsMux's
+// /metrics (process registry, with runtime/metrics gauges refreshed by a
+// background sampler while any ops server runs), /healthz, /readyz, and
+// the /debug forensic endpoints — plus whatever routes the owner adds.
+// The http.Server carries conservative timeouts so a client that never
 // finishes its request headers, or parks an idle keep-alive connection,
 // cannot hold resources indefinitely.
-func newOpsServer(addr string, configure func(mux *http.ServeMux, m *MetricsServer)) (*MetricsServer, error) {
+func newOpsServer(addr string, configure func(mux *obs.OpsMux, m *MetricsServer)) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("commongraph: ops listener: %w", err)
 	}
-	m := &MetricsServer{ln: ln, stopRuntime: obs.StartRuntimeCollector(0)}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler())
-	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
-		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(rw, "ok")
-	})
-	mux.HandleFunc("/debug/flightrecorder", func(rw http.ResponseWriter, _ *http.Request) {
-		rw.Header().Set("Content-Type", "application/json")
-		obs.Flight().WriteJSON(rw)
-	})
-	mux.HandleFunc("/debug/slowlog", func(rw http.ResponseWriter, _ *http.Request) {
-		rw.Header().Set("Content-Type", "application/json")
-		obs.Slow().WriteJSON(rw)
-	})
-	mux.HandleFunc("/debug/trace", func(rw http.ResponseWriter, r *http.Request) {
-		id, err := obs.ParseTraceID(r.URL.Query().Get("id"))
-		if err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
-			return
-		}
-		rec := obs.Flight().Find(id)
-		if rec == nil {
-			http.Error(rw, "trace not in flight recorder", http.StatusNotFound)
-			return
-		}
-		rw.Header().Set("Content-Type", "application/json")
-		rec.WriteChromeTrace(rw)
-	})
-	mux.HandleFunc("/readyz", func(rw http.ResponseWriter, _ *http.Request) {
-		ok, detail := m.readiness()
-		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if !ok {
-			rw.WriteHeader(http.StatusServiceUnavailable)
-		}
-		fmt.Fprintln(rw, detail)
-	})
+	m := &MetricsServer{ln: ln, ops: obs.NewOpsMux(), stopRuntime: obs.StartRuntimeCollector(0)}
 	if configure != nil {
-		configure(mux, m)
+		configure(m.ops, m)
 	}
 	m.srv = &http.Server{
-		Handler:           mux,
+		Handler:           m.ops,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -432,7 +427,7 @@ func newOpsServer(addr string, configure func(mux *http.ServeMux, m *MetricsServ
 // and fault injection in the process feeds it); /window is this watcher's
 // live state. The server runs until Close.
 func (w *Watcher) ServeMetrics(addr string) (*MetricsServer, error) {
-	return newOpsServer(addr, func(mux *http.ServeMux, _ *MetricsServer) {
+	return newOpsServer(addr, func(mux *obs.OpsMux, _ *MetricsServer) {
 		mux.HandleFunc("/window", func(rw http.ResponseWriter, _ *http.Request) {
 			from, to := w.Window()
 			rw.Header().Set("Content-Type", "application/json")
