@@ -2,7 +2,7 @@ GO ?= go
 FUZZTIME ?= 10s
 # bench-json: which experiments to snapshot and where. CI commits one
 # BENCH_PR<n>.json per PR so the performance trajectory is diffable.
-BENCH_JSON_OUT ?= BENCH_PR9.json
+BENCH_JSON_OUT ?= BENCH_PR10.json
 BENCH_JSON_FLAGS ?= -exp all
 # perf-smoke: the committed engine-benchmark baseline of the previous PR
 # and where to write this run's numbers. The store pair covers the durable
@@ -13,7 +13,7 @@ PERF_STORE_BASELINE ?= bench/store-PR5.txt
 PERF_STORE_OUT ?= /tmp/store-perf.txt
 PERF_COUNT ?= 5
 
-.PHONY: all build test race vet check sarif fuzz-smoke chaos bench-json metrics-smoke obs-bench obs-overhead perf-smoke store-crash repl-crash serve-soak ci
+.PHONY: all build test race vet check sarif fuzz-smoke chaos bench-json metrics-smoke obs-bench obs-overhead perf-smoke store-crash repl-crash serve-soak shard-soak ci
 
 all: build vet test
 
@@ -144,4 +144,14 @@ serve-soak:
 	$(GO) test -race ./api/v1 -count=1
 	$(GO) test -race . -count=1 -run 'TestPlanCache'
 
-ci: check test race fuzz-smoke chaos metrics-smoke obs-overhead store-crash repl-crash serve-soak
+# Sharded-execution soak under the race detector: the differential
+# oracle matrix (every algorithm x shard counts x pinned/unpinned plans
+# vs reference.go), the mmap segment tests (kill points, corruption,
+# mapped-vs-materialized equivalence), and the public-API strategy
+# differential over Options.Shards.
+shard-soak:
+	$(GO) test -race ./internal/shard -count=1
+	$(GO) test -race ./internal/store -count=1 -run 'Mapped'
+	$(GO) test -race . -count=1 -run 'TestShardedStrategyDifferential|TestShardedEdgesEvaluated'
+
+ci: check test race fuzz-smoke chaos metrics-smoke obs-overhead store-crash repl-crash serve-soak shard-soak

@@ -42,6 +42,8 @@ func main() {
 		optimal  = flag.Bool("optimal", false, "use the exact interval-DP Steiner schedule (work-sharing strategies and -plan)")
 		tracePth = flag.String("trace", "", "write a Chrome trace of the evaluation: a .json path, or 'log' to stream spans to stderr")
 		metrics  = flag.Bool("metrics", false, "dump the metric registry in Prometheus text format to stderr when done")
+		shards   = flag.Int("shards", 0, "vertex shards for the sharded executor (0 = unsharded; results are identical at any count)")
+		mapped   = flag.Bool("mmap", false, "with -store: mmap the binary segments instead of materializing them (out-of-core cold open)")
 	)
 	flag.Parse()
 	if (*data == "") == (*storeDir == "") {
@@ -51,11 +53,18 @@ func main() {
 	}
 	var g *commongraph.EvolvingGraph
 	if *storeDir != "" {
-		var err error
-		if g, err = commongraph.OpenEvolvingGraph(*storeDir); err != nil {
+		// The mapped open keeps the store handle alive until the query is
+		// done — segment views alias the mappings, which Close releases.
+		gs, err := commongraph.OpenStoreWith(*storeDir, commongraph.StoreOptions{MapSegments: *mapped})
+		if err != nil {
 			fail(err)
 		}
+		defer gs.Close()
+		g = gs.Graph()
 	} else {
+		if *mapped {
+			fail(fmt.Errorf("-mmap needs -store (a durable segment directory)"))
+		}
 		store, err := dataset.Load(*data)
 		if err != nil {
 			fail(err)
@@ -89,7 +98,7 @@ func main() {
 		fail(err)
 	}
 
-	opts := commongraph.Options{KeepValues: *vertex >= 0, OptimalSchedule: *optimal}
+	opts := commongraph.Options{KeepValues: *vertex >= 0, OptimalSchedule: *optimal, Shards: *shards}
 	var tracer *commongraph.Tracer
 	if *tracePth != "" {
 		switch strings.ToLower(*tracePth) {

@@ -82,6 +82,11 @@ serve flags:
   -tenant-rate R    per-tenant requests/second; 0 disables quotas
   -tenant-burst N   per-tenant burst (default one second of rate)
   -cache N          result-cache entries (default 512; negative disables)
+  -cache-max-bytes B  refuse caching results above this estimated size
+                    (default 4MiB; negative = unlimited)
+  -cost-per-medges T  extra quota tokens debited per million evaluated
+                    edges; 0 keeps flat per-request quotas
+  -shards N         vertex shards for every evaluation (0 = unsharded)
   -no-sharing       disable cross-query common-graph sharing
   -strategy S       default strategy for requests that omit one
                     (default direct-hop-parallel)`)
@@ -96,15 +101,21 @@ func serveFlags(fs *flag.FlagSet) (listen *string, cfg func() (serve.Config, err
 	rate := fs.Float64("tenant-rate", 0, "per-tenant requests/second; 0 disables quotas")
 	burst := fs.Int("tenant-burst", 0, "per-tenant burst (0 = one second of rate)")
 	cache := fs.Int("cache", 0, "result-cache entries (0 = 512; negative disables)")
+	cacheMax := fs.Int64("cache-max-bytes", 0, "refuse caching results above this estimated size (0 = 4MiB; negative = unlimited)")
+	cost := fs.Float64("cost-per-medges", 0, "extra quota tokens debited per million evaluated edges (0 = flat per-request quotas)")
+	shards := fs.Int("shards", 0, "vertex shards for every evaluation (0 = unsharded)")
 	noShare := fs.Bool("no-sharing", false, "disable cross-query common-graph sharing")
 	strategy := fs.String("strategy", "", "default strategy for requests that omit one")
 	return listen, func() (serve.Config, error) {
 		c := serve.Config{
 			Workers: *workers, QueueDepth: *queue,
 			TenantRate: *rate, TenantBurst: *burst,
-			CacheEntries:   *cache,
-			DisableSharing: *noShare,
+			CacheEntries:        *cache,
+			CacheMaxResultBytes: *cacheMax,
+			CostPerMillionEdges: *cost,
+			DisableSharing:      *noShare,
 		}
+		c.Options.Shards = *shards
 		if *strategy != "" {
 			s, err := commongraph.ParseStrategy(*strategy)
 			if err != nil {

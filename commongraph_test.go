@@ -1,6 +1,7 @@
 package commongraph
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -219,7 +220,7 @@ func TestPublicTypesAreAliases(t *testing.T) {
 		t.Fatal("alias failure")
 	}
 	var o Options
-	if o.engine() != (engine.Options{}) {
+	if !reflect.DeepEqual(o.engine(), engine.Options{}) {
 		t.Fatal("default engine options should be zero")
 	}
 }

@@ -141,6 +141,16 @@ type Options struct {
 	// larger values let incremental passes use cores. Values are exact
 	// either way — monotonic fixpoints are schedule-independent.
 	AsyncWorkers int
+	// Shards routes engine passes through the sharded executor
+	// (internal/shard): the vertex space splits into that many
+	// contiguous degree-balanced ranges, each with its own frontier,
+	// cross-shard edges flowing through per-shard inboxes with work
+	// stealing between shards. 0 or 1 keeps the unsharded engine.
+	// Values are exact at every shard count — monotonic fixpoints are
+	// schedule-independent — as the differential tests assert. Applies
+	// to the CommonGraph strategies and Independent; KickStarter's
+	// mutable adjacency has no flat CSR form and always runs unsharded.
+	Shards int
 	// KeepValues retains full per-snapshot value arrays in the result.
 	KeepValues bool
 	// Parallelism bounds concurrent hops for DirectHopParallel
@@ -195,7 +205,7 @@ func (o Options) tracer() *obs.Tracer {
 }
 
 func (o Options) engine() engine.Options {
-	return engine.Options{Workers: o.Workers, Mode: o.Scheduler, AsyncWorkers: o.AsyncWorkers}
+	return engine.Options{Workers: o.Workers, Mode: o.Scheduler, AsyncWorkers: o.AsyncWorkers, Shards: o.Shards}
 }
 
 // context resolves the evaluation context uniformly: every entry point
@@ -301,6 +311,11 @@ type Result struct {
 	// (FollowerConfig.ServeStale). The values are exact for the
 	// follower's window; they may trail the primary's latest commits.
 	Stale bool
+	// EdgesEvaluated counts the out-edges the engine examined across
+	// every pass of the evaluation — the measured work the query cost,
+	// as opposed to AdditionsProcessed (the schedule's input size). The
+	// query service weights tenant quota debits by it.
+	EdgesEvaluated int64
 }
 
 // Window selects the inclusive snapshot range [From, To] of an evolving
@@ -480,6 +495,7 @@ func (g *EvolvingGraph) evaluateKickStarter(q Query, w core.Window, opt Options,
 		IncrementalDelete: sys.Cost.IncrementalDelete,
 		Mutation:          sys.Cost.MutateAdd + sys.Cost.MutateDelete,
 	}
+	res.EdgesEvaluated = sys.Work.EdgesPushed
 	return res, nil
 }
 

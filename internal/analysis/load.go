@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -243,6 +244,10 @@ func packageDirs(root string) ([]string, error) {
 }
 
 // goFileNames lists the buildable non-test Go files of dir, sorted.
+// Buildable honours //go:build constraints and GOOS/GOARCH filename
+// suffixes for the host platform — otherwise a pair of tag-gated files
+// (e.g. store's mmap_unix.go / mmap_other.go) type-checks as a
+// redeclaration.
 func goFileNames(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -254,6 +259,9 @@ func goFileNames(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -80,6 +80,13 @@ const (
 	// here, commits a window behind its back, and asserts the stale-keyed
 	// insert can never be served.
 	ServeCacheInsert Point = "serve.cache-insert"
+	// ShardMapOpen and ShardMapClose gate the mmap'd segment open path:
+	// the mmap(2) of a CRC-trailed segment file (before the mapping is
+	// handed to a reader) and the munmap on store Close. The crash matrix
+	// kills the open at each and asserts a clean error, no leaked
+	// mapping, and that a materializing reopen still serves the segment.
+	ShardMapOpen  Point = "shard.map-open"
+	ShardMapClose Point = "shard.map-close"
 )
 
 // Points returns every named injection point, in declaration order — the
@@ -91,7 +98,7 @@ func Points() []Point {
 		StoreWALAppend, StoreWALSync, StoreSegmentWrite, StoreManifestSwap,
 		StoreWALRotate, StoreCompact,
 		ReplShipFrame, ReplRecvFrame, ReplReplayBatch, ReplPromote,
-		ServeCacheInsert,
+		ServeCacheInsert, ShardMapOpen, ShardMapClose,
 	}
 }
 

@@ -57,6 +57,16 @@ const (
 	helpServeCache     = "Query-service result-cache events (hit, miss, insert, skip, invalidate)."
 	helpServeICG       = "ICG (intermediate common graph) evaluations by the cross-query sharing layer, by kind: solve (from-scratch on a union interval), derive (incremental from a containing interval's state), shared (clone of a memoized state)."
 	helpServePlanCache = "Plan-cache events of the sharing layer (rep-hit, rep-miss, sched-hit, sched-miss, invalidate)."
+	helpServeCacheAdm  = "Result-cache inserts refused by the admission policy (estimated result bytes above the configured budget)."
+
+	helpSegMaps      = "Durable-store segments opened as read-only memory mappings (zero-copy cold open)."
+	helpSegMapBytes  = "Bytes memory-mapped read-only from durable-store segments."
+	helpSegMapScrubs = "Mapped segments whose CRC trailer was verified by an on-demand scrub."
+	helpSegScrubBy   = "Bytes touched by mapped-segment CRC scrubs — a page-in proxy: each scrub walks the whole mapping, so this approximates the fault-in I/O a cold mapped read pays."
+	helpShardSteals  = "Chunks a sharded-executor worker took from a shard other than its home (cross-shard work stealing)."
+	helpShardInbox   = "Cross-shard relaxations routed through per-shard inboxes (messages drained in exchange phases)."
+	helpShardSupers  = "Sharded-executor supersteps (one relax + exchange round across all shards)."
+	helpShardPasses  = "Sharded-executor passes (a Run, Propagate, or incremental pass), by shard count."
 
 	helpTraceDropped = "Trace events discarded because a tracer's event buffer was full (a synthetic trace.dropped event marks the gap in the export)."
 	helpSlowQueries  = "Queries slower than the slow-log threshold, by strategy."
@@ -327,4 +337,52 @@ func SchedLatencyP99Seconds() *FloatGauge {
 // GCCycles is the completed-GC-cycle runtime gauge.
 func GCCycles() *Gauge {
 	return Default().Gauge("go_gc_cycles_total", helpGCCycles)
+}
+
+// SegmentMaps counts segments opened as read-only memory mappings.
+func SegmentMaps() *Counter {
+	return Default().Counter("commongraph_store_segment_maps_total", helpSegMaps)
+}
+
+// SegmentMapBytes counts bytes memory-mapped from segment files.
+func SegmentMapBytes() *Counter {
+	return Default().Counter("commongraph_store_segment_map_bytes_total", helpSegMapBytes)
+}
+
+// SegmentMapScrubs counts on-demand CRC scrubs of mapped segments.
+func SegmentMapScrubs() *Counter {
+	return Default().Counter("commongraph_store_segment_map_scrubs_total", helpSegMapScrubs)
+}
+
+// SegmentMapScrubBytes counts bytes walked by mapped-segment CRC scrubs —
+// the repo's page-fault proxy for cold mapped reads.
+func SegmentMapScrubBytes() *Counter {
+	return Default().Counter("commongraph_store_segment_map_scrub_bytes_total", helpSegScrubBy)
+}
+
+// ShardSteals counts cross-shard chunk steals by the sharded executor.
+func ShardSteals() *Counter {
+	return Default().Counter("commongraph_shard_steals_total", helpShardSteals)
+}
+
+// ShardInboxMessages counts cross-shard relaxations routed through
+// per-shard inboxes.
+func ShardInboxMessages() *Counter {
+	return Default().Counter("commongraph_shard_inbox_messages_total", helpShardInbox)
+}
+
+// ShardSupersteps counts sharded-executor supersteps.
+func ShardSupersteps() *Counter {
+	return Default().Counter("commongraph_shard_supersteps_total", helpShardSupers)
+}
+
+// ShardPasses counts sharded-executor passes by shard count.
+func ShardPasses(shards string) *Counter {
+	return Default().Counter("commongraph_shard_passes_total", helpShardPasses, "shards", shards)
+}
+
+// ServeCacheAdmissionRejects counts result-cache inserts the admission
+// policy refused because the estimated result size exceeded the budget.
+func ServeCacheAdmissionRejects() *Counter {
+	return Default().Counter("commongraph_serve_cache_admission_rejects_total", helpServeCacheAdm)
 }

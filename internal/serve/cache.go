@@ -28,12 +28,17 @@ type cacheKey struct {
 
 // resultCache is a small LRU over wire-shaped results. Entries are
 // value-copied out so callers can mark their copy (Cached, Trace)
-// without mutating the cached one.
+// without mutating the cached one. Results whose estimated wire
+// footprint exceeds maxBytes are refused at admission (maxBytes <= 0
+// = unlimited): the LRU is entry-counted, so one KeepValues sweep over
+// a big window would otherwise displace hundreds of checksum-sized
+// results while being the least likely entry to be asked for again.
 type resultCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[cacheKey]*list.Element
-	order   *list.List // front = most recent
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	entries  map[cacheKey]*list.Element
+	order    *list.List // front = most recent
 }
 
 type cacheEntry struct {
@@ -41,12 +46,24 @@ type cacheEntry struct {
 	res apiv1.RunResult
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, maxBytes int64) *resultCache {
 	return &resultCache{
-		cap:     capacity,
-		entries: make(map[cacheKey]*list.Element),
-		order:   list.New(),
+		cap:      capacity,
+		maxBytes: maxBytes,
+		entries:  make(map[cacheKey]*list.Element),
+		order:    list.New(),
 	}
+}
+
+// resultBytes estimates a result's wire footprint. The dominant term
+// is KeepValues payloads — 8 bytes per vertex value per snapshot;
+// checksum-only snapshots cost a small constant.
+func resultBytes(res *apiv1.RunResult) int64 {
+	n := int64(128)
+	for i := range res.Snapshots {
+		n += 64 + int64(len(res.Snapshots[i].Values))*8
+	}
+	return n
 }
 
 func (c *resultCache) get(k cacheKey) (apiv1.RunResult, bool) {
@@ -63,6 +80,10 @@ func (c *resultCache) get(k cacheKey) (apiv1.RunResult, bool) {
 }
 
 func (c *resultCache) put(k cacheKey, res apiv1.RunResult) {
+	if c.maxBytes > 0 && resultBytes(&res) > c.maxBytes {
+		obs.ServeCacheAdmissionRejects().Inc()
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"commongraph"
+	apiv1 "commongraph/api/v1"
+	"commongraph/internal/obs"
+)
+
+// TestQuotaDebit: debits settle measured work against the flat
+// admission charge, may push a bucket into bounded debt, and the debt
+// refills at the bucket's rate instead of being forgiven.
+func TestQuotaDebit(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	q := newQuotas(1, 4) // 1 token/s, burst 4
+	q.now = func() time.Time { return clock }
+
+	if ok, _ := q.allow("a"); !ok {
+		t.Fatal("fresh tenant denied")
+	}
+	// Settle a query that cost 6 tokens of work: balance 3 - 6 = -3.
+	q.debit("a", 6)
+	ok, wait := q.allow("a")
+	if ok {
+		t.Fatal("indebted tenant admitted")
+	}
+	// Recovering from -3 to 1 token takes 4 seconds at 1 token/s.
+	if wait < 3500*time.Millisecond || wait > 4500*time.Millisecond {
+		t.Fatalf("retry hint %v, want ~4s (debt refills at rate)", wait)
+	}
+	clock = clock.Add(2 * time.Second)
+	if ok, _ := q.allow("a"); ok {
+		t.Fatal("debt half-refilled but tenant already admitted")
+	}
+	clock = clock.Add(3 * time.Second)
+	if ok, _ := q.allow("a"); !ok {
+		t.Fatal("tenant still denied after debt refilled")
+	}
+
+	// Debt is clamped: one monstrous query delays, it does not ban.
+	q.debit("a", 1e9)
+	_, wait = q.allow("a")
+	if max := time.Duration((debtClampBursts*4 + 1) * float64(time.Second) * 1.25); wait > max {
+		t.Fatalf("retry hint %v exceeds the debt clamp (max ~%v)", wait, max)
+	}
+
+	// The idle sweep must not forgive debt: after sweeping, the tenant
+	// is still denied until the full debt has refilled.
+	q.debit("b", 6) // balance -6 (refillLocked creates at burst... debit makes 4-6=-2)
+	q.sweep = 1     // force a sweep on the next allow
+	clock = clock.Add(4 * time.Second)
+	// 4s refills exactly one burst — enough to drop a debt-free idle
+	// bucket, not one in debt.
+	if ok, _ := q.allow("b"); !ok {
+		t.Fatal("tenant b: -2 + 4s at 1/s = 2 tokens, should be admitted")
+	}
+	q.debit("b", 8)
+	q.sweep = 1
+	clock = clock.Add(4 * time.Second)
+	if ok, _ := q.allow("b"); ok {
+		t.Fatal("sweep forgave tenant b's debt")
+	}
+}
+
+// TestCacheAdmissionBytesUnit: the result cache refuses entries above
+// its byte budget and counts the rejection.
+func TestCacheAdmissionBytesUnit(t *testing.T) {
+	c := newResultCache(8, 1024)
+	small := apiv1.RunResult{Snapshots: []apiv1.Snapshot{{Index: 0}}}
+	big := apiv1.RunResult{Snapshots: []apiv1.Snapshot{{Index: 0, Values: make([]int64, 1024)}}}
+	before := obs.ServeCacheAdmissionRejects().Value()
+
+	c.put(cacheKey{source: 1}, small)
+	if c.len() != 1 {
+		t.Fatalf("small result refused: len=%d", c.len())
+	}
+	c.put(cacheKey{source: 2}, big)
+	if c.len() != 1 {
+		t.Fatalf("oversized result admitted: len=%d", c.len())
+	}
+	if got := obs.ServeCacheAdmissionRejects().Value() - before; got != 1 {
+		t.Fatalf("admission rejects counter moved by %d, want 1", got)
+	}
+
+	// maxBytes <= 0 disables the gate.
+	u := newResultCache(8, 0)
+	u.put(cacheKey{source: 3}, big)
+	if u.len() != 1 {
+		t.Fatalf("unlimited cache refused a result")
+	}
+}
+
+// costSource returns a fixed evaluated-edge count so the cost-debit
+// path is deterministic.
+type costSource struct {
+	edges int64
+}
+
+func (s *costSource) Run(ctx context.Context, req commongraph.Request) (*commongraph.Result, error) {
+	return &commongraph.Result{Strategy: req.Strategy, EdgesEvaluated: s.edges}, nil
+}
+func (s *costSource) Window() (int, int, bool) { return 0, 0, false }
+func (s *costSource) Generation() uint64       { return 0 }
+func (s *costSource) OnCommit(func(uint64))    {}
+
+// TestServeCostDebit: with CostPerMillionEdges set, a tenant whose
+// query evaluated many edges is throttled on its next request while a
+// light tenant with the same request rate is not.
+func TestServeCostDebit(t *testing.T) {
+	heavy := &costSource{edges: 40_000_000} // 40M edges = 40 tokens at cost 1
+	hs := httptest.NewServer(New(heavy, Config{
+		Workers: 1, TenantRate: 1, TenantBurst: 4,
+		CostPerMillionEdges: 1,
+		CacheEntries:        -1, // isolate the quota path
+	}))
+	defer hs.Close()
+	a, err := apiv1.Dial(hs.URL, apiv1.WithTenant("team-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &apiv1.RunRequest{Algorithm: "BFS", Source: 0}
+	if _, err := a.Run(t.Context(), req); err != nil {
+		t.Fatalf("first request within burst: %v", err)
+	}
+	_, err = a.Run(t.Context(), req)
+	var werr *apiv1.Error
+	if !errors.As(err, &werr) || werr.Code != apiv1.CodeQuotaExhausted {
+		t.Fatalf("want quota_exhausted after a 40-token query, got %v", err)
+	}
+	if werr.RetryAfterMillis <= 0 {
+		t.Fatalf("cost denial carries no retry hint: %+v", werr)
+	}
+
+	// Flat mode (CostPerMillionEdges = 0): the same heavy query costs
+	// one token and the second request sails through.
+	flat := httptest.NewServer(New(heavy, Config{
+		Workers: 1, TenantRate: 1, TenantBurst: 4, CacheEntries: -1,
+	}))
+	defer flat.Close()
+	b, err := apiv1.Dial(flat.URL, apiv1.WithTenant("team-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := b.Run(t.Context(), req); err != nil {
+			t.Fatalf("flat-mode request %d: %v", i, err)
+		}
+	}
+}

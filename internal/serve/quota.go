@@ -45,6 +45,23 @@ func newQuotas(rate float64, burst int) *quotas {
 	}
 }
 
+// refillLocked brings the tenant's bucket up to date at now, creating
+// it full when absent. Callers hold q.mu.
+func (q *quotas) refillLocked(tenant string, now time.Time) *tokenBucket {
+	b := q.byName[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: q.burst, last: now}
+		q.byName[tenant] = b
+		return b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * q.rate
+	if b.tokens > q.burst {
+		b.tokens = q.burst
+	}
+	b.last = now
+	return b
+}
+
 // allow spends one token from the tenant's bucket. Denials return the
 // wait until a token will be available — the Retry-After hint.
 func (q *quotas) allow(tenant string) (ok bool, retryAfter time.Duration) {
@@ -57,26 +74,44 @@ func (q *quotas) allow(tenant string) (ok bool, retryAfter time.Duration) {
 	if q.sweep--; q.sweep <= 0 {
 		q.sweep = quotaSweepEvery
 		for name, b := range q.byName {
-			if now.Sub(b.last).Seconds()*q.rate >= q.burst {
-				delete(q.byName, name) // fully refilled = indistinguishable from new
+			// Refilled back to a full burst = indistinguishable from a
+			// new tenant. The target is burst MINUS the current balance:
+			// an indebted bucket (negative tokens, see debit) needs
+			// proportionally longer idle time — dropping it early would
+			// forgive the debt.
+			if now.Sub(b.last).Seconds()*q.rate >= q.burst-b.tokens {
+				delete(q.byName, name)
 			}
 		}
 	}
-	b := q.byName[tenant]
-	if b == nil {
-		b = &tokenBucket{tokens: q.burst, last: now}
-		q.byName[tenant] = b
-	} else {
-		b.tokens += now.Sub(b.last).Seconds() * q.rate
-		if b.tokens > q.burst {
-			b.tokens = q.burst
-		}
-		b.last = now
-	}
+	b := q.refillLocked(tenant, now)
 	if b.tokens >= 1 {
 		b.tokens--
 		return true, 0
 	}
 	need := (1 - b.tokens) / q.rate
 	return false, time.Duration(need * float64(time.Second))
+}
+
+// debtClampBursts bounds how far a bucket can go negative: one huge
+// query delays a tenant, it does not lock the tenant out forever.
+const debtClampBursts = 4
+
+// debit post-charges measured work against the tenant's bucket.
+// Admission (allow) spends one flat token optimistically; once the
+// evaluation reports its real cost, debit settles the difference. The
+// balance may go negative — the work already happened, so the debt
+// defers future admissions instead — clamped at debtClampBursts full
+// bursts.
+func (q *quotas) debit(tenant string, tokens float64) {
+	if q.rate <= 0 || tokens <= 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.refillLocked(tenant, q.now())
+	b.tokens -= tokens
+	if floor := -debtClampBursts * q.burst; b.tokens < floor {
+		b.tokens = floor
+	}
 }

@@ -44,6 +44,20 @@ type Config struct {
 	// CacheEntries bounds the result cache (0 = 512; negative disables
 	// caching).
 	CacheEntries int
+	// CacheMaxResultBytes refuses caching any result whose estimated
+	// wire footprint exceeds this budget — the entry-counted LRU would
+	// otherwise let one KeepValues sweep over a large window displace
+	// hundreds of checksum-sized results. 0 = 4 MiB; negative = no
+	// size gate. Rejections count in
+	// commongraph_serve_cache_admission_rejects_total.
+	CacheMaxResultBytes int64
+	// CostPerMillionEdges debits each tenant's token bucket by this
+	// many extra tokens per million edges the evaluation actually
+	// examined (Result.EdgesEvaluated), settling real work against the
+	// flat one-token admission charge. Buckets may go into bounded
+	// debt: a tenant issuing huge queries waits longer, one that stays
+	// under budget is unaffected. 0 keeps flat per-request quotas.
+	CostPerMillionEdges float64
 	// DisableSharing turns off the cross-query PlanCache — every request
 	// then solves its own common graph (the bench's control arm).
 	DisableSharing bool
@@ -69,6 +83,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 512
+	}
+	if c.CacheMaxResultBytes == 0 {
+		c.CacheMaxResultBytes = 4 << 20
 	}
 	if c.DefaultStrategy == commongraph.KickStarter {
 		c.DefaultStrategy = commongraph.DirectHopParallel
@@ -110,7 +127,7 @@ func New(src Source, cfg Config) *Server {
 		s.plan = commongraph.NewPlanCache()
 	}
 	if cfg.CacheEntries > 0 {
-		s.cache = newResultCache(cfg.CacheEntries)
+		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheMaxResultBytes)
 		src.OnCommit(func(uint64) { s.cache.purge() })
 	}
 	return s
@@ -251,6 +268,14 @@ func (s *Server) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 		werr.Trace = trace
 		s.fail(rw, tenant, werr.Code, werr)
 		return
+	}
+
+	// Cost settlement: the admission charge was one flat token; debit
+	// the measured edge work so heavy queries drain their tenant's
+	// budget in proportion. Cache hits never reach here — served from
+	// memory, they cost only their flat token.
+	if s.cfg.CostPerMillionEdges > 0 {
+		s.quotas.debit(tenant, float64(res.EdgesEvaluated)/1e6*s.cfg.CostPerMillionEdges)
 	}
 
 	wres := toWire(res, gen, trace)

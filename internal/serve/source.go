@@ -39,8 +39,8 @@ func (s watchSource) Window() (int, int, bool) {
 	from, to := s.w.Window()
 	return from, to, true
 }
-func (s watchSource) Generation() uint64        { return s.w.Generation() }
-func (s watchSource) OnCommit(f func(uint64))   { s.w.OnCommit(f) }
+func (s watchSource) Generation() uint64      { return s.w.Generation() }
+func (s watchSource) OnCommit(f func(uint64)) { s.w.OnCommit(f) }
 
 // FollowSource serves a replication Follower's mirrored window —
 // follower-backed serving, with the follower's staleness budget applied

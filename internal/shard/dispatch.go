@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"strconv"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/delta"
+	"commongraph/internal/engine"
+	"commongraph/internal/graph"
+	"commongraph/internal/obs"
+)
+
+// The dispatchers mirror the engine's entry points one-for-one. With
+// Options.Shards <= 1 — or when the graph has no flat CSR form, or the
+// vertex space is too small to cut — they delegate to the unsharded
+// engine unchanged, so callers route every pass through this package and
+// sharding stays a pure knob.
+
+// Run evaluates the query from scratch under the shard plan; the
+// fallback is engine.Run.
+func Run(g delta.Graph, a algo.Algorithm, src graph.VertexID, opt engine.Options) (*engine.State, engine.Stats) {
+	r, ok := newRunner(g, a, opt)
+	if !ok {
+		return engine.Run(g, a, src, opt)
+	}
+	sp := opt.Span.StartChild("shard.run",
+		obs.String("algo", a.Name()), obs.Int("shards", r.plan.Shards()))
+	st := engine.NewState(g.NumVertices(), a, src)
+	r.st = st
+	stats := r.run([]graph.VertexID{src})
+	r.finish(sp, stats)
+	return st, stats
+}
+
+// Propagate drives st to fixpoint from pre-applied seed activations; the
+// fallback is engine.Propagate.
+func Propagate(g delta.Graph, st *engine.State, seeds []graph.VertexID, opt engine.Options) engine.Stats {
+	r, ok := newRunner(g, st.Algorithm(), opt)
+	if !ok {
+		return engine.Propagate(g, st, seeds, opt)
+	}
+	sp := opt.Span.StartChild("shard.propagate", obs.Int("shards", r.plan.Shards()))
+	r.st = st
+	stats := r.run(seeds)
+	r.finish(sp, stats)
+	return stats
+}
+
+// IncrementalAdd updates st for one addition batch (Algorithm 2); the
+// fallback is engine.IncrementalAdd.
+func IncrementalAdd(g delta.Graph, st *engine.State, batch graph.EdgeList, opt engine.Options) engine.Stats {
+	return IncrementalAddParts(g, st, [][]graph.Edge{batch}, opt)
+}
+
+// IncrementalAddParts seeds every part's destinations (the same
+// sequential seed loop as the engine's, so stats stay comparable) and
+// then propagates under the shard plan; the fallback is
+// engine.IncrementalAddParts.
+func IncrementalAddParts(g delta.Graph, st *engine.State, parts [][]graph.Edge, opt engine.Options) engine.Stats {
+	r, ok := newRunner(g, st.Algorithm(), opt)
+	if !ok {
+		return engine.IncrementalAddParts(g, st, parts, opt)
+	}
+	batchLen := 0
+	for _, batch := range parts {
+		batchLen += len(batch)
+	}
+	sp := opt.Span.StartChild("shard.incremental",
+		obs.Int("batch", batchLen), obs.Int("shards", r.plan.Shards()))
+	r.st = st
+	a := st.Algorithm()
+	id := a.Identity()
+	var stats engine.Stats
+	var seeds []graph.VertexID
+	for _, batch := range parts {
+		for _, e := range batch {
+			uval := st.Value(e.Src)
+			if uval == id {
+				continue
+			}
+			stats.EdgesPushed++
+			cand := a.Propagate(uval, e.W)
+			if st.TryImprove(e.Dst, cand, e.Src) {
+				stats.Improved++
+				seeds = append(seeds, e.Dst)
+			}
+		}
+	}
+	if len(seeds) > 0 {
+		stats.Add(r.run(seeds))
+	}
+	r.finish(sp, stats)
+	return stats
+}
+
+// finish stamps the pass span (one per pass, with one child per shard —
+// never per vertex) and feeds the global shard metrics.
+func (r *runner) finish(sp *obs.Span, stats engine.Stats) {
+	S := r.plan.Shards()
+	obs.ShardPasses(strconv.Itoa(S)).Inc()
+	obs.ShardSupersteps().Add(r.supersteps)
+	obs.ShardSteals().Add(r.steals)
+	obs.ShardInboxMessages().Add(r.msgs)
+	sp.SetAttr(
+		obs.Int64("supersteps", r.supersteps),
+		obs.Int64("steals", r.steals),
+		obs.Int64("inbox_msgs", r.msgs),
+		obs.Int64("edges_pushed", stats.EdgesPushed),
+		obs.Int64("improved", stats.Improved),
+	)
+	for s := 0; s < S; s++ {
+		if r.perShard[s] == 0 {
+			continue
+		}
+		lo, hi := r.plan.Range(s)
+		ssp := sp.StartChild("shard.range",
+			obs.Int("shard", s), obs.Int("lo", int(lo)), obs.Int("hi", int(hi)),
+			obs.Int64("edges_pushed", r.perShard[s]))
+		ssp.End()
+	}
+	sp.End()
+}

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"commongraph/internal/graph"
+)
+
+// sparseKeepDenom mirrors the engine's hybrid switchover: a shard's
+// frontier stays sparse (exact vertex list) until it exceeds 1/16 of the
+// shard's vertex range, then degrades to a dense bitset scan.
+const sparseKeepDenom = 16
+
+// localFrontier is one shard's frontier over its contiguous vertex range
+// [lo, hi): a bitset indexed v-lo plus an exact sparse list while small.
+//
+// Phase contract (the same alternation the engine's frontier uses):
+//   - Relax phase: concurrent workers call trySet only (atomic CAS on
+//     the bitset), collecting winners into per-worker buffers.
+//   - Exchange phase: after the relax barrier, the shard's single
+//     exchange drainer calls adopt (installing the collected winners as
+//     the sparse list) and setSeq (inbox activations) with plain writes.
+//
+// No call ever overlaps a phase boundary, so the mixed atomic/plain
+// access to bits is race-free by construction.
+type localFrontier struct {
+	lo, hi int // absolute vertex range
+	//cgvet:ignore atomicguard -- phase contract (documented above): trySet CASes bits during the concurrent relax phase; setSeq/adopt run on the shard's single exchange drainer, clear between supersteps, forEachInWordRange over the read-only cur frontier
+	bitset []uint64
+	sparse []graph.VertexID // absolute ids; exact while !dense
+	dense  bool
+	cnt    atomic.Int64
+}
+
+func newLocalFrontier(lo, hi graph.VertexID) *localFrontier {
+	n := int(hi - lo)
+	return &localFrontier{lo: int(lo), hi: int(hi), bitset: make([]uint64, (n+63)/64)}
+}
+
+func (f *localFrontier) n() int     { return f.hi - f.lo }
+func (f *localFrontier) words() int { return len(f.bitset) }
+func (f *localFrontier) count() int { return int(f.cnt.Load()) }
+
+func (f *localFrontier) isSparse() bool { return !f.dense }
+
+// list returns the exact active-vertex list; valid only while sparse.
+func (f *localFrontier) list() []graph.VertexID { return f.sparse }
+
+// trySet atomically activates v during the relax phase; true means the
+// caller won the race and owns appending v to its collection buffer.
+func (f *localFrontier) trySet(v graph.VertexID) bool {
+	idx := int(v) - f.lo
+	w := &f.bitset[idx>>6]
+	mask := uint64(1) << uint(idx&63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			f.cnt.Add(1)
+			return true
+		}
+	}
+}
+
+// setSeq activates v from the shard's single exchange drainer (plain
+// writes under the phase contract above).
+func (f *localFrontier) setSeq(v graph.VertexID) {
+	idx := int(v) - f.lo
+	w := idx >> 6
+	mask := uint64(1) << uint(idx&63)
+	if f.bitset[w]&mask != 0 {
+		return
+	}
+	f.bitset[w] |= mask
+	f.cnt.Add(1)
+	if !f.dense {
+		f.sparse = append(f.sparse, v)
+		f.checkDense()
+	}
+}
+
+// adopt appends a relax-phase collection buffer to the sparse list; the
+// bits were already set by trySet, so only the list needs installing.
+func (f *localFrontier) adopt(list []graph.VertexID) {
+	if f.dense {
+		return
+	}
+	f.sparse = append(f.sparse, list...)
+	f.checkDense()
+}
+
+func (f *localFrontier) checkDense() {
+	if len(f.sparse)*sparseKeepDenom > f.n() {
+		f.dense = true
+		f.sparse = f.sparse[:0]
+	}
+}
+
+// clear resets the frontier for reuse as the next superstep's target:
+// O(|F|) while sparse, one word sweep when dense.
+func (f *localFrontier) clear() {
+	if !f.dense {
+		for _, v := range f.sparse {
+			idx := int(v) - f.lo
+			f.bitset[idx>>6] &^= 1 << uint(idx&63)
+		}
+	} else {
+		for i := range f.bitset {
+			f.bitset[i] = 0
+		}
+	}
+	f.sparse = f.sparse[:0]
+	f.dense = false
+	f.cnt.Store(0)
+}
+
+// forEachInWordRange visits active vertices whose bits fall in bitset
+// words [wlo, whi) — the dense-scan chunk unit, stable during relax.
+func (f *localFrontier) forEachInWordRange(wlo, whi int, fn func(v graph.VertexID)) {
+	if whi > len(f.bitset) {
+		whi = len(f.bitset)
+	}
+	for w := wlo; w < whi; w++ {
+		word := f.bitset[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			fn(graph.VertexID(f.lo + w<<6 + b))
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// panicBox mirrors the engine's worker panic carrier (see
+// internal/engine/panicguard.go): a panic unwinding a bare relax or
+// exchange worker would kill the process before wg.Wait returns, so
+// every pool goroutine defers capture and the coordinator rethrows on
+// its own stack, where internal/core's recoverToError turns it into a
+// *core.PanicError.
+type panicBox struct {
+	mu  sync.Mutex
+	val any
+}
+
+// workerPanic carries the worker's panic value plus its stack, which
+// would otherwise be lost when the panic crosses goroutines.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+func (p workerPanic) String() string {
+	return fmt.Sprintf("shard worker panic: %v\nworker stack:\n%s", p.val, p.stack)
+}
+
+// capture is deferred in each worker and absorbs its panic into the box;
+// only the first panic is kept — one is enough to fail the pass.
+func (b *panicBox) capture() {
+	if r := recover(); r != nil {
+		wp := workerPanic{val: r, stack: debug.Stack()}
+		b.mu.Lock()
+		if b.val == nil {
+			b.val = wp
+		}
+		b.mu.Unlock()
+	}
+}
+
+// rethrow re-raises the captured panic, if any, on the caller.
+func (b *panicBox) rethrow() {
+	b.mu.Lock()
+	r := b.val
+	b.mu.Unlock()
+	if r != nil {
+		panic(r)
+	}
+}

@@ -1,0 +1,117 @@
+// Package shard is the sharded execution subsystem: it partitions the
+// vertex space of a base-CSR + overlay-stack graph into contiguous
+// degree-balanced ranges (a Plan), gives each range its own hybrid
+// sparse/dense frontier, and runs vertex programs as supersteps of
+// shard-local relaxation plus a cross-shard exchange.
+//
+// The shard boundary is a clean interface by construction — the stepping
+// stone to a multi-process mode:
+//
+//   - Frontier in, batches out: a superstep consumes each shard's local
+//     frontier and produces (a) local activations and (b) per-destination
+//     inbox batches of (vertex, candidate value, parent) messages for
+//     edges that cross shards. Nothing else flows between shards.
+//   - Owner writes: a vertex's state word is written only while
+//     processing its owner shard's work — by relax workers draining that
+//     shard's chunks, or by that shard's single exchange drainer. The CSR
+//     layers are never written at all (cgvet's csrimmutable holds).
+//   - One shared-memory shortcut, clearly marked: before enqueueing a
+//     cross-shard message, the sender reads the destination's current
+//     value as a filter. Monotonicity makes the read safe (values only
+//     improve, so a candidate that does not improve the value read now
+//     can never improve it later) and it is only an optimization — a
+//     multi-process port sends unconditionally and loses nothing but
+//     bandwidth.
+//
+// Work distribution inside a superstep reuses the engine's degree-aware
+// chunk policy (engine.ChunkEdges): each active shard cuts its frontier
+// into edge-space chunks behind an atomic cursor, workers start on their
+// home shard, and an idle worker steals chunks from loaded shards — the
+// steal counter in internal/obs measures how often.
+//
+// Everything here is schedule-independent for the monotonic vertex
+// programs this repo runs (BFS/SSSP/SSWP/SSNP/Viterbi): any relaxation
+// order reaches the same fixpoint, so sharded results are bit-identical
+// to the unsharded engine's — the differential tests assert exactly that.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"commongraph/internal/delta"
+	"commongraph/internal/engine"
+	"commongraph/internal/graph"
+)
+
+// Plan is a contiguous vertex-range partition: shard s owns vertices
+// [starts[s], starts[s+1]). Plans are immutable and safe to share across
+// passes and goroutines; the TG scheduler computes one per representation
+// so every ICG edge of a Work-Sharing evaluation reuses it.
+type Plan struct {
+	starts []graph.VertexID // len shards+1, ascending, starts[0]=0
+}
+
+// FromStarts wraps precomputed cut points (len shards+1, ascending,
+// first 0). The caller's slice is aliased, not copied; cut slices are
+// immutable by contract.
+func FromStarts(starts []graph.VertexID) (Plan, error) {
+	if len(starts) < 2 || starts[0] != 0 {
+		return Plan{}, fmt.Errorf("shard: invalid plan starts %v", starts)
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i] < starts[i-1] {
+			return Plan{}, fmt.Errorf("shard: plan starts not ascending at %d: %v", i, starts)
+		}
+	}
+	return Plan{starts: starts}, nil
+}
+
+// PlanFor cuts a degree-balanced plan for g from its base CSR's offset
+// array (graph.DegreeCuts). Overlays are ignored for balancing — they are
+// small relative to the base by construction. Returns ok=false when g
+// has no flat CSR form (the mutable KickStarter adjacency).
+func PlanFor(g delta.Graph, shards int) (Plan, bool) {
+	fs, ok := g.(delta.FlatSource)
+	if !ok {
+		return Plan{}, false
+	}
+	csrs := fs.OutCSRs()
+	if len(csrs) == 0 {
+		return Plan{}, false
+	}
+	return Plan{starts: graph.DegreeCuts(csrs[0].Offsets(), shards)}, true
+}
+
+// Shards returns the number of ranges.
+func (p Plan) Shards() int { return len(p.starts) - 1 }
+
+// NumVertices returns the covered vertex-space size.
+func (p Plan) NumVertices() int { return int(p.starts[len(p.starts)-1]) }
+
+// Starts exposes the cut points (immutable) so callers can pin the plan
+// into engine.Options.ShardPlan without importing this package's types.
+func (p Plan) Starts() []graph.VertexID { return p.starts }
+
+// Range returns shard s's vertex range [lo, hi).
+func (p Plan) Range(s int) (lo, hi graph.VertexID) {
+	return p.starts[s], p.starts[s+1]
+}
+
+// Owner returns the shard owning v — a binary search over the cuts.
+func (p Plan) Owner(v graph.VertexID) int {
+	return sort.Search(p.Shards(), func(s int) bool { return p.starts[s+1] > v })
+}
+
+// planFromOptions resolves the plan one pass will use: a pinned
+// opt.ShardPlan that matches the requested shard count and g's vertex
+// space is adopted as-is; otherwise a fresh degree-balanced plan is cut.
+func planFromOptions(g delta.Graph, n int, opt engine.Options) (Plan, bool) {
+	if len(opt.ShardPlan) == opt.Shards+1 &&
+		opt.ShardPlan[0] == 0 && int(opt.ShardPlan[opt.Shards]) == n {
+		if p, err := FromStarts(opt.ShardPlan); err == nil {
+			return p, true
+		}
+	}
+	return PlanFor(g, opt.Shards)
+}

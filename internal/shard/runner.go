@@ -1,0 +1,411 @@
+package shard
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"commongraph/internal/algo"
+	"commongraph/internal/delta"
+	"commongraph/internal/engine"
+	"commongraph/internal/graph"
+)
+
+// msg is one cross-shard relaxation: the sender already evaluated the
+// candidate value, the destination shard's exchange drainer applies it.
+// This is the whole inter-shard protocol — a multi-process mode ships
+// exactly these triples.
+type msg struct {
+	v      graph.VertexID
+	val    algo.Value
+	parent graph.VertexID
+}
+
+// layer mirrors the engine's flatLayer: one CSR layer's backing slices,
+// captured once per pass.
+type layer struct {
+	offs []int32
+	tgts []graph.VertexID
+	wts  []graph.Weight
+}
+
+// tally is one worker's private counters for a relax phase.
+type tally struct {
+	pushed   int64
+	improved int64
+	steals   int64
+	perShard []int64 // edges pushed while draining each shard's chunks
+}
+
+// runner executes one sharded pass: level-synchronous supersteps of
+// shard-local relaxation (with cross-shard chunk stealing) and a
+// single-writer exchange per shard. The sharded executor is always
+// BSP — Options.Mode is ignored, which is safe because the monotonic
+// vertex programs converge to the same fixpoint under any schedule.
+type runner struct {
+	plan    Plan
+	layers  []layer
+	st      *engine.State
+	alg     algo.Algorithm
+	id      algo.Value
+	min     bool
+	workers int
+
+	cur, next []*localFrontier
+
+	// outbox[w][d]: cross-shard messages worker w produced for shard d.
+	// First index private to one worker during relax, second index
+	// private to one drainer during exchange — never both phases at once.
+	outbox [][][]msg
+	// bufs[w][s]: shard-s vertices worker w newly activated (trySet
+	// winners), adopted into next[s] by shard s's exchange drainer.
+	bufs [][][]graph.VertexID
+
+	prefix  [][]int // per-shard degree-prefix scratch, reused across supersteps
+	tallies []tally
+
+	supersteps int64
+	steals     int64
+	msgs       int64
+	perShard   []int64 // edges pushed per shard over the whole pass
+}
+
+// newRunner builds a sharded runner for g, or ok=false when the pass
+// must fall back to the unsharded engine: sharding off (Shards <= 1),
+// no flat CSR form (the mutable KickStarter adjacency), or a vertex
+// space too small to cut the requested number of shards.
+func newRunner(g delta.Graph, a algo.Algorithm, opt engine.Options) (*runner, bool) {
+	if opt.Shards <= 1 {
+		return nil, false
+	}
+	n := g.NumVertices()
+	if n < 2 {
+		return nil, false
+	}
+	plan, ok := planFromOptions(g, n, opt)
+	if !ok || plan.Shards() <= 1 || plan.NumVertices() != n {
+		return nil, false
+	}
+	fs := g.(delta.FlatSource) // planFromOptions already proved it
+	csrs := fs.OutCSRs()
+	layers := make([]layer, len(csrs))
+	for i, c := range csrs {
+		layers[i] = layer{offs: c.Offsets(), tgts: c.Targets(), wts: c.Weights()}
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	S := plan.Shards()
+	r := &runner{
+		plan:     plan,
+		layers:   layers,
+		alg:      a,
+		id:       a.Identity(),
+		min:      a.Direction() == algo.Minimize,
+		workers:  workers,
+		cur:      make([]*localFrontier, S),
+		next:     make([]*localFrontier, S),
+		outbox:   make([][][]msg, workers),
+		bufs:     make([][][]graph.VertexID, workers),
+		prefix:   make([][]int, S),
+		tallies:  make([]tally, workers),
+		perShard: make([]int64, S),
+	}
+	for s := 0; s < S; s++ {
+		lo, hi := plan.Range(s)
+		r.cur[s] = newLocalFrontier(lo, hi)
+		r.next[s] = newLocalFrontier(lo, hi)
+	}
+	for w := 0; w < workers; w++ {
+		r.outbox[w] = make([][]msg, S)
+		r.bufs[w] = make([][]graph.VertexID, S)
+		r.tallies[w].perShard = make([]int64, S)
+	}
+	return r, true
+}
+
+func (r *runner) degree(u graph.VertexID) int {
+	d := 0
+	for i := range r.layers {
+		offs := r.layers[i].offs
+		d += int(offs[u+1] - offs[u])
+	}
+	return d
+}
+
+// shardWork is one active shard's chunked relax work for a superstep:
+// degree-aware edge-space chunks while the frontier is sparse, bitset
+// word chunks when dense, behind an atomic steal cursor either way.
+type shardWork struct {
+	s      int
+	sparse bool
+	list   []graph.VertexID
+	prefix []int
+	total  int // frontier edges (sparse mode)
+	sz     int // edges per chunk (sparse mode)
+	chunks int
+	cursor atomic.Int64
+}
+
+// run drives supersteps to fixpoint from the given seed activations.
+// The caller owns r.st.
+func (r *runner) run(seeds []graph.VertexID) engine.Stats {
+	S := r.plan.Shards()
+	for _, v := range seeds {
+		r.cur[r.plan.Owner(v)].setSeq(v)
+	}
+	var stats engine.Stats
+	for {
+		active := false
+		for s := 0; s < S; s++ {
+			if r.cur[s].count() > 0 {
+				active = true
+				break
+			}
+		}
+		if !active {
+			break
+		}
+		works := r.buildWorks()
+		if len(works) > 0 {
+			pushed, improved := r.relax(works)
+			stats.EdgesPushed += pushed
+			stats.Improved += improved
+		}
+		msgs, eximp := r.exchange()
+		stats.Improved += eximp
+		r.msgs += msgs
+		for s := 0; s < S; s++ {
+			r.cur[s].clear()
+		}
+		r.cur, r.next = r.next, r.cur
+		stats.Iterations++
+		r.supersteps++
+	}
+	return stats
+}
+
+// buildWorks cuts each active shard's frontier into steal-cursor chunks.
+// Shards whose frontier holds only zero-out-degree vertices produce no
+// work (nothing to push); their frontiers still clear at the barrier.
+func (r *runner) buildWorks() []*shardWork {
+	var works []*shardWork
+	for s := 0; s < r.plan.Shards(); s++ {
+		f := r.cur[s]
+		if f.count() == 0 {
+			continue
+		}
+		w := &shardWork{s: s}
+		if f.isSparse() {
+			w.sparse = true
+			w.list = f.list()
+			pr := r.prefix[s]
+			if cap(pr) < len(w.list)+1 {
+				pr = make([]int, len(w.list)+1)
+			}
+			pr = pr[:len(w.list)+1]
+			total := 0
+			for i, u := range w.list {
+				pr[i] = total
+				total += r.degree(u)
+			}
+			pr[len(w.list)] = total
+			r.prefix[s] = pr
+			if total == 0 {
+				continue
+			}
+			w.prefix, w.total = pr, total
+			w.sz = engine.ChunkEdges(total, r.workers)
+			w.chunks = (total + w.sz - 1) / w.sz
+		} else {
+			w.chunks = (f.words() + engine.DenseWordChunk - 1) / engine.DenseWordChunk
+		}
+		works = append(works, w)
+	}
+	return works
+}
+
+// relax runs the worker pool over the superstep's chunks. Worker w's home
+// shard is works[w % len(works)]; when its home cursor is drained it
+// sweeps the other shards' cursors — every chunk taken off-home counts
+// as a steal.
+func (r *runner) relax(works []*shardWork) (pushed, improved int64) {
+	nw := r.workers
+	totalChunks := 0
+	for _, w := range works {
+		totalChunks += w.chunks
+	}
+	if nw > totalChunks {
+		nw = totalChunks
+	}
+	var wg sync.WaitGroup
+	var box panicBox
+	for wk := 0; wk < nw; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			defer box.capture()
+			t := &r.tallies[wk] //cgvet:ignore lockdiscipline -- index-disjoint, one wk per goroutine
+			home := wk % len(works)
+			for off := 0; off < len(works); off++ {
+				w := works[(home+off)%len(works)]
+				stolen := off != 0
+				for {
+					c := int(w.cursor.Add(1)) - 1
+					if c >= w.chunks {
+						break
+					}
+					if stolen {
+						t.steals++
+					}
+					r.processChunk(w, c, wk, t)
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	box.rethrow()
+	for wk := 0; wk < nw; wk++ {
+		t := &r.tallies[wk]
+		pushed += t.pushed
+		improved += t.improved
+		r.steals += t.steals
+		t.pushed, t.improved, t.steals = 0, 0, 0
+		for s, p := range t.perShard {
+			r.perShard[s] += p
+			t.perShard[s] = 0
+		}
+	}
+	return pushed, improved
+}
+
+func (r *runner) processChunk(w *shardWork, c, wk int, t *tally) {
+	if w.sparse {
+		lo := c * w.sz
+		hi := lo + w.sz
+		if hi > w.total {
+			hi = w.total
+		}
+		// First vertex whose edge range reaches past lo (as in the
+		// engine's sparsePar: hub rows split across chunks).
+		i := sort.Search(len(w.list), func(i int) bool { return w.prefix[i+1] > lo })
+		for ; i < len(w.list) && w.prefix[i] < hi; i++ {
+			a, b := lo-w.prefix[i], hi-w.prefix[i]
+			if a < 0 {
+				a = 0
+			}
+			if d := w.prefix[i+1] - w.prefix[i]; b > d {
+				b = d
+			}
+			r.pushRange(w.list[i], a, b, w.s, wk, t)
+		}
+		return
+	}
+	wlo := c * engine.DenseWordChunk
+	whi := wlo + engine.DenseWordChunk
+	r.cur[w.s].forEachInWordRange(wlo, whi, func(u graph.VertexID) {
+		r.pushRange(u, 0, r.degree(u), w.s, wk, t)
+	})
+}
+
+// pushRange pushes u's frontier-edge positions [a, b) — a sub-range of
+// its concatenated layer rows. Local destinations relax in place and
+// activate next[s]; cross-shard destinations pass the monotone racy
+// filter (see the package comment) and enqueue into the worker's outbox
+// for the owner shard.
+func (r *runner) pushRange(u graph.VertexID, a, b, s, wk int, t *tally) {
+	uval := r.st.Value(u)
+	if uval == r.id {
+		return
+	}
+	st, min := r.st, r.min
+	shardLo, shardHi := r.plan.Range(s)
+	next := r.next[s]
+	off := 0
+	for li := range r.layers {
+		L := &r.layers[li]
+		rowLo, rowHi := L.offs[u], L.offs[u+1]
+		d := int(rowHi - rowLo)
+		if off+d <= a {
+			off += d
+			continue
+		}
+		if off >= b {
+			break
+		}
+		sdx, edx := 0, d
+		if a > off {
+			sdx = a - off
+		}
+		if b-off < d {
+			edx = b - off
+		}
+		ts := L.tgts[rowLo+int32(sdx) : rowLo+int32(edx)]
+		ws := L.wts[rowLo+int32(sdx) : rowLo+int32(edx)]
+		for i, v := range ts {
+			cand := r.alg.Propagate(uval, ws[i])
+			if v >= shardLo && v < shardHi {
+				if st.Improves(v, cand, min) && st.TryImprove(v, cand, u) {
+					t.improved++
+					if next.trySet(v) {
+						r.bufs[wk][s] = append(r.bufs[wk][s], v) //cgvet:ignore lockdiscipline -- index-disjoint, one wk per goroutine
+					}
+				}
+			} else if st.Improves(v, cand, min) {
+				// Monotone-safe racy prefilter: v's value only improves,
+				// so a candidate filtered out now could never apply
+				// later. Improving candidates are re-checked by the
+				// owner's exchange drain — this read is purely a
+				// message-volume optimization.
+				d := r.plan.Owner(v)
+				r.outbox[wk][d] = append(r.outbox[wk][d], msg{v: v, val: cand, parent: u}) //cgvet:ignore lockdiscipline -- index-disjoint, one wk per goroutine
+			}
+		}
+		t.pushed += int64(len(ts))
+		t.perShard[s] += int64(len(ts))
+		off += d
+	}
+}
+
+// exchange runs one drainer goroutine per shard: it adopts the relax
+// phase's local activations into next[s], then applies every worker's
+// outbox column for s (TryImprove + setSeq — the shard's single writer).
+func (r *runner) exchange() (msgs, improved int64) {
+	S := r.plan.Shards()
+	var wg sync.WaitGroup
+	var box panicBox
+	var msgsA, impA atomic.Int64
+	for s := 0; s < S; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer box.capture()
+			next := r.next[s]
+			for wk := range r.bufs {
+				if buf := r.bufs[wk][s]; len(buf) > 0 {
+					next.adopt(buf)
+					r.bufs[wk][s] = buf[:0] //cgvet:ignore lockdiscipline -- index-disjoint, one s per goroutine
+				}
+			}
+			var m, imp int64
+			for wk := range r.outbox {
+				col := r.outbox[wk][s]
+				for _, mg := range col {
+					m++
+					if r.st.TryImprove(mg.v, mg.val, mg.parent) {
+						imp++
+						next.setSeq(mg.v)
+					}
+				}
+				r.outbox[wk][s] = col[:0] //cgvet:ignore lockdiscipline -- index-disjoint, one s per goroutine
+			}
+			msgsA.Add(m)
+			impA.Add(imp)
+		}(s)
+	}
+	wg.Wait()
+	box.rethrow()
+	return msgsA.Load(), impA.Load()
+}

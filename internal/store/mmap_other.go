@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("store: mmap unsupported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the mapped open path; on platforms without it the
+// store silently falls back to materializing reads.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. The mapping outlives the file
+// descriptor (callers close f immediately) and survives the file being
+// unlinked, e.g. by compaction GC — pages stay valid until munmapFile.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -71,16 +71,44 @@ func encodeSegment(kind uint32, vertices int, sections ...graph.EdgeList) []byte
 	return append(buf, crc[:]...)
 }
 
-// decodeSegment validates the wire format and returns the section
-// payloads as edge views over data (aliased: data must stay unmodified).
+// decodeSegment validates the wire format — CRC first, then structure —
+// and returns the section payloads as edge views over data (aliased:
+// data must stay unmodified).
 func decodeSegment(data []byte, wantKind uint32) (vertices int, sections []graph.EdgeList, err error) {
 	if len(data) < segHeaderLen+4 {
 		return 0, nil, fmt.Errorf("%w: segment shorter than header (%d bytes)", ErrCorrupt, len(data))
 	}
+	if err := verifySegmentCRC(data); err != nil {
+		return 0, nil, err
+	}
+	return decodeSegmentStructure(data, wantKind)
+}
+
+// verifySegmentCRC checks the trailer checksum over the whole body. The
+// materializing read path runs it eagerly; the mmap path defers it to an
+// explicit scrub (Store.VerifyMapped) so a cold open stays page-in only.
+func verifySegmentCRC(data []byte) error {
+	if len(data) < segHeaderLen+4 {
+		return fmt.Errorf("%w: segment shorter than header (%d bytes)", ErrCorrupt, len(data))
+	}
 	body, trailer := data[:len(data)-4], data[len(data)-4:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
-		return 0, nil, fmt.Errorf("%w: segment CRC %08x != trailer %08x", ErrCorrupt, got, want)
+		return fmt.Errorf("%w: segment CRC %08x != trailer %08x", ErrCorrupt, got, want)
 	}
+	return nil
+}
+
+// decodeSegmentStructure validates everything except the CRC trailer:
+// magic, version, kind, and that every section lies inside the buffer.
+// The bounds checks are what keep a torn or hostile file from steering
+// reads out of the mapping; a payload bit-flip inside a section is only
+// caught by the CRC (eager on the materializing path, scrub-on-demand on
+// the mapped path).
+func decodeSegmentStructure(data []byte, wantKind uint32) (vertices int, sections []graph.EdgeList, err error) {
+	if len(data) < segHeaderLen+4 {
+		return 0, nil, fmt.Errorf("%w: segment shorter than header (%d bytes)", ErrCorrupt, len(data))
+	}
+	body := data[:len(data)-4]
 	if m := binary.LittleEndian.Uint32(body[0:]); m != segMagic {
 		return 0, nil, fmt.Errorf("%w: bad segment magic %#x", ErrCorrupt, m)
 	}

@@ -37,6 +37,13 @@ type Store struct {
 	baseCache graph.EdgeList
 	ovlCache  map[int][2]graph.EdgeList
 
+	// mapSegments selects the zero-copy open path: segments are mmap'd
+	// read-only instead of materialized, CRC validation is deferred to
+	// VerifyMapped, and every view handed out aliases a mapping that
+	// Close releases. See Options.MapSegments.
+	mapSegments bool
+	mapped      []*mappedSeg
+
 	// commitCh broadcasts commits to replication ship loops: it is closed
 	// (and replaced) by every successful AppendBatch, so a waiter blocked
 	// on CommitSignal wakes exactly when the position it cached went stale.
@@ -110,13 +117,28 @@ func CreateReplica(dir string, vertices int, base graph.EdgeList, baseVersion in
 	}, nil
 }
 
+// Options configures Open behavior.
+type Options struct {
+	// MapSegments opens segments as read-only memory mappings instead of
+	// materializing them: a cold open becomes page-in, and the CRC
+	// trailer validates lazily (VerifyMapped) instead of on load. Edge
+	// views handed out by a mapped store alias the mappings and are
+	// valid only until Close. On platforms without mmap support the flag
+	// is ignored and segments materialize as before.
+	MapSegments bool
+}
+
 // Open opens an existing store, running crash recovery first: the WAL's
 // torn tail is truncated, records already folded into overlays are
 // dropped, interrupted segment writes are garbage-collected, and the raw
 // updates of the in-flight ingest window are surfaced via TakePending.
 // Open reads only the manifest and the WAL; segments load lazily.
-func Open(dir string) (*Store, error) {
-	sp := obs.Env().StartSpan("store.open", obs.String("dir", dir))
+func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith is Open with explicit Options.
+func OpenWith(dir string, opts Options) (*Store, error) {
+	sp := obs.Env().StartSpan("store.open", obs.String("dir", dir),
+		obs.Bool("mapped", opts.MapSegments && mmapSupported))
 	defer sp.End()
 	man, err := readManifest(dir)
 	if err != nil {
@@ -130,12 +152,13 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		dir:      dir,
-		man:      man,
-		wal:      w,
-		origin:   man.baseVersion,
-		pending:  pending,
-		ovlCache: make(map[int][2]graph.EdgeList),
+		dir:         dir,
+		man:         man,
+		wal:         w,
+		origin:      man.baseVersion,
+		pending:     pending,
+		ovlCache:    make(map[int][2]graph.EdgeList),
+		mapSegments: opts.MapSegments && mmapSupported,
 	}
 	if err := s.gc(); err != nil {
 		w.close()
@@ -355,11 +378,29 @@ func (s *Store) Base() (graph.EdgeList, error) {
 	return s.baseLocked()
 }
 
+// loadSegmentLocked dispatches one segment load to the configured open
+// path: mmap'd zero-copy views (tracked for teardown on Close) or the
+// materializing readSegment.
+func (s *Store) loadSegmentLocked(name string, wantKind uint32) (vertices int, sections []graph.EdgeList, err error) {
+	if s.closed {
+		return 0, nil, fmt.Errorf("store: closed")
+	}
+	if !s.mapSegments {
+		return readSegment(s.dir, name, wantKind)
+	}
+	m, err := openSegmentMapped(s.dir, name, wantKind)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.mapped = append(s.mapped, m)
+	return m.vertices, m.sections, nil
+}
+
 func (s *Store) baseLocked() (graph.EdgeList, error) {
 	if s.baseCache != nil {
 		return s.baseCache, nil
 	}
-	vertices, sections, err := readSegment(s.dir, baseName(s.man.generation), kindBase)
+	vertices, sections, err := s.loadSegmentLocked(baseName(s.man.generation), kindBase)
 	if err != nil {
 		return nil, err
 	}
@@ -385,7 +426,7 @@ func (s *Store) overlayLocked(t int) (adds, dels graph.EdgeList, err error) {
 	if c, ok := s.ovlCache[t]; ok {
 		return c[0], c[1], nil
 	}
-	vertices, sections, err := readSegment(s.dir, overlayName(t), kindOverlay)
+	vertices, sections, err := s.loadSegmentLocked(overlayName(t), kindOverlay)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -588,7 +629,35 @@ func removeFolded(dir, name string) {
 	}
 }
 
-// Close releases the WAL file handle. Segments need no teardown.
+// Mapped reports whether the store serves segments from memory mappings.
+func (s *Store) Mapped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mapSegments
+}
+
+// VerifyMapped runs the deferred CRC scrub over every currently mapped
+// segment, paging the mappings in, and returns the number of segments
+// scrubbed plus the first integrity failure (errors.Is ErrCorrupt).
+// Already-verified segments are skipped; a store opened without
+// MapSegments scrubs nothing (materializing reads verified eagerly).
+func (s *Store) VerifyMapped() (scrubbed int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.mapped {
+		if m.verified {
+			continue
+		}
+		if verr := m.verify(); verr != nil {
+			return scrubbed, verr
+		}
+		scrubbed++
+	}
+	return scrubbed, nil
+}
+
+// Close releases the WAL file handle and unmaps any mapped segments —
+// every edge view handed out by a mapped store is invalid afterward.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -596,5 +665,17 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	return s.wal.close()
+	var firstErr error
+	for _, m := range s.mapped {
+		if err := m.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.mapped = nil
+	s.baseCache = nil
+	s.ovlCache = nil
+	if err := s.wal.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }

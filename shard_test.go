@@ -1,0 +1,60 @@
+package commongraph
+
+import (
+	"testing"
+)
+
+// TestShardedStrategyDifferential: Options.Shards is a pure knob —
+// every public strategy returns bit-identical values and checksums at
+// every shard count, including counts that exceed what a strategy can
+// use (KickStarter has no flat CSR and quietly runs unsharded).
+func TestShardedStrategyDifferential(t *testing.T) {
+	g, _ := buildEvolving(t, 411, 5, 40, 25)
+	for _, a := range Algorithms() {
+		q := Query{Algorithm: a, Source: 3}
+		for _, s := range Strategies() {
+			var want *Result
+			for _, shards := range []int{0, 1, 2, 7} {
+				res, err := g.Evaluate(q, 0, 5, s, Options{Shards: shards, KeepValues: true})
+				if err != nil {
+					t.Fatalf("%s/%s shards=%d: %v", a.Name(), s.Slug(), shards, err)
+				}
+				if want == nil {
+					want = res
+					continue
+				}
+				for k := range res.Snapshots {
+					if res.Snapshots[k].Checksum != want.Snapshots[k].Checksum {
+						t.Fatalf("%s/%s shards=%d snapshot %d: checksum %x != unsharded %x",
+							a.Name(), s.Slug(), shards, k,
+							res.Snapshots[k].Checksum, want.Snapshots[k].Checksum)
+					}
+					for v := range res.Snapshots[k].Values {
+						if res.Snapshots[k].Values[v] != want.Snapshots[k].Values[v] {
+							t.Fatalf("%s/%s shards=%d snapshot %d vertex %d: %d != %d",
+								a.Name(), s.Slug(), shards, k, v,
+								res.Snapshots[k].Values[v], want.Snapshots[k].Values[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEdgesEvaluated: the evaluated-edge count surfaces on the
+// public result for both the CommonGraph strategies and KickStarter —
+// the quota service weights debits by it.
+func TestShardedEdgesEvaluated(t *testing.T) {
+	g, _ := buildEvolving(t, 17, 4, 30, 20)
+	q := Query{Algorithm: BFS, Source: 0}
+	for _, s := range []Strategy{KickStarter, DirectHop, WorkSharing} {
+		res, err := g.Evaluate(q, 0, 4, s, Options{Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EdgesEvaluated <= 0 {
+			t.Fatalf("%s: EdgesEvaluated = %d, want > 0", s.Slug(), res.EdgesEvaluated)
+		}
+	}
+}

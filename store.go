@@ -73,6 +73,19 @@ func (g *EvolvingGraph) Persist(dir string) (*GraphStore, error) {
 	return &GraphStore{g: g, s: s}, nil
 }
 
+// StoreOptions configures how OpenStoreWith opens a durable store.
+type StoreOptions struct {
+	// MapSegments memory-maps the binary snapshot segments read-only
+	// instead of materializing them on the heap — the out-of-core open
+	// path: a cold open touches only the pages the load actually reads,
+	// and the OS pages the rest in on demand. Segment structure is
+	// validated eagerly (a torn or hostile file cannot steer reads out
+	// of the mapping); full CRC checksums are deferred to
+	// VerifyMapped. Mapped views stay valid until Close; on platforms
+	// without mmap support the flag quietly falls back to materializing.
+	MapSegments bool
+}
+
 // OpenStore opens the durable store at dir, running crash recovery
 // (torn segment and WAL tails are discarded, the in-flight ingest
 // window is recovered), and materializes its snapshots as the bound
@@ -80,7 +93,13 @@ func (g *EvolvingGraph) Persist(dir string) (*GraphStore, error) {
 // snapshot (compaction folds older ones away); Origin reports its
 // absolute version.
 func OpenStore(dir string) (*GraphStore, error) {
-	s, err := store.Open(dir)
+	return OpenStoreWith(dir, StoreOptions{})
+}
+
+// OpenStoreWith is OpenStore with explicit store options; see
+// StoreOptions for the out-of-core open path.
+func OpenStoreWith(dir string, opts StoreOptions) (*GraphStore, error) {
+	s, err := store.OpenWith(dir, store.Options{MapSegments: opts.MapSegments})
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +141,17 @@ func OpenEvolvingGraph(dir string) (*EvolvingGraph, error) {
 // Graph returns the bound in-memory graph. Evaluations read it
 // directly; mutations must go through the GraphStore.
 func (gs *GraphStore) Graph() *EvolvingGraph { return gs.g }
+
+// Mapped reports whether this store serves segments from read-only
+// memory maps (StoreOptions.MapSegments on a platform with mmap).
+func (gs *GraphStore) Mapped() bool { return gs.s.Mapped() }
+
+// VerifyMapped scrubs the CRC checksums of every currently mapped
+// segment — the integrity pass the mapped open path defers — and
+// returns how many segments it verified. Scrubbing faults in every
+// page of each unverified segment; run it off the query path. On an
+// unmapped store it verifies nothing and returns (0, nil).
+func (gs *GraphStore) VerifyMapped() (int, error) { return gs.s.VerifyMapped() }
 
 // Origin returns the absolute version number of the bound graph's
 // snapshot 0 — nonzero once compaction has folded old snapshots away.

@@ -489,6 +489,7 @@ func convertResult(inner *core.Result, from int, strategy Strategy) *Result {
 	res := &Result{
 		Strategy:           strategy,
 		AdditionsProcessed: inner.AdditionsProcessed,
+		EdgesEvaluated:     inner.Work.EdgesPushed,
 		MaxHopTime:         inner.MaxHopTime,
 		Degraded:           inner.Degraded,
 		Timings: Timings{
